@@ -1,0 +1,95 @@
+"""Ablation: row-aware cell shifting vs FastPlace-style shifting.
+
+Section 4.1 of the paper claims two advantages of its row-aware cell
+shifting over FastPlace's adjacent-bin formulation:
+
+1. FastPlace's boundaries can cross over (new bin boundaries computed
+   from only two adjacent densities can get out of order), scrambling
+   relative cell order;
+2. FastPlace keeps spreading nearly-legal regions even when that helps
+   no congested bin.
+
+This ablation implements the adjacent-bin update the way FastPlace
+defines it and compares both on synthetic density rows: cross-over
+frequency and the amount of pointless movement in congestion-free rows.
+"""
+
+import numpy as np
+
+from common import SeriesWriter
+from repro.core.cellshift import shifted_widths
+
+
+def fastplace_boundaries(densities: np.ndarray, width: float
+                         ) -> np.ndarray:
+    """FastPlace-style new boundaries from adjacent densities only.
+
+    Each internal boundary moves according to the densities of the two
+    bins it separates: ``B'_i = (d_{i+1}(B_i - W) + d_i(B_i + W)) /
+    (d_i + d_{i+1})`` — the averaging update of Viswanathan & Chu
+    (ISPD'04), which looks only at the two neighbours.
+    """
+    n = len(densities)
+    bounds = np.arange(n + 1, dtype=float) * width
+    new = bounds.copy()
+    for i in range(1, n):
+        d_left = densities[i - 1]
+        d_right = densities[i]
+        denom = d_left + d_right
+        if denom <= 0:
+            continue
+        new[i] = (d_right * (bounds[i] - width)
+                  + d_left * (bounds[i] + width)) / denom
+    return new
+
+
+def run_ablation():
+    rng = np.random.default_rng(7)
+    writer = SeriesWriter("ablation_cellshift")
+    writer.row("Cell-shifting ablation: ours (row-aware) vs "
+               "FastPlace-style (adjacent bins)")
+
+    crossovers_fp = 0
+    crossovers_ours = 0
+    idle_motion_fp = 0.0
+    idle_motion_ours = 0.0
+    idle_rows = 0
+    trials = 400
+    for _ in range(trials):
+        n = int(rng.integers(4, 20))
+        densities = rng.uniform(0.0, 3.0, n)
+        if rng.random() < 0.3:
+            densities = np.minimum(densities, 1.0)  # congestion-free row
+        fp = fastplace_boundaries(densities, 1.0)
+        ours_widths = shifted_widths(densities, 1.0, a_lower=0.5,
+                                     a_upper=1.0, b=1.0)
+        ours = np.concatenate(([0.0], np.cumsum(ours_widths)))
+        if np.any(np.diff(fp) <= 0):
+            crossovers_fp += 1
+        if np.any(np.diff(ours) <= 0):
+            crossovers_ours += 1
+        if densities.max() <= 1.0:
+            idle_rows += 1
+            uniform = np.arange(n + 1, dtype=float)
+            idle_motion_fp += float(np.abs(fp - uniform).sum())
+            idle_motion_ours += float(np.abs(ours - uniform).sum())
+
+    writer.row(f"rows with boundary cross-over: "
+               f"FastPlace-style {crossovers_fp}/{trials}, "
+               f"ours {crossovers_ours}/{trials}")
+    writer.row(f"boundary motion in congestion-free rows "
+               f"(should be zero): FastPlace-style "
+               f"{idle_motion_fp / max(idle_rows, 1):.3f} bins/row, "
+               f"ours {idle_motion_ours / max(idle_rows, 1):.3f}")
+
+    assert crossovers_ours == 0, "row-aware shifting crossed boundaries"
+    assert crossovers_fp > 0, \
+        "the FastPlace failure mode did not reproduce"
+    assert idle_motion_ours == 0.0
+    assert idle_motion_fp > 0.0
+    writer.save()
+    return True
+
+
+def test_ablation_cellshift(benchmark):
+    assert benchmark.pedantic(run_ablation, rounds=1, iterations=1)

@@ -1,0 +1,56 @@
+"""Ablation: thermal net weighting vs TRR nets vs both (Section 3).
+
+The paper argues both mechanisms are needed: net weighting reduces the
+power of nets driven from hot spots (attacking the source), TRR nets
+move hot cells toward the heat sink (attacking the path).  This ablation
+places with each mechanism alone and with both, and reports what each
+buys and costs.
+"""
+
+from common import SCALE, SeriesWriter, pct, run_placement
+from repro import PlacementConfig
+
+VARIANTS = {
+    "thermal off": dict(alpha_temp=0.0),
+    "net weights only": dict(alpha_temp=1e-5, use_trr_nets=False,
+                             use_thermal_net_weights=True),
+    "TRR nets only": dict(alpha_temp=1e-5, use_trr_nets=True,
+                          use_thermal_net_weights=False),
+    "both": dict(alpha_temp=1e-5, use_trr_nets=True,
+                 use_thermal_net_weights=True),
+}
+
+
+def run_ablation():
+    writer = SeriesWriter("ablation_thermal_components")
+    writer.row(f"Thermal-mechanism ablation (ibm01, scale {SCALE}, "
+               f"alpha_ILV = 1e-5, alpha_TEMP = 1e-5)")
+    writer.row(f"{'variant':<18} {'WL':>8} {'ILV':>8} {'power':>8} "
+               f"{'avgT':>8} {'maxT':>8}")
+
+    results = {}
+    for label, overrides in VARIANTS.items():
+        config = PlacementConfig(alpha_ilv=1e-5, num_layers=4, seed=0,
+                                 **overrides)
+        results[label] = run_placement("ibm01", config)
+
+    base = results["thermal off"]
+    for label, r in results.items():
+        writer.row(
+            f"{label:<18} "
+            f"{pct(r.wirelength, base.wirelength):>+7.1f}% "
+            f"{pct(r.ilv, base.ilv):>+7.1f}% "
+            f"{pct(r.total_power, base.total_power):>+7.1f}% "
+            f"{pct(r.average_temperature, base.average_temperature):>+7.1f}% "
+            f"{pct(r.max_temperature, base.max_temperature):>+7.1f}%")
+
+    writer.row("")
+    writer.row("expected shape: each mechanism alone helps less (or "
+               "hurts); 'both' gives the best temperature per unit of "
+               "WL/ILV cost (the paper's Section 3 argument)")
+    writer.save()
+    return True
+
+
+def test_ablation_thermal_components(benchmark):
+    assert benchmark.pedantic(run_ablation, rounds=1, iterations=1)

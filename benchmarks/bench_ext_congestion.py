@@ -1,0 +1,46 @@
+"""Extension study: routing congestion across the via-coefficient sweep.
+
+Not a figure from the paper — an analysis its tradeoff raises naturally:
+restricting interlayer vias (raising alpha_ILV) forces connectivity into
+the lateral routing layers, so the wire-demand map should get hotter as
+vias get scarcer, while the via-demand map cools.  This quantifies the
+effect with the probabilistic congestion model.
+"""
+
+from common import SCALE, SeriesWriter, run_placement
+from repro import PlacementConfig, Placer3D, load_benchmark
+from repro.metrics import estimate_congestion
+
+ALPHAS = [5e-9, 2e-6, 1e-5, 1.6e-4]
+
+
+def run_congestion():
+    writer = SeriesWriter("ext_congestion")
+    writer.row(f"Extension: congestion vs alpha_ILV (ibm01, scale "
+               f"{SCALE})")
+    writer.row(f"{'alpha_ILV':>10} {'wire demand':>12} "
+               f"{'peak/avg':>9} {'peak via/bin':>13}")
+    rows = []
+    for alpha in ALPHAS:
+        netlist = load_benchmark("ibm01", scale=SCALE)
+        config = PlacementConfig(alpha_ilv=alpha, alpha_temp=0.0,
+                                 num_layers=4, seed=0)
+        result = Placer3D(netlist, config).run()
+        cmap = estimate_congestion(result.placement, nx=12)
+        rows.append((alpha, cmap))
+        writer.row(f"{alpha:>10.1e} {cmap.total.sum():>12.1f} "
+                   f"{cmap.peak_to_average:>8.2f}x "
+                   f"{cmap.peak_via_density:>13.2f}")
+
+    first, last = rows[0][1], rows[-1][1]
+    writer.row("")
+    writer.row(f"via demand peak: {first.peak_via_density:.1f} -> "
+               f"{last.peak_via_density:.1f} vias/bin as vias get "
+               f"costlier")
+    assert last.peak_via_density < first.peak_via_density
+    writer.save()
+    return True
+
+
+def test_ext_congestion(benchmark):
+    assert benchmark.pedantic(run_congestion, rounds=1, iterations=1)

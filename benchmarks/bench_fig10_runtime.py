@@ -1,0 +1,60 @@
+"""Figure 10: runtime vs circuit size, thermal and regular placement.
+
+The paper fits runtime ~ 0.0002 * n^1.19 over the 18 circuits and shows
+thermal placement costs about the same as regular placement.  Absolute
+seconds are not comparable (their C++/3.2 GHz vs our Python), but the
+*shape* — near-linear scaling and thermal ~ regular — is reproduced: we
+place a ladder of instance sizes in both modes and fit the power-law
+exponent.
+"""
+
+import math
+
+import numpy as np
+
+from common import SCALE, SeriesWriter, run_placement
+from repro import PlacementConfig
+
+#: instance sizes as multiples of the base REPRO_SCALE
+SIZE_LADDER = [0.5, 1.0, 2.0, 4.0]
+
+
+def run_fig10():
+    writer = SeriesWriter("fig10_runtime")
+    writer.row(f"Figure 10 reproduction (ibm01 ladder around scale "
+               f"{SCALE})")
+    writer.row(f"{'cells':>7} {'regular (s)':>12} {'thermal (s)':>12}")
+    sizes = []
+    regular = []
+    thermal = []
+    for mult in SIZE_LADDER:
+        scale = SCALE * mult
+        r = run_placement("ibm01", PlacementConfig(
+            alpha_ilv=1e-5, alpha_temp=0.0, num_layers=4, seed=0),
+            scale=scale, thermal=False)
+        t = run_placement("ibm01", PlacementConfig(
+            alpha_ilv=1e-5, alpha_temp=1e-5, num_layers=4, seed=0),
+            scale=scale, thermal=False)
+        sizes.append(r.num_cells)
+        regular.append(r.runtime_seconds)
+        thermal.append(t.runtime_seconds)
+        writer.row(f"{r.num_cells:>7} {r.runtime_seconds:>12.2f} "
+                   f"{t.runtime_seconds:>12.2f}")
+
+    exp_reg = np.polyfit(np.log(sizes), np.log(regular), 1)[0]
+    exp_thm = np.polyfit(np.log(sizes), np.log(thermal), 1)[0]
+    ratio = float(np.mean(np.array(thermal) / np.array(regular)))
+    writer.row("")
+    writer.row(f"power-law exponent: regular {exp_reg:.2f}, thermal "
+               f"{exp_thm:.2f} (paper: 1.19)")
+    writer.row(f"thermal / regular runtime: {ratio:.2f}x "
+               f"(paper: ~1x)")
+
+    assert exp_reg < 2.0, "placement runtime is super-quadratic"
+    assert ratio < 3.0, "thermal placement is much slower than regular"
+    writer.save()
+    return True
+
+
+def test_fig10_runtime(benchmark):
+    assert benchmark.pedantic(run_fig10, rounds=1, iterations=1)

@@ -1,0 +1,52 @@
+"""Figure 3: per-circuit tradeoff between wirelength and via density.
+
+For each circuit, the interlayer-via coefficient is swept over ~6
+decades with the thermal coefficient at zero; every sweep point is one
+placement, producing the (wirelength, ILV density per interlayer)
+tradeoff curve.  The paper's curves fall from ~1e12 to ~1e9 vias/m^2 as
+wirelength grows; the reproduced curves must show the same monotone
+shape: more expensive vias -> fewer vias, longer wires.
+"""
+
+from common import (
+    ALPHA_ILV_SWEEP,
+    SCALE,
+    SeriesWriter,
+    run_placement,
+    suite_subset,
+)
+from repro import PlacementConfig
+
+
+def run_fig3():
+    writer = SeriesWriter("fig3_tradeoff")
+    writer.row(f"Figure 3 reproduction (scale {SCALE}, alpha_TEMP = 0)")
+    writer.row(f"{'circuit':<10} {'alpha_ILV':>10} {'WL (m)':>12} "
+               f"{'ILVs':>8} {'ILV density (/m^2)':>19}")
+    curves = {}
+    for circuit in suite_subset():
+        points = []
+        for alpha in ALPHA_ILV_SWEEP:
+            config = PlacementConfig(alpha_ilv=alpha, alpha_temp=0.0,
+                                     num_layers=4, seed=0)
+            report = run_placement(circuit, config, thermal=False)
+            points.append((alpha, report.wirelength, report.ilv,
+                           report.ilv_density))
+            writer.row(f"{circuit:<10} {alpha:>10.1e} "
+                       f"{report.wirelength:>12.5e} {report.ilv:>8} "
+                       f"{report.ilv_density:>19.4e}")
+        curves[circuit] = points
+
+    # shape checks: via count falls and wirelength rises end-to-end
+    for circuit, points in curves.items():
+        first, last = points[0], points[-1]
+        assert last[2] < first[2], \
+            f"{circuit}: via count did not fall along the sweep"
+        assert last[1] > 0.9 * first[1], \
+            f"{circuit}: wirelength collapsed along the sweep"
+    writer.save()
+    return True
+
+
+def test_fig3_tradeoff(benchmark):
+    assert benchmark.pedantic(run_fig3, rounds=1, iterations=1)

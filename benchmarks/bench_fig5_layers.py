@@ -1,0 +1,51 @@
+"""Figure 5: tradeoff curves for ibm01 with 1-10 layers.
+
+The paper increases the layer count from one to ten and shows the
+wirelength/via tradeoff curve shifting toward shorter wirelengths: more
+layers = more wirelength reduction available.  We sweep a subset of
+layer counts over a short alpha_ILV sweep and check the shift.
+"""
+
+from common import SCALE, SeriesWriter, run_placement
+from repro import PlacementConfig
+
+LAYER_COUNTS = [1, 2, 3, 4, 6, 8, 10]
+ALPHAS = [2e-6, 1e-5, 1.6e-4]
+
+
+def run_fig5():
+    writer = SeriesWriter("fig5_layers")
+    writer.row(f"Figure 5 reproduction (ibm01, scale {SCALE})")
+    writer.row(f"{'layers':>6} {'alpha_ILV':>10} {'WL (m)':>12} "
+               f"{'ILVs/interlayer':>16}")
+    best_wl = {}
+    for layers in LAYER_COUNTS:
+        per_interlayer = max(layers - 1, 1)
+        best = None
+        for alpha in ALPHAS:
+            config = PlacementConfig(alpha_ilv=alpha, alpha_temp=0.0,
+                                     num_layers=layers, seed=0)
+            report = run_placement("ibm01", config, thermal=False)
+            writer.row(f"{layers:>6} {alpha:>10.1e} "
+                       f"{report.wirelength:>12.5e} "
+                       f"{report.ilv / per_interlayer:>16.1f}")
+            best = (report.wirelength if best is None
+                    else min(best, report.wirelength))
+        best_wl[layers] = best
+
+    writer.row("")
+    writer.row(f"{'layers':>6} {'best WL (m)':>12} {'vs 1 layer':>11}")
+    for layers in LAYER_COUNTS:
+        change = (best_wl[layers] / best_wl[1] - 1) * 100
+        writer.row(f"{layers:>6} {best_wl[layers]:>12.5e} "
+                   f"{change:>+10.1f}%")
+
+    # shape: many layers beat few layers on best-case wirelength
+    assert best_wl[8] < best_wl[1]
+    assert best_wl[4] < best_wl[1]
+    writer.save()
+    return True
+
+
+def test_fig5_layers(benchmark):
+    assert benchmark.pedantic(run_fig5, rounds=1, iterations=1)

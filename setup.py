@@ -1,0 +1,8 @@
+"""Shim for legacy editable installs (the sandbox has no `wheel` package,
+so PEP-660 editable builds are unavailable; `pip install -e .` falls back
+to `setup.py develop` through this file). All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""repro — thermal- and interlayer-via-aware placement for 3D ICs.
+
+A from-scratch reproduction of Goplen & Sapatnekar, "Placement of 3D ICs
+with Thermal and Interlayer Via Considerations" (DAC 2007): a
+partitioning-based 3D placer exploring the tradeoff between wirelength,
+interlayer-via count and temperature, together with every substrate it
+needs (multilevel hypergraph partitioning, a dynamic power model, simple
+and full-chip thermal analysis, Bookshelf IO and a synthetic IBM-PLACE
+benchmark suite).
+
+Quickstart::
+
+    from repro import Placer3D, PlacementConfig, load_benchmark
+    from repro.metrics import evaluate_placement
+
+    netlist = load_benchmark("ibm01", scale=0.05)
+    config = PlacementConfig(alpha_ilv=1e-5, alpha_temp=1e-5,
+                             num_layers=4)
+    result = Placer3D(netlist, config).run()
+    print(evaluate_placement(result.placement, config.tech).row())
+"""
+
+from repro.core.config import PlacementConfig
+from repro.core.placer import Placer3D, PlacementResult
+from repro.geometry.chip import ChipGeometry
+from repro.metrics.report import PlacementReport, evaluate_placement
+from repro.netlist.netlist import Netlist
+from repro.netlist.placement import Placement
+from repro.netlist.suite import benchmark_names, load_benchmark
+from repro.technology import TechnologyConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "PlacementConfig",
+    "Placer3D",
+    "PlacementResult",
+    "ChipGeometry",
+    "PlacementReport",
+    "evaluate_placement",
+    "Netlist",
+    "Placement",
+    "benchmark_names",
+    "load_benchmark",
+    "TechnologyConfig",
+    "__version__",
+]

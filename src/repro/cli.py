@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+    place      place a suite benchmark or a Bookshelf design
+    sweep      sweep the via coefficient and print the tradeoff curve
+    suite      list the built-in benchmark profiles (Table 1)
+
+Examples::
+
+    python -m repro place --circuit ibm01 --scale 0.05 \
+        --alpha-ilv 1e-5 --alpha-temp 1e-5 --layers 4 --out /tmp/out
+    python -m repro place --bookshelf /path/to/design --layers 2
+    python -m repro sweep --circuit ibm02 --scale 0.02 --points 5
+    python -m repro suite
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro import (
+    Placer3D,
+    PlacementConfig,
+    PlacementReport,
+    evaluate_placement,
+    load_benchmark,
+)
+from repro.netlist import bookshelf
+from repro.netlist.suite import SUITE_PROFILES
+from repro.thermal.power import PowerModel
+from repro.metrics.wirelength import compute_net_metrics
+from repro import viz
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Thermal- and via-aware 3D IC placement "
+                    "(Goplen & Sapatnekar, DAC 2007 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    place = sub.add_parser("place", help="place one design")
+    src = place.add_mutually_exclusive_group(required=True)
+    src.add_argument("--circuit", help="suite benchmark name (ibm01..18)")
+    src.add_argument("--bookshelf",
+                     help="prefix of .nodes/.nets Bookshelf files")
+    place.add_argument("--scale", type=float, default=0.05,
+                       help="suite benchmark scale (default 0.05)")
+    place.add_argument("--alpha-ilv", type=float, default=1e-5,
+                       help="interlayer-via coefficient (default 1e-5)")
+    place.add_argument("--alpha-temp", type=float, default=0.0,
+                       help="thermal coefficient (default 0 = off)")
+    place.add_argument("--layers", type=int, default=4,
+                       help="active layers (default 4)")
+    place.add_argument("--seed", type=int, default=0)
+    place.add_argument("--out", help="write <out>.pl with the result")
+    place.add_argument("--maps", action="store_true",
+                       help="print per-layer density/temperature maps")
+
+    sweep = sub.add_parser("sweep",
+                           help="alpha_ILV tradeoff sweep (Figure 3)")
+    sweep.add_argument("--circuit", default="ibm01")
+    sweep.add_argument("--scale", type=float, default=0.025)
+    sweep.add_argument("--layers", type=int, default=4)
+    sweep.add_argument("--points", type=int, default=6,
+                       help="sweep points across 5e-9..5.2e-3")
+    sweep.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("suite", help="list benchmark profiles (Table 1)")
+    return parser
+
+
+def _cmd_place(args) -> int:
+    if args.circuit:
+        netlist = load_benchmark(args.circuit, scale=args.scale,
+                                 seed=args.seed)
+    else:
+        netlist = bookshelf.read_bookshelf(args.bookshelf)
+    config = PlacementConfig(alpha_ilv=args.alpha_ilv,
+                             alpha_temp=args.alpha_temp,
+                             num_layers=args.layers, seed=args.seed)
+    print(f"placing {netlist.name}: {netlist.num_cells} cells, "
+          f"{netlist.num_nets} nets, {args.layers} layers")
+    result = Placer3D(netlist, config).run(check=True)
+    report = evaluate_placement(result.placement, config.tech,
+                                runtime_seconds=result.runtime_seconds)
+    print(PlacementReport.header())
+    print(report.row())
+    if args.maps:
+        pm = PowerModel(netlist, config.tech)
+        powers = pm.cell_powers(compute_net_metrics(result.placement))
+        print()
+        print(viz.layer_summary(result.placement, powers))
+        for layer in range(config.num_layers):
+            print()
+            print(viz.density_map(result.placement, layer))
+    if args.out:
+        bookshelf.write_bookshelf(args.out, netlist, result.placement)
+        print(f"wrote {args.out}.nodes/.nets/.pl")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    alphas = np.logspace(np.log10(5e-9), np.log10(5.2e-3), args.points)
+    print(f"{'alpha_ILV':>10} {'WL (m)':>12} {'ILVs':>8} "
+          f"{'ILV density':>12}")
+    points = []
+    for alpha in alphas:
+        netlist = load_benchmark(args.circuit, scale=args.scale,
+                                 seed=args.seed)
+        config = PlacementConfig(alpha_ilv=float(alpha), alpha_temp=0.0,
+                                 num_layers=args.layers, seed=args.seed)
+        result = Placer3D(netlist, config).run()
+        report = evaluate_placement(result.placement, config.tech,
+                                    thermal=False)
+        points.append((report.wirelength, report.ilv))
+        print(f"{alpha:>10.1e} {report.wirelength:>12.5e} "
+              f"{report.ilv:>8} {report.ilv_density:>12.4e}")
+    print()
+    print(viz.tradeoff_ascii(points))
+    return 0
+
+
+def _cmd_suite() -> int:
+    print(f"{'name':<8} {'cells':>8} {'area (mm^2)':>12}")
+    for profile in SUITE_PROFILES.values():
+        print(f"{profile.name:<8} {profile.cells:>8} "
+              f"{profile.area_mm2:>12.3f}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "place":
+        return _cmd_place(args)
+    if args.command == "sweep":
+        return _cmd_sweep(args)
+    if args.command == "suite":
+        return _cmd_suite()
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+"""Placement configuration: objective coefficients and effort knobs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.technology import TechnologyConfig
+
+
+@dataclass
+class PlacementConfig:
+    """All knobs of the 3D placement flow.
+
+    The two coefficients that define the paper's tradeoff space:
+
+    Attributes:
+        alpha_ilv: interlayer-via coefficient (metres of wirelength one
+            via is worth, Eq. 1).  The paper sweeps 5e-9 .. 5.2e-3,
+            centred around the average cell width (~1e-5).
+        alpha_temp: thermal coefficient (Eq. 1).  0 disables thermal
+            placement; the paper sweeps up to ~5e-3.
+        num_layers: active layers in the stack.
+
+    Thermal-mechanism toggles (for ablations):
+        use_thermal_net_weights: apply Eq. 8 net weights in partitioning.
+        use_trr_nets: add thermal-resistance-reduction nets (Eq. 12).
+
+    Global placement:
+        min_region_cells: stop recursing below this many cells.
+        partition_starts: random starts per bisection (effort knob;
+            Section 7 reports 3.8% improvement at 3.4x runtime from
+            raising effort).
+        partition_passes: FM passes per refinement level.
+        min_partition_tolerance: floor on the whitespace-derived balance
+            tolerance.
+
+    Coarse legalization:
+        shift_max_density: cell shifting iterates until the coarse mesh's
+            max density drops below this ("a desired value close to one").
+        shift_max_iterations: hard cap on shifting iterations.
+        shift_upper_slope / shift_lower_slope / shift_intercept: the
+            ``a_upper`` / ``a_lower`` / ``b`` parameters of the width vs
+            density response (Figure 2).
+        move_target_bins: bins in a global move/swap target region.
+        move_passes: global+local move/swap passes.
+        legalization_rounds: how many times coarse+detailed legalization
+            repeat (Section 7: 10 rounds gave 7.7% improvement at 65x
+            runtime).
+        refine_passes: legality-preserving post-optimization passes
+            after detailed legalization (Section 4's "post-optimization
+            phase"); 0 disables.
+
+    Misc:
+        seed: every random choice flows from this.
+        tech: technology / process parameters (Table 2).
+    """
+
+    alpha_ilv: float = 1e-5
+    alpha_temp: float = 0.0
+    num_layers: int = 4
+    use_thermal_net_weights: bool = True
+    use_trr_nets: bool = True
+
+    min_region_cells: int = 3
+    partition_starts: int = 3
+    partition_passes: int = 5
+    min_partition_tolerance: float = 0.02
+
+    shift_max_density: float = 1.15
+    shift_max_iterations: int = 40
+    shift_upper_slope: float = 1.0
+    shift_lower_slope: float = 0.5
+    shift_intercept: float = 1.0
+    move_target_bins: int = 27
+    move_passes: int = 1
+    legalization_rounds: int = 1
+    refine_passes: int = 3
+
+    seed: int = 0
+    tech: TechnologyConfig = field(default_factory=TechnologyConfig)
+
+    def __post_init__(self) -> None:
+        if self.alpha_ilv <= 0:
+            raise ValueError("alpha_ilv must be positive (it is also the "
+                             "z-cut cost scale); use a tiny value to make "
+                             "vias nearly free")
+        if self.alpha_temp < 0:
+            raise ValueError("alpha_temp cannot be negative")
+        if self.num_layers < 1:
+            raise ValueError("need at least one layer")
+        if self.min_region_cells < 1:
+            raise ValueError("min_region_cells must be >= 1")
+        if not 0 < self.shift_max_density:
+            raise ValueError("shift_max_density must be positive")
+
+    @property
+    def thermal_enabled(self) -> bool:
+        """Whether any thermal mechanism is active."""
+        return self.alpha_temp > 0 and (self.use_thermal_net_weights
+                                        or self.use_trr_nets)

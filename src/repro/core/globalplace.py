@@ -1,0 +1,343 @@
+"""Global placement by 3D recursive bisection (Section 3).
+
+Regions carry a subset of cells and a physical sub-volume of the chip.
+Each region is bisected with the multilevel partitioner; the cut
+direction is chosen as orthogonal to the largest of {width, height,
+weighted depth}, where the *weighted depth* is the region's layer count
+times ``alpha_ilv`` — the min-cut objective then spends its cuts in the
+costliest direction first.  Terminal propagation [11] represents
+connectivity to the rest of the chip with fixed terminal vertices;
+partitioning tolerance tracks the region's whitespace; and after
+partitioning the cut line is repositioned so cell area is evenly
+distributed between the children.
+
+Thermal awareness enters through the per-net weights of Eq. 8 (applied
+to whichever direction the cut runs) and, for z cuts, through the TRR
+nets of Eq. 12, whose weights are refreshed once per bisection level as
+positions firm up.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import PlacementConfig
+from repro.core.netweights import compute_net_weights
+from repro.core.trrnets import compute_trr_weights
+from repro.metrics.wirelength import compute_net_metrics
+from repro.netlist.placement import Placement
+from repro.partition import BisectionConfig, Hypergraph, bisect
+from repro.thermal.power import PowerModel
+from repro.thermal.resistance import ResistanceModel
+
+#: Axis labels in cut-direction priority evaluation order.
+_AXES = ("x", "y", "z")
+
+
+@dataclass
+class Region:
+    """A recursive-bisection region: cells plus a physical sub-volume.
+
+    Attributes:
+        cell_ids: movable cells assigned to the region.
+        xlo, xhi, ylo, yhi: lateral bounds, metres.
+        zlo, zhi: inclusive layer range.
+    """
+
+    cell_ids: List[int]
+    xlo: float
+    xhi: float
+    ylo: float
+    yhi: float
+    zlo: int
+    zhi: int
+
+    @property
+    def width(self) -> float:
+        """Lateral extent in x, metres."""
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        """Lateral extent in y, metres."""
+        return self.yhi - self.ylo
+
+    @property
+    def layers(self) -> int:
+        """Number of layers the region spans."""
+        return self.zhi - self.zlo + 1
+
+    @property
+    def center(self) -> Tuple[float, float, int]:
+        """Geometric centre ``(x, y, layer)``."""
+        return (0.5 * (self.xlo + self.xhi), 0.5 * (self.ylo + self.yhi),
+                (self.zlo + self.zhi) // 2)
+
+
+class GlobalPlacer:
+    """Runs recursive bisection on a placement (mutating it in place).
+
+    Args:
+        placement: cells should start at the chip centre
+            (:meth:`Placement.at_center`); TRR nets should already be on
+            the netlist if thermal placement is wanted.
+        config: all coefficients and effort knobs.
+        power_model: shared power model (created if omitted).
+    """
+
+    def __init__(self, placement: Placement, config: PlacementConfig,
+                 power_model: Optional[PowerModel] = None):
+        self.placement = placement
+        self.config = config
+        self.netlist = placement.netlist
+        self.chip = placement.chip
+        self.power_model = power_model or PowerModel(self.netlist,
+                                                     config.tech)
+        self.resistance = ResistanceModel(self.chip, config.tech)
+        self._rng = np.random.default_rng(config.seed)
+        self._bisection_count = 0
+        # refreshed once per level:
+        self._lateral_w = np.ones(self.netlist.num_nets)
+        self._vertical_w = np.ones(self.netlist.num_nets)
+        self._trr_w = np.zeros(self.netlist.num_cells)
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Place all movable cells at their final region centres."""
+        movable = [c.id for c in self.netlist.cells if c.movable]
+        root = Region(cell_ids=movable, xlo=0.0, xhi=self.chip.width,
+                      ylo=0.0, yhi=self.chip.height,
+                      zlo=0, zhi=self.chip.num_layers - 1)
+        self._refresh_weights()
+        queue = deque([(0, root)])
+        current_level = 0
+        max_levels = 64
+        while queue:
+            level, region = queue.popleft()
+            if level != current_level:
+                current_level = level
+                self._refresh_weights()
+            if self._is_terminal(region) or level >= max_levels:
+                self._finalize(region)
+                continue
+            children = self._split(region)
+            for child in children:
+                if child.cell_ids:
+                    self._set_positions(child)
+                    queue.append((level + 1, child))
+
+    # ------------------------------------------------------------------
+    def _refresh_weights(self) -> None:
+        """Recompute thermal net weights and TRR weights (per level)."""
+        if not self.config.thermal_enabled:
+            return
+        self._lateral_w, self._vertical_w = self._net_weight_arrays()
+        metrics = compute_net_metrics(self.placement)
+        self._trr_w = compute_trr_weights(
+            self.placement, self.config, self.power_model, metrics=metrics)
+
+    def _net_weight_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        weights = compute_net_weights(self.placement, self.config,
+                                      self.power_model, self.resistance)
+        return weights.lateral, weights.vertical
+
+    # ------------------------------------------------------------------
+    def _is_terminal(self, region: Region) -> bool:
+        return len(region.cell_ids) <= self.config.min_region_cells
+
+    def _finalize(self, region: Region) -> None:
+        """Commit final positions for a terminal region's cells.
+
+        Cells go to the region's lateral centre; with multiple layers
+        left, cells are distributed over the layers largest-first onto
+        the least-filled layer, keeping per-layer area even.
+        """
+        cx = 0.5 * (region.xlo + region.xhi)
+        cy = 0.5 * (region.ylo + region.yhi)
+        if region.zlo == region.zhi:
+            for cid in region.cell_ids:
+                self.placement.x[cid] = cx
+                self.placement.y[cid] = cy
+                self.placement.z[cid] = region.zlo
+            return
+        areas = self.netlist.areas
+        layers = list(range(region.zlo, region.zhi + 1))
+        # rotate the tie-break start per region so ties do not all fall
+        # on the lowest layer across the whole chip
+        self._finalize_rotation = getattr(self, "_finalize_rotation", 0) + 1
+        rot = self._finalize_rotation % len(layers)
+        layers = layers[rot:] + layers[:rot]
+        fill = {z: 0.0 for z in layers}
+        for cid in sorted(region.cell_ids,
+                          key=lambda c: -float(areas[c])):
+            z = min(layers, key=lambda L: fill[L])
+            fill[z] += float(areas[cid])
+            self.placement.x[cid] = cx
+            self.placement.y[cid] = cy
+            self.placement.z[cid] = z
+
+    def _set_positions(self, region: Region) -> None:
+        cx, cy, cz = region.center
+        for cid in region.cell_ids:
+            self.placement.x[cid] = cx
+            self.placement.y[cid] = cy
+            self.placement.z[cid] = cz
+
+    # ------------------------------------------------------------------
+    def _choose_axis(self, region: Region) -> str:
+        """Cut orthogonal to the largest of width / height / weighted
+        depth (= layers * alpha_ilv)."""
+        spans = {"x": region.width, "y": region.height, "z": 0.0}
+        if region.layers > 1:
+            spans["z"] = region.layers * self.config.alpha_ilv
+        # deterministic tie-break in x, y, z order
+        return max(_AXES, key=lambda a: spans[a])
+
+    def _split(self, region: Region) -> List[Region]:
+        """Bisect one region; returns its two children."""
+        axis = self._choose_axis(region)
+        if axis == "z" and region.layers == 1:
+            raise AssertionError("z cut chosen on a single-layer region")
+        cells = region.cell_ids
+        local: Dict[int, int] = {cid: i for i, cid in enumerate(cells)}
+        k = len(cells)
+        areas = self.netlist.areas
+
+        # provisional cut coordinate for terminal propagation
+        if axis == "x":
+            cut = 0.5 * (region.xlo + region.xhi)
+        elif axis == "y":
+            cut = 0.5 * (region.ylo + region.yhi)
+        else:
+            z_mid = (region.zlo + region.zhi) // 2  # last layer of child 0
+
+        nets: List[List[int]] = []
+        weights: List[float] = []
+        terminal_of_side = {0: -1, 1: -1}
+        vertex_weights = [float(areas[c]) for c in cells]
+        fixed = [-1] * k
+
+        def terminal(side: int) -> int:
+            if terminal_of_side[side] < 0:
+                terminal_of_side[side] = len(vertex_weights)
+                vertex_weights.append(0.0)
+                fixed.append(side)
+            return terminal_of_side[side]
+
+        px = self.placement.x
+        py = self.placement.y
+        pz = self.placement.z
+
+        def side_of_external(cid: int) -> int:
+            if axis == "x":
+                return 0 if px[cid] <= cut else 1
+            if axis == "y":
+                return 0 if py[cid] <= cut else 1
+            return 0 if pz[cid] <= z_mid else 1
+
+        weight_arr = (self._vertical_w if axis == "z"
+                      else self._lateral_w)
+        seen = set()
+        for cid in cells:
+            for nid in self.netlist.nets_of_cell(cid):
+                if nid in seen:
+                    continue
+                seen.add(nid)
+                net = self.netlist.nets[nid]
+                if net.is_trr:
+                    continue
+                internal = []
+                ext_sides = set()
+                for pc in net.unique_cell_ids:
+                    li = local.get(pc)
+                    if li is not None:
+                        internal.append(li)
+                    else:
+                        ext_sides.add(side_of_external(pc))
+                if len(ext_sides) == 2:
+                    continue  # cut regardless of the partition: constant
+                pins = list(internal)
+                for s in ext_sides:
+                    pins.append(terminal(s))
+                if len(pins) < 2:
+                    continue
+                weights.append(float(weight_arr[nid]))
+                nets.append(pins)
+
+        # TRR pulls toward the heat sink: only z cuts feel them.  Cut
+        # costs on both net kinds scale with the height difference
+        # between the child-region centres, so it cancels out of the
+        # relative weights: a cut signal net costs ~alpha_ilv * nw_vert
+        # per crossed layer pitch, a cut TRR net costs nw_cell (Eq. 12,
+        # per metre of height) times the pitch — hence the pitch /
+        # alpha_ilv normalization here.
+        if axis == "z" and self.config.thermal_enabled \
+                and self.config.use_trr_nets:
+            scale = self.chip.layer_pitch / self.config.alpha_ilv
+            for cid in cells:
+                w = float(self._trr_w[cid])
+                if w > 0.0:
+                    nets.append([local[cid], terminal(0)])
+                    weights.append(w * scale)
+
+        # balance target and whitespace-derived tolerance
+        if axis == "z":
+            lower_layers = z_mid - region.zlo + 1
+            target = lower_layers / region.layers
+        else:
+            target = 0.5
+        capacity = (region.width * region.height * region.layers
+                    / (1.0 + self.config.tech.inter_row_space))
+        used = float(sum(vertex_weights))
+        whitespace = max(0.0, 1.0 - used / capacity) if capacity > 0 else 0.0
+        tolerance = max(self.config.min_partition_tolerance,
+                        0.5 * whitespace)
+
+        graph = Hypergraph(len(vertex_weights), nets, weights,
+                           vertex_weights, fixed)
+        self._bisection_count += 1
+        parts, _ = bisect(graph, BisectionConfig(
+            target=target, tolerance=tolerance,
+            num_starts=self.config.partition_starts,
+            max_passes=self.config.partition_passes,
+            seed=int(self._rng.integers(0, 2 ** 31))))
+
+        cells0 = [cid for cid in cells if parts[local[cid]] == 0]
+        cells1 = [cid for cid in cells if parts[local[cid]] == 1]
+        return self._child_regions(region, axis, cells0, cells1,
+                                   z_mid if axis == "z" else 0.0)
+
+    # ------------------------------------------------------------------
+    def _child_regions(self, region: Region, axis: str,
+                       cells0: List[int], cells1: List[int],
+                       z_mid: int) -> List[Region]:
+        """Build the two children, repositioning the lateral cut line so
+        cell area is evenly distributed (Section 3)."""
+        areas = self.netlist.areas
+        a0 = float(sum(areas[c] for c in cells0))
+        a1 = float(sum(areas[c] for c in cells1))
+        total = a0 + a1
+        frac = a0 / total if total > 0 else 0.5
+        frac = min(max(frac, 0.05), 0.95)
+        if axis == "x":
+            cut = region.xlo + frac * region.width
+            child0 = Region(cells0, region.xlo, cut, region.ylo,
+                            region.yhi, region.zlo, region.zhi)
+            child1 = Region(cells1, cut, region.xhi, region.ylo,
+                            region.yhi, region.zlo, region.zhi)
+        elif axis == "y":
+            cut = region.ylo + frac * region.height
+            child0 = Region(cells0, region.xlo, region.xhi, region.ylo,
+                            cut, region.zlo, region.zhi)
+            child1 = Region(cells1, region.xlo, region.xhi, cut,
+                            region.yhi, region.zlo, region.zhi)
+        else:
+            child0 = Region(cells0, region.xlo, region.xhi, region.ylo,
+                            region.yhi, region.zlo, int(z_mid))
+            child1 = Region(cells1, region.xlo, region.xhi, region.ylo,
+                            region.yhi, int(z_mid) + 1, region.zhi)
+        return [child0, child1]

@@ -1,0 +1,199 @@
+"""Coarse-legalization moves and swaps (Section 4.2).
+
+Two procedures, both greedy per cell and both scored with the full
+objective (Eq. 3) through :class:`~repro.core.objective.ObjectiveState`:
+
+- **Global move/swap** — each cell's *optimal region* (the 3D extension
+  of [14]: the median box of its nets' other-pin bounding boxes, where
+  moving the cell cannot increase any incident net) seeds a target
+  region of a fixed number of bins around the objective minimum.  The
+  cell tries moving to each target bin and swapping with cells living
+  there; the best objective-reducing action is executed.
+- **Local move/swap** — the same machinery with the target region
+  restricted to the bins adjacent to the cell's current bin.
+
+Moves respect bin capacity: a move is only considered if the target bin
+can take the cell's area (cells already there are assumed shifted aside
+by the subsequent cell-shifting step, whose cost the density limit
+bounds); swaps must keep both bins within the limit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import PlacementConfig
+from repro.core.objective import ObjectiveState
+from repro.geometry.density import BinIndex, DensityMesh
+
+
+class MoveOptimizer:
+    """Greedy move/swap passes over a coarse density mesh.
+
+    Args:
+        objective: shared incremental objective state.
+        config: placement configuration.
+        mesh: coarse mesh; built internally if omitted.
+        density_limit: bins are not filled beyond this density by moves.
+        max_swap_candidates: swap partners examined per target bin.
+    """
+
+    def __init__(self, objective: ObjectiveState, config: PlacementConfig,
+                 mesh: Optional[DensityMesh] = None,
+                 density_limit: float = 1.5,
+                 max_swap_candidates: int = 4):
+        self.objective = objective
+        self.config = config
+        placement = objective.placement
+        netlist = placement.netlist
+        self.mesh = mesh or DensityMesh.coarse_for(
+            placement.chip, netlist.average_cell_width,
+            netlist.average_cell_height)
+        self.density_limit = density_limit
+        self.max_swap_candidates = max_swap_candidates
+        self._rng = np.random.default_rng(config.seed + 101)
+        self._areas = netlist.areas
+        self._movable = [c.id for c in netlist.cells if c.movable]
+
+    # ------------------------------------------------------------------
+    def global_pass(self) -> int:
+        """One pass of global moves/swaps; returns the number executed."""
+        radius = self._radius_for_bins(self.config.move_target_bins)
+        return self._pass(local_only=False, radius=radius)
+
+    def local_pass(self) -> int:
+        """One pass of local (adjacent-bin) moves/swaps."""
+        return self._pass(local_only=True, radius=1)
+
+    # ------------------------------------------------------------------
+    def _radius_for_bins(self, bins: int) -> int:
+        """Chebyshev radius whose 3D cube holds about ``bins`` bins."""
+        radius = 1
+        while (2 * radius + 1) ** 3 < bins and radius < 8:
+            radius += 1
+        return radius
+
+    def _rebuild_mesh(self) -> None:
+        placement = self.objective.placement
+        self.mesh.build(
+            (cid, x, y, z, float(self._areas[cid]))
+            for cid, x, y, z in placement.iter_movable())
+
+    def _pass(self, local_only: bool, radius: int) -> int:
+        self._rebuild_mesh()
+        placement = self.objective.placement
+        mesh = self.mesh
+        executed = 0
+        order = self._rng.permutation(self._movable)
+        for cid in order:
+            cid = int(cid)
+            cur_bin = mesh.bin_of(float(placement.x[cid]),
+                                  float(placement.y[cid]),
+                                  int(placement.z[cid]))
+            if local_only:
+                center = cur_bin
+                targets = mesh.bins_within(center, radius)
+            else:
+                ox, oy, oz = self.objective.optimal_region_center(cid)
+                center = mesh.bin_of(ox, oy,
+                                     placement.chip.clamp_layer(oz))
+                targets = mesh.bins_within(center, radius)
+                # The optimal-region z is the nets' median layer; with
+                # thermal placement on, the objective minimum may sit on
+                # a cooler layer instead, so the full vertical stack at
+                # the optimal lateral position joins the target region.
+                if self.config.alpha_temp > 0:
+                    ci, cj, _ = center
+                    for k in range(mesh.nz):
+                        index = (ci, cj, k)
+                        if index not in targets:
+                            targets.append(index)
+            action = self._best_action(cid, cur_bin, targets)
+            if action is not None:
+                moves, target_bin, swap_partner = action
+                self.objective.apply_moves(moves)
+                self._update_mesh(cid, cur_bin, target_bin, swap_partner)
+                executed += 1
+        return executed
+
+    # ------------------------------------------------------------------
+    def _best_action(self, cid: int, cur_bin: BinIndex,
+                     targets: List[BinIndex]):
+        """Best objective-reducing move or swap for one cell, or None."""
+        mesh = self.mesh
+        placement = self.objective.placement
+        area = float(self._areas[cid])
+        capacity = mesh.bin_capacity
+        best_delta = -1e-18  # strictly improving only
+        best = None
+        for t in targets:
+            if t == cur_bin:
+                continue
+            tx, ty, tz = mesh.bin_center(t)
+            # jitter the landing point inside the bin so successive
+            # movers do not pile up on the exact bin centre
+            tx += (self._rng.random() - 0.5) * mesh.bin_width
+            ty += (self._rng.random() - 0.5) * mesh.bin_height
+            # plain move, if the bin has room
+            if (mesh.area_in(t) + area
+                    <= self.density_limit * capacity):
+                move = [(cid, tx, ty, tz)]
+                delta = self.objective.eval_moves(move)
+                if delta < best_delta:
+                    best_delta = delta
+                    best = (move, t, None)
+            # swaps with cells in the target bin
+            members = mesh.members(t)
+            if len(members) > self.max_swap_candidates:
+                members = list(self._rng.choice(
+                    members, size=self.max_swap_candidates,
+                    replace=False))
+            for other in members:
+                other = int(other)
+                if other == cid:
+                    continue
+                other_area = float(self._areas[other])
+                # exchanged areas must keep both bins within the limit
+                if (mesh.area_in(t) - other_area + area
+                        > self.density_limit * capacity):
+                    continue
+                if (mesh.area_in(cur_bin) - area + other_area
+                        > self.density_limit * capacity):
+                    continue
+                moves = [
+                    (cid, float(placement.x[other]),
+                     float(placement.y[other]), int(placement.z[other])),
+                    (other, float(placement.x[cid]),
+                     float(placement.y[cid]), int(placement.z[cid])),
+                ]
+                delta = self.objective.eval_moves(moves)
+                if delta < best_delta:
+                    best_delta = delta
+                    best = (moves, t, other)
+        return best
+
+    def _update_mesh(self, cid: int, cur_bin: BinIndex,
+                     target_bin: BinIndex, swap_partner) -> None:
+        area = float(self._areas[cid])
+        self.mesh.remove_cell(cid, cur_bin, area)
+        if swap_partner is None:
+            self.mesh.add_cell(cid, *self.mesh.bin_center(target_bin),
+                               area)
+        else:
+            partner_area = float(self._areas[swap_partner])
+            # partner takes the cell's old slot; the cell takes the
+            # partner's exact old position (inside target_bin)
+            self.mesh.remove_cell(int(swap_partner), target_bin,
+                                  partner_area)
+            placement = self.objective.placement
+            self.mesh.add_cell(cid, float(placement.x[cid]),
+                               float(placement.y[cid]),
+                               int(placement.z[cid]), area)
+            self.mesh.add_cell(int(swap_partner),
+                               float(placement.x[swap_partner]),
+                               float(placement.y[swap_partner]),
+                               int(placement.z[swap_partner]),
+                               partner_area)
+        return None

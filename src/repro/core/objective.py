@@ -1,0 +1,340 @@
+"""Incremental evaluation of the placement objective (Eq. 3).
+
+    obj = sum_nets [ WL_i + a_ILV * ILV_i ]
+        + a_TEMP * sum_cells R_j^cell * P_j^cell
+
+The first term is over signal nets only.  The thermal term uses the
+simple straight-path resistance model (position-dependent through the
+cell's layer) and the dynamic power attribution of Eq. 10 with *actual*
+net geometry — by coarse/detailed legalization time cells are spread
+out, so the PEKO floors of global placement are no longer needed.
+
+TRR nets never appear here: they are the partitioning-side *mechanism*
+for the thermal term, which this class evaluates directly.
+
+Every candidate cell movement in coarse and detailed legalization is
+scored through :meth:`ObjectiveState.eval_moves`, so the hot paths use
+plain Python lists and touch only the nets incident to moved cells.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import PlacementConfig
+from repro.netlist.placement import Placement
+from repro.thermal.power import PowerModel
+from repro.thermal.resistance import ResistanceModel
+
+Move = Tuple[int, float, float, int]  # (cell_id, x, y, layer)
+
+
+class ObjectiveState:
+    """Cached objective value with O(local) move evaluation.
+
+    Args:
+        placement: the placement being optimized; the state mirrors its
+            coordinates and must be kept in sync via :meth:`apply_moves`.
+        config: placement configuration (coefficients, technology).
+        power_model: reused if provided (it is netlist-bound).
+    """
+
+    def __init__(self, placement: Placement, config: PlacementConfig,
+                 power_model: Optional[PowerModel] = None):
+        self.placement = placement
+        self.config = config
+        self.alpha_ilv = config.alpha_ilv
+        self.alpha_temp = config.alpha_temp
+        netlist = placement.netlist
+        self.power_model = power_model or PowerModel(netlist, config.tech)
+
+        # --- static per-net structure (signal nets only) ---------------
+        self._net_ids: List[int] = []
+        self._pins: List[List[int]] = []
+        self._drivers: List[List[int]] = []
+        self._s_wl: List[float] = []
+        self._s_ilv: List[float] = []
+        index_of_net: Dict[int, int] = {}
+        for net in netlist.nets:
+            if net.is_trr:
+                continue
+            index_of_net[net.id] = len(self._net_ids)
+            self._net_ids.append(net.id)
+            self._pins.append(net.unique_cell_ids)
+            self._drivers.append(net.driver_ids)
+            self._s_wl.append(float(self.power_model.s_wl[net.id]))
+            self._s_ilv.append(float(self.power_model.s_ilv[net.id]))
+        self._cell_nets: List[List[int]] = [[] for _ in
+                                            range(netlist.num_cells)]
+        for local, pins in enumerate(self._pins):
+            for c in pins:
+                self._cell_nets[c].append(local)
+
+        # --- thermal resistance per (layer, cell) -----------------------
+        # Lateral paths barely matter (the secondary film coefficient is
+        # ~1e5x weaker than the heat sink), so the move-time resistance
+        # is a function of layer and cell area, evaluated at the chip
+        # centre.  This keeps move deltas O(1) while staying within a
+        # fraction of a percent of the full 3D formula.
+        rm = ResistanceModel(placement.chip, config.tech)
+        areas = np.maximum(netlist.areas, 1e-18)
+        cx = 0.5 * placement.chip.width
+        cy = 0.5 * placement.chip.height
+        self._r_by_layer: List[List[float]] = []
+        for layer in range(placement.chip.num_layers):
+            row = [rm.cell_resistance(cx, cy, layer, float(a))
+                   for a in areas]
+            self._r_by_layer.append(row)
+
+        self.rebuild()
+
+    # ------------------------------------------------------------------
+    def rebuild(self) -> None:
+        """Recompute every cache from the placement's current state."""
+        xs = self.placement.x.tolist()
+        ys = self.placement.y.tolist()
+        zs = self.placement.z.tolist()
+        self._xs = xs
+        self._ys = ys
+        self._zs = [int(z) for z in zs]
+        self._wl: List[float] = []
+        self._ilv: List[int] = []
+        # leakage is position-independent but heats the cell, so it
+        # belongs in the R_j * P_j term (zero by default)
+        self._power: List[float] = self.power_model.leakage_powers(
+            ).tolist()
+        pin_term = self.power_model.s_input_pins
+        for local, net_id in enumerate(self._net_ids):
+            pins = self._pins[local]
+            nx = [xs[c] for c in pins]
+            ny = [ys[c] for c in pins]
+            nz = [self._zs[c] for c in pins]
+            wl = (max(nx) - min(nx)) + (max(ny) - min(ny))
+            ilv = max(nz) - min(nz)
+            self._wl.append(wl)
+            self._ilv.append(ilv)
+            share = (self._s_wl[local] * wl + self._s_ilv[local] * ilv
+                     + float(pin_term[net_id]))
+            for d in self._drivers[local]:
+                self._power[d] += share
+        self._total = self._compute_total()
+
+    def _compute_total(self) -> float:
+        net_term = sum(self._wl) + self.alpha_ilv * sum(self._ilv)
+        thermal = 0.0
+        if self.alpha_temp > 0:
+            for c in range(len(self._power)):
+                thermal += self._r_by_layer[self._zs[c]][c] * self._power[c]
+        return net_term + self.alpha_temp * thermal
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> float:
+        """Current objective value (Eq. 3)."""
+        return self._total
+
+    def wirelength(self) -> float:
+        """Current total lateral HPWL, metres."""
+        return sum(self._wl)
+
+    def total_ilv(self) -> int:
+        """Current total interlayer-via count."""
+        return int(sum(self._ilv))
+
+    def cell_power(self, cell_id: int) -> float:
+        """Current attributed dynamic power of one cell, watts."""
+        return self._power[cell_id]
+
+    def cell_resistance(self, cell_id: int, layer: Optional[int] = None
+                        ) -> float:
+        """Move-time thermal resistance of a cell on a layer, K/W."""
+        if layer is None:
+            layer = self._zs[cell_id]
+        return self._r_by_layer[layer][cell_id]
+
+    # ------------------------------------------------------------------
+    def eval_moves(self, moves: Sequence[Move]) -> float:
+        """Objective delta of moving cells jointly (no state change).
+
+        Args:
+            moves: ``(cell_id, x, y, layer)`` tuples; a cell may appear
+                once.  Swaps are two moves evaluated jointly.
+
+        Returns:
+            ``new_objective - old_objective`` (negative = improvement).
+        """
+        moved: Dict[int, Tuple[float, float, int]] = {
+            cid: (x, y, z) for cid, x, y, z in moves}
+        if len(moved) != len(moves):
+            raise ValueError("a cell appears twice in one move set")
+        xs, ys, zs = self._xs, self._ys, self._zs
+        alpha_temp = self.alpha_temp
+        affected: Dict[int, None] = {}
+        for cid in moved:
+            for local in self._cell_nets[cid]:
+                affected[local] = None
+
+        delta = 0.0
+        p_delta: Dict[int, float] = {}
+        for local in affected:
+            pins = self._pins[local]
+            lo_x = hi_x = lo_y = hi_y = None
+            lo_z = hi_z = None
+            for c in pins:
+                pos = moved.get(c)
+                if pos is None:
+                    px, py, pz = xs[c], ys[c], zs[c]
+                else:
+                    px, py, pz = pos
+                if lo_x is None:
+                    lo_x = hi_x = px
+                    lo_y = hi_y = py
+                    lo_z = hi_z = pz
+                else:
+                    if px < lo_x:
+                        lo_x = px
+                    elif px > hi_x:
+                        hi_x = px
+                    if py < lo_y:
+                        lo_y = py
+                    elif py > hi_y:
+                        hi_y = py
+                    if pz < lo_z:
+                        lo_z = pz
+                    elif pz > hi_z:
+                        hi_z = pz
+            new_wl = (hi_x - lo_x) + (hi_y - lo_y)
+            new_ilv = hi_z - lo_z
+            d_wl = new_wl - self._wl[local]
+            d_ilv = new_ilv - self._ilv[local]
+            if d_wl == 0.0 and d_ilv == 0:
+                continue
+            delta += d_wl + self.alpha_ilv * d_ilv
+            if alpha_temp > 0:
+                share = (self._s_wl[local] * d_wl
+                         + self._s_ilv[local] * d_ilv)
+                if share != 0.0:
+                    for d in self._drivers[local]:
+                        p_delta[d] = p_delta.get(d, 0.0) + share
+
+        if alpha_temp > 0:
+            thermal_cells = set(moved)
+            thermal_cells.update(p_delta)
+            for c in thermal_cells:
+                old_r = self._r_by_layer[zs[c]][c]
+                pos = moved.get(c)
+                new_r = (self._r_by_layer[pos[2]][c] if pos is not None
+                         else old_r)
+                new_p = self._power[c] + p_delta.get(c, 0.0)
+                delta += alpha_temp * (new_r * new_p
+                                       - old_r * self._power[c])
+        return delta
+
+    def apply_moves(self, moves: Sequence[Move]) -> float:
+        """Commit moves to the state *and* the placement arrays.
+
+        Returns:
+            The objective delta that was applied.
+        """
+        delta = self.eval_moves(moves)
+        moved = {cid: (x, y, z) for cid, x, y, z in moves}
+        # update per-net caches and power attribution
+        affected: Dict[int, None] = {}
+        for cid in moved:
+            for local in self._cell_nets[cid]:
+                affected[local] = None
+        for cid, (x, y, z) in moved.items():
+            self._xs[cid] = x
+            self._ys[cid] = y
+            self._zs[cid] = int(z)
+            self.placement.x[cid] = x
+            self.placement.y[cid] = y
+            self.placement.z[cid] = int(z)
+        xs, ys, zs = self._xs, self._ys, self._zs
+        for local in affected:
+            pins = self._pins[local]
+            nx = [xs[c] for c in pins]
+            ny = [ys[c] for c in pins]
+            nz = [zs[c] for c in pins]
+            new_wl = (max(nx) - min(nx)) + (max(ny) - min(ny))
+            new_ilv = max(nz) - min(nz)
+            d_wl = new_wl - self._wl[local]
+            d_ilv = new_ilv - self._ilv[local]
+            if d_wl == 0.0 and d_ilv == 0:
+                continue
+            self._wl[local] = new_wl
+            self._ilv[local] = new_ilv
+            share = (self._s_wl[local] * d_wl + self._s_ilv[local] * d_ilv)
+            if share != 0.0:
+                for d in self._drivers[local]:
+                    self._power[d] += share
+        self._total += delta
+        return delta
+
+    # ------------------------------------------------------------------
+    def optimal_region_center(self, cell_id: int
+                              ) -> Tuple[float, float, float]:
+        """Centre of the cell's optimal region [14], extended to 3D.
+
+        For each incident net, the cell's cost is minimized anywhere
+        inside the bounding box of the net's *other* pins; the classic
+        optimal region is the median interval of those boxes.  We return
+        the weighted median per axis (weights: 1 for x/y; the z medians
+        use the same unweighted rule — the alpha_ilv scaling affects the
+        *extent* of the target region, applied by the caller).
+        """
+        xs_lo: List[float] = []
+        xs_hi: List[float] = []
+        ys_lo: List[float] = []
+        ys_hi: List[float] = []
+        zs_lo: List[float] = []
+        zs_hi: List[float] = []
+        xs, ys, zs = self._xs, self._ys, self._zs
+        for local in self._cell_nets[cell_id]:
+            others = [c for c in self._pins[local] if c != cell_id]
+            if not others:
+                continue
+            ox = [xs[c] for c in others]
+            oy = [ys[c] for c in others]
+            oz = [zs[c] for c in others]
+            xs_lo.append(min(ox))
+            xs_hi.append(max(ox))
+            ys_lo.append(min(oy))
+            ys_hi.append(max(oy))
+            zs_lo.append(min(oz))
+            zs_hi.append(max(oz))
+        if not xs_lo:
+            return (xs[cell_id], ys[cell_id], float(zs[cell_id]))
+        return (_median_interval_point(xs_lo, xs_hi),
+                _median_interval_point(ys_lo, ys_hi),
+                _median_interval_point(zs_lo, zs_hi))
+
+    def check_consistency(self, tol: float = 1e-9) -> None:
+        """Verify caches against a from-scratch recomputation (tests)."""
+        cached = self._total
+        wl = list(self._wl)
+        ilv = list(self._ilv)
+        power = list(self._power)
+        self.rebuild()
+        if abs(self._total - cached) > tol * max(1.0, abs(cached)):
+            raise AssertionError(
+                f"objective drifted: cached {cached}, true {self._total}")
+        for a, b in ((wl, self._wl), (ilv, self._ilv), (power, self._power)):
+            if not np.allclose(a, b, rtol=1e-9, atol=1e-18):
+                raise AssertionError("per-item caches drifted")
+
+
+def _median_interval_point(los: List[float], his: List[float]) -> float:
+    """Midpoint of the median interval of a set of 1D intervals.
+
+    This is the minimizer set of the sum of distances to the intervals
+    (the 1D optimal region); its midpoint is returned.
+    """
+    ends = sorted(los) + sorted(his)
+    ends.sort()
+    n = len(ends)
+    lo = ends[(n - 1) // 2]
+    hi = ends[n // 2]
+    return 0.5 * (lo + hi)

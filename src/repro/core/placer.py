@@ -1,0 +1,171 @@
+"""The full placement pipeline (Section 6 of the paper).
+
+``Placer3D`` wires together every stage:
+
+1. add TRR nets and start all cells at the chip centre;
+2. global placement by recursive bisection (Section 3);
+3. global then local move/swap passes (Section 4.2);
+4. iterative cell shifting until the coarse mesh's max density is close
+   to one (Section 4.1);
+5. detailed legalization (Section 5);
+6. optionally repeat the coarse+detailed stages ("can be repeated
+   multiple times if additional optimization is required" — the 65x/7.7%
+   effort knob of Section 7).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.core.cellshift import CellShifter
+from repro.core.config import PlacementConfig
+from repro.core.detailed import DetailedLegalizer, check_legal
+from repro.core.globalplace import GlobalPlacer
+from repro.core.moves import MoveOptimizer
+from repro.core.objective import ObjectiveState
+from repro.core.refine import LegalRefiner
+from repro.core.trrnets import add_trr_nets
+from repro.geometry.chip import ChipGeometry
+from repro.netlist.netlist import Netlist
+from repro.netlist.placement import Placement
+from repro.thermal.power import PowerModel
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of a full placement run.
+
+    Attributes:
+        placement: the final (legal) placement.
+        objective: final objective value (Eq. 3).
+        wirelength: final total lateral HPWL, metres.
+        ilv: final interlayer-via count.
+        runtime_seconds: wall-clock runtime of :meth:`Placer3D.run`.
+        stage_seconds: wall-clock per pipeline stage.
+    """
+
+    placement: Placement
+    objective: float
+    wirelength: float
+    ilv: int
+    runtime_seconds: float
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+
+class Placer3D:
+    """Thermal- and via-aware 3D placer.
+
+    Args:
+        netlist: the circuit to place.  TRR nets are added in place when
+            thermal placement is enabled.
+        config: coefficients and effort knobs.
+        chip: the placement volume; sized automatically from the cell
+            area, layer count, whitespace and row spacing when omitted.
+
+    Example:
+        >>> from repro import Placer3D, PlacementConfig, load_benchmark
+        >>> netlist = load_benchmark("ibm01", scale=0.02)
+        >>> placer = Placer3D(netlist, PlacementConfig(alpha_ilv=1e-5))
+        >>> result = placer.run()
+        >>> result.ilv >= 0
+        True
+    """
+
+    def __init__(self, netlist: Netlist, config: PlacementConfig,
+                 chip: Optional[ChipGeometry] = None):
+        self.netlist = netlist
+        self.config = config
+        if chip is None:
+            chip = ChipGeometry.for_cell_area(
+                netlist.total_cell_area, config.num_layers,
+                netlist.average_cell_height,
+                whitespace=config.tech.whitespace,
+                inter_row_space=config.tech.inter_row_space,
+                min_row_width=24.0 * netlist.average_cell_width,
+                layer_thickness=config.tech.layer_thickness,
+                interlayer_thickness=config.tech.interlayer_thickness,
+                substrate_thickness=config.tech.substrate_thickness)
+        elif chip.num_layers != config.num_layers:
+            raise ValueError("chip layer count disagrees with config")
+        self.chip = chip
+
+    # ------------------------------------------------------------------
+    def run(self, check: bool = False) -> PlacementResult:
+        """Run the full pipeline.
+
+        Args:
+            check: assert legality of the final placement (tests).
+
+        Returns:
+            A :class:`PlacementResult` with the legal placement.
+        """
+        config = self.config
+        start = time.perf_counter()
+        stages: Dict[str, float] = {}
+
+        if config.thermal_enabled and config.use_trr_nets:
+            add_trr_nets(self.netlist)
+        placement = Placement.at_center(self.netlist, self.chip)
+        power_model = PowerModel(self.netlist, config.tech)
+
+        t0 = time.perf_counter()
+        GlobalPlacer(placement, config, power_model).run()
+        stages["global"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        objective = ObjectiveState(placement, config, power_model)
+        stages["objective_build"] = time.perf_counter() - t0
+
+        # The coarse+detailed loop is not monotone round to round (the
+        # move/swap phase deliberately un-legalizes), so the best legal
+        # snapshot across rounds is what the flow returns.
+        best_state = None
+        for _ in range(max(1, config.legalization_rounds)):
+            t0 = time.perf_counter()
+            mover = MoveOptimizer(objective, config)
+            for _ in range(max(1, config.move_passes)):
+                mover.global_pass()
+                mover.local_pass()
+            stages["moves"] = stages.get("moves", 0.0) \
+                + (time.perf_counter() - t0)
+
+            t0 = time.perf_counter()
+            CellShifter(objective, config).run()
+            stages["cellshift"] = stages.get("cellshift", 0.0) \
+                + (time.perf_counter() - t0)
+
+            t0 = time.perf_counter()
+            DetailedLegalizer(objective, config).run()
+            stages["detailed"] = stages.get("detailed", 0.0) \
+                + (time.perf_counter() - t0)
+
+            if config.refine_passes > 0:
+                t0 = time.perf_counter()
+                LegalRefiner(objective, config).run(config.refine_passes)
+                stages["refine"] = stages.get("refine", 0.0) \
+                    + (time.perf_counter() - t0)
+
+            if best_state is None or objective.total < best_state[0]:
+                best_state = (objective.total, placement.x.copy(),
+                              placement.y.copy(), placement.z.copy())
+
+        if best_state is not None and objective.total > best_state[0]:
+            placement.x[:] = best_state[1]
+            placement.y[:] = best_state[2]
+            placement.z[:] = best_state[3]
+            objective.rebuild()
+
+        if check:
+            check_legal(placement)
+
+        runtime = time.perf_counter() - start
+        return PlacementResult(
+            placement=placement,
+            objective=objective.total,
+            wirelength=objective.wirelength(),
+            ilv=objective.total_ilv(),
+            runtime_seconds=runtime,
+            stage_seconds=stages,
+        )

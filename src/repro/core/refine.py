@@ -1,0 +1,212 @@
+"""Legality-preserving post-optimization (Section 4's closing remark).
+
+The paper notes that "the coarse legalization methods can also be used
+in conjunction with detailed legalization to iteratively improve an
+existing placement during a post-optimization phase of detailed
+placement if desired".  This module is that phase: it refines an
+already-*legal* placement with moves that cannot create overlaps, so
+the placement stays legal after every single operation:
+
+- **Adjacent swaps** — two cells sitting next to each other in a row
+  exchange order, preserving the pair's span (and hence everyone
+  else's slots).
+- **Equal-width swaps** — two cells of identical width anywhere on the
+  chip exchange their (x, y, layer) slots outright; the paper's
+  move/swap machinery restricted to the pairs for which a swap is
+  trivially legal.
+- **Gap moves** — a cell hops into a free interval of a nearby row
+  that fits it.
+
+All three are scored with the full objective (Eq. 3) and only strictly
+improving operations are committed.
+"""
+
+from __future__ import annotations
+
+import bisect as _bisect
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import PlacementConfig
+from repro.core.detailed import RowSegments, check_legal
+from repro.core.objective import ObjectiveState
+
+RowKey = Tuple[int, int]
+
+
+class LegalRefiner:
+    """Iterative improvement of a legal placement.
+
+    Args:
+        objective: shared incremental objective; its placement must be
+            legal (row-aligned, non-overlapping) when :meth:`run` is
+            called.
+        config: placement configuration.
+        width_tolerance: relative width difference under which two cells
+            count as "equal width" for slot swaps.
+    """
+
+    def __init__(self, objective: ObjectiveState,
+                 config: PlacementConfig,
+                 width_tolerance: float = 1e-9):
+        self.objective = objective
+        self.config = config
+        self.placement = objective.placement
+        self.netlist = self.placement.netlist
+        self.chip = self.placement.chip
+        self.width_tolerance = width_tolerance
+        self._rng = np.random.default_rng(config.seed + 7919)
+
+    # ------------------------------------------------------------------
+    def run(self, passes: int = 2) -> int:
+        """Run refinement passes; returns total improving operations."""
+        total = 0
+        for _ in range(max(1, passes)):
+            improved = 0
+            improved += self._adjacent_swap_pass()
+            improved += self._equal_width_swap_pass()
+            improved += self._gap_move_pass()
+            total += improved
+            if improved == 0:
+                break
+        return total
+
+    # ------------------------------------------------------------------
+    def _rows(self) -> Dict[RowKey, List[Tuple[float, int]]]:
+        """Current row occupancy: (layer, row) -> [(x_center, cid)]."""
+        rows: Dict[RowKey, List[Tuple[float, int]]] = defaultdict(list)
+        chip = self.chip
+        for cid, x, y, z in self.placement.iter_movable():
+            row = int(round((y - 0.5 * chip.row_height) / chip.row_pitch))
+            rows[(z, row)].append((x, cid))
+        for members in rows.values():
+            members.sort()
+        return rows
+
+    def _row_y(self, row: int) -> float:
+        return row * self.chip.row_pitch + 0.5 * self.chip.row_height
+
+    # ------------------------------------------------------------------
+    def _adjacent_swap_pass(self) -> int:
+        """Swap neighbouring cells within rows when it helps."""
+        improved = 0
+        widths = self.netlist.widths
+        placement = self.placement
+        for (layer, row), members in self._rows().items():
+            y = self._row_y(row)
+            i = 0
+            while i + 1 < len(members):
+                (xa, a), (xb, b) = members[i], members[i + 1]
+                wa = float(widths[a])
+                wb = float(widths[b])
+                lo = xa - 0.5 * wa
+                gap = (xb - 0.5 * wb) - (xa + 0.5 * wa)
+                new_b = lo + 0.5 * wb
+                new_a = lo + wb + gap + 0.5 * wa
+                moves = [(a, new_a, y, layer), (b, new_b, y, layer)]
+                if self.objective.eval_moves(moves) < -1e-18:
+                    self.objective.apply_moves(moves)
+                    members[i] = (new_b, b)
+                    members[i + 1] = (new_a, a)
+                    improved += 1
+                i += 1
+        return improved
+
+    # ------------------------------------------------------------------
+    def _equal_width_swap_pass(self, candidates_per_cell: int = 6) -> int:
+        """Swap same-width cells across the whole chip."""
+        improved = 0
+        widths = self.netlist.widths
+        placement = self.placement
+        # width-bucketed index of movable cells
+        buckets: Dict[int, List[int]] = defaultdict(list)
+        quantum = max(float(widths.max()) * self.width_tolerance, 1e-12)
+
+        def bucket_of(w: float) -> int:
+            return int(round(w / max(quantum, 1e-30)))
+
+        movable = [c.id for c in self.netlist.cells if c.movable]
+        for cid in movable:
+            buckets[bucket_of(float(widths[cid]))].append(cid)
+
+        for cid in self._rng.permutation(movable):
+            cid = int(cid)
+            peers = buckets[bucket_of(float(widths[cid]))]
+            if len(peers) < 2:
+                continue
+            ox, oy, oz = self.objective.optimal_region_center(cid)
+            # the few peers nearest the optimal spot
+            scored = sorted(
+                (abs(float(placement.x[p]) - ox)
+                 + abs(float(placement.y[p]) - oy), p)
+                for p in peers if p != cid)[:candidates_per_cell]
+            best = None
+            for _, other in scored:
+                if abs(widths[other] - widths[cid]) > quantum:
+                    continue
+                moves = [
+                    (cid, float(placement.x[other]),
+                     float(placement.y[other]), int(placement.z[other])),
+                    (other, float(placement.x[cid]),
+                     float(placement.y[cid]), int(placement.z[cid])),
+                ]
+                delta = self.objective.eval_moves(moves)
+                if delta < -1e-18 and (best is None or delta < best[0]):
+                    best = (delta, moves)
+            if best is not None:
+                self.objective.apply_moves(best[1])
+                improved += 1
+        return improved
+
+    # ------------------------------------------------------------------
+    def _gap_move_pass(self, row_radius: int = 2) -> int:
+        """Move cells into nearby free row intervals when it helps."""
+        improved = 0
+        widths = self.netlist.widths
+        placement = self.placement
+        chip = self.chip
+        segments = RowSegments(placement)
+        locations: Dict[int, Tuple[int, int]] = {}
+        for (layer, row), members in self._rows().items():
+            for x, cid in members:
+                segments.insert(layer, row, cid, x, float(widths[cid]))
+                locations[cid] = (layer, row)
+
+        movable = [c.id for c in self.netlist.cells if c.movable]
+        for cid in self._rng.permutation(movable):
+            cid = int(cid)
+            w = float(widths[cid])
+            layer0, row0 = locations[cid]
+            x0 = float(placement.x[cid])
+            best = None
+            for layer in range(chip.num_layers):
+                for row in range(max(0, row0 - row_radius),
+                                 min(chip.rows_per_layer,
+                                     row0 + row_radius + 1)):
+                    if (layer, row) == (layer0, row0):
+                        continue
+                    slot = segments.nearest_slot(layer, row, x0, w)
+                    if slot is None:
+                        continue
+                    y = self._row_y(row)
+                    move = [(cid, slot, y, layer)]
+                    delta = self.objective.eval_moves(move)
+                    if delta < -1e-18 and (best is None
+                                           or delta < best[0]):
+                        best = (delta, move, layer, row, slot)
+            if best is not None:
+                _, move, layer, row, slot = best
+                # vacate the old interval, claim the new one
+                key = (layer0, row0)
+                starts = segments._starts[key]
+                ends = segments._ends[key]
+                cids = segments._cids[key]
+                idx = cids.index(cid)
+                del starts[idx], ends[idx], cids[idx]
+                self.objective.apply_moves(move)
+                segments.insert(layer, row, cid, slot, w)
+                locations[cid] = (layer, row)
+                improved += 1
+        return improved

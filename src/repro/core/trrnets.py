@@ -1,0 +1,89 @@
+"""Thermal-resistance-reduction nets (Section 3.2, Eqs. 9-15).
+
+A TRR net is a virtual two-pin net from a cell to a point on the bottom
+of the chip directly below it.  During z-direction partitioning it pulls
+the cell toward the heat sink with a force proportional to the cell's
+power and the chip's vertical resistance slope:
+
+    nw_j^cell = a_TEMP * P_j^cell * Rslope^z                  (Eq. 12)
+
+``P_j^cell`` (Eq. 10) depends on the wirelength/via counts of the nets
+the cell drives — which are all zero while every cell still sits at the
+chip centre.  The paper floors them at PEKO-style *optimal* values
+(Eqs. 13-15), computed here by
+:meth:`repro.thermal.power.PowerModel.peko_optimal`.
+
+In this library the TRR net is represented as a degree-1 net flagged
+``is_trr`` (the bottom anchor is implicit: it tracks the cell laterally,
+so only the z direction ever feels it), and its weight is recomputed
+from the evolving placement by :func:`compute_trr_weights`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.config import PlacementConfig
+from repro.metrics.wirelength import NetMetrics, compute_net_metrics
+from repro.netlist.net import PinRole
+from repro.netlist.netlist import Netlist
+from repro.netlist.placement import Placement
+from repro.thermal.power import PowerModel
+from repro.thermal.resistance import ResistanceModel, VerticalProfile
+
+#: Name prefix of generated TRR nets.
+TRR_PREFIX = "__trr__"
+
+
+def add_trr_nets(netlist: Netlist) -> Dict[int, int]:
+    """Add one TRR net per movable cell (idempotent).
+
+    Returns:
+        Mapping from cell id to its TRR net id.
+    """
+    existing: Dict[int, int] = {}
+    for net in netlist.nets:
+        if net.is_trr:
+            existing[net.pins[0][0]] = net.id
+    mapping: Dict[int, int] = {}
+    for cell in netlist.cells:
+        if not cell.movable:
+            continue
+        if cell.id in existing:
+            mapping[cell.id] = existing[cell.id]
+            continue
+        net = netlist.add_net(f"{TRR_PREFIX}{cell.name}",
+                              [(cell.id, PinRole.SINK)],
+                              activity=0.0, is_trr=True)
+        mapping[cell.id] = net.id
+    return mapping
+
+
+def compute_trr_weights(placement: Placement, config: PlacementConfig,
+                        power_model: PowerModel,
+                        profile: Optional[VerticalProfile] = None,
+                        metrics: Optional[NetMetrics] = None
+                        ) -> np.ndarray:
+    """Per-cell TRR net weights (Eq. 12) at the current placement.
+
+    Cell powers use the PEKO-3D floors, so the weights are meaningful
+    even at the very first bisection when all geometry is still zero.
+
+    Returns:
+        Array indexed by cell id; zero when TRR nets are disabled.
+    """
+    n = placement.netlist.num_cells
+    if config.alpha_temp <= 0 or not config.use_trr_nets:
+        return np.zeros(n)
+    if profile is None:
+        rm = ResistanceModel(placement.chip, config.tech)
+        profile = rm.vertical_profile(
+            area=placement.netlist.total_cell_area
+            / max(placement.netlist.num_movable, 1))
+    if metrics is None:
+        metrics = compute_net_metrics(placement)
+    floors = power_model.peko_optimal(config.alpha_ilv)
+    powers = power_model.cell_powers(metrics, floors=floors)
+    return config.alpha_temp * powers * profile.slope

@@ -1,0 +1,163 @@
+"""Axis-aligned 3D bounding boxes for placement regions and nets.
+
+The lateral (x, y) coordinates are continuous and measured in metres.
+The vertical (z) coordinate is discrete and measured in *layer indices*:
+a box spanning ``zlo=0, zhi=2`` covers active layers 0, 1 and 2.  This
+matches how the placer reasons about the third dimension — interlayer
+vias are counted per crossed layer boundary, not per metre.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BBox3D:
+    """An axis-aligned box: continuous in x/y (metres), discrete in z (layers).
+
+    Attributes:
+        xlo, xhi: lateral extent in x, metres, ``xlo <= xhi``.
+        ylo, yhi: lateral extent in y, metres, ``ylo <= yhi``.
+        zlo, zhi: inclusive layer-index extent, ``zlo <= zhi``.
+    """
+
+    xlo: float
+    xhi: float
+    ylo: float
+    yhi: float
+    zlo: int
+    zhi: int
+
+    def __post_init__(self) -> None:
+        if self.xlo > self.xhi:
+            raise ValueError(f"xlo ({self.xlo}) > xhi ({self.xhi})")
+        if self.ylo > self.yhi:
+            raise ValueError(f"ylo ({self.ylo}) > yhi ({self.yhi})")
+        if self.zlo > self.zhi:
+            raise ValueError(f"zlo ({self.zlo}) > zhi ({self.zhi})")
+
+    @property
+    def width(self) -> float:
+        """Extent in x, metres."""
+        return self.xhi - self.xlo
+
+    @property
+    def height(self) -> float:
+        """Extent in y, metres."""
+        return self.yhi - self.ylo
+
+    @property
+    def layers(self) -> int:
+        """Number of layers covered (inclusive of both ends)."""
+        return self.zhi - self.zlo + 1
+
+    @property
+    def layer_span(self) -> int:
+        """Number of interlayer boundaries crossed (``zhi - zlo``).
+
+        This is exactly the interlayer-via count of a net whose pins fill
+        the box.
+        """
+        return self.zhi - self.zlo
+
+    @property
+    def area(self) -> float:
+        """Lateral (footprint) area in square metres."""
+        return self.width * self.height
+
+    @property
+    def half_perimeter(self) -> float:
+        """Lateral half-perimeter ``width + height``, the 2D HPWL of the box."""
+        return self.width + self.height
+
+    @property
+    def center(self) -> tuple:
+        """Geometric centre ``(x, y, z)``; z is a float layer coordinate."""
+        return (
+            0.5 * (self.xlo + self.xhi),
+            0.5 * (self.ylo + self.yhi),
+            0.5 * (self.zlo + self.zhi),
+        )
+
+    def contains_point(self, x: float, y: float, z: int) -> bool:
+        """Whether ``(x, y, z)`` lies inside the box (boundaries inclusive)."""
+        return (
+            self.xlo <= x <= self.xhi
+            and self.ylo <= y <= self.yhi
+            and self.zlo <= z <= self.zhi
+        )
+
+    def clamp_point(self, x: float, y: float, z: float) -> tuple:
+        """Project a point onto the box (nearest point inside it).
+
+        Used by terminal propagation: an external pin is represented by
+        the closest location on the region boundary.
+        """
+        cx = min(max(x, self.xlo), self.xhi)
+        cy = min(max(y, self.ylo), self.yhi)
+        cz = min(max(z, self.zlo), self.zhi)
+        return (cx, cy, cz)
+
+    def intersects(self, other: "BBox3D") -> bool:
+        """Whether this box and ``other`` overlap (touching counts)."""
+        return (
+            self.xlo <= other.xhi
+            and other.xlo <= self.xhi
+            and self.ylo <= other.yhi
+            and other.ylo <= self.yhi
+            and self.zlo <= other.zhi
+            and other.zlo <= self.zhi
+        )
+
+    def union(self, other: "BBox3D") -> "BBox3D":
+        """Smallest box containing both boxes."""
+        return BBox3D(
+            min(self.xlo, other.xlo),
+            max(self.xhi, other.xhi),
+            min(self.ylo, other.ylo),
+            max(self.yhi, other.yhi),
+            min(self.zlo, other.zlo),
+            max(self.zhi, other.zhi),
+        )
+
+    def expand_to(self, x: float, y: float, z: int) -> "BBox3D":
+        """Smallest box containing this box and the point."""
+        return BBox3D(
+            min(self.xlo, x),
+            max(self.xhi, x),
+            min(self.ylo, y),
+            max(self.yhi, y),
+            min(self.zlo, z),
+            max(self.zhi, z),
+        )
+
+    @staticmethod
+    def of_points(points) -> "BBox3D":
+        """Bounding box of an iterable of ``(x, y, z)`` points.
+
+        Raises:
+            ValueError: if ``points`` is empty.
+        """
+        it = iter(points)
+        try:
+            x0, y0, z0 = next(it)
+        except StopIteration:
+            raise ValueError("cannot take the bounding box of zero points")
+        xlo = xhi = x0
+        ylo = yhi = y0
+        zlo = zhi = z0
+        for x, y, z in it:
+            if x < xlo:
+                xlo = x
+            elif x > xhi:
+                xhi = x
+            if y < ylo:
+                ylo = y
+            elif y > yhi:
+                yhi = y
+            if z < zlo:
+                zlo = z
+            elif z > zhi:
+                zhi = z
+        return BBox3D(xlo, xhi, ylo, yhi, int(zlo), int(zhi))

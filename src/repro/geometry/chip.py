@@ -1,0 +1,250 @@
+"""The 3D chip placement volume: die outline, layers, rows and the stack.
+
+A 3D IC in this library is a stack of ``num_layers`` identical active
+layers.  Each layer carries horizontal standard-cell rows; cells have a
+uniform height equal to the row height and sit side by side within a row.
+Between active layers there is a thin bonding/interlayer dielectric, and
+below the bottom active layer sits the bulk substrate attached to the heat
+sink (the paper's MIT-LL 3D FD-SOI stack, Table 2).
+
+``ChipGeometry`` owns all coordinate conversions:
+
+- continuous y <-> row index,
+- continuous/discrete z (layer index) <-> physical height above the heat
+  sink, used by the thermal models.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.geometry.bbox import BBox3D
+
+
+@dataclass(frozen=True)
+class Row:
+    """One standard-cell row on one layer.
+
+    Attributes:
+        layer: active-layer index (0 = closest to the heat sink).
+        index: row index within the layer, from y = 0 upward.
+        y: y coordinate of the row's lower edge, metres.
+        height: cell/row height, metres.
+        xlo, xhi: usable x extent of the row, metres.
+    """
+
+    layer: int
+    index: int
+    y: float
+    height: float
+    xlo: float
+    xhi: float
+
+    @property
+    def width(self) -> float:
+        """Usable row width in metres."""
+        return self.xhi - self.xlo
+
+
+@dataclass
+class ChipGeometry:
+    """Placement volume of a 3D IC.
+
+    Attributes:
+        width: die width (x extent), metres.
+        height: die height (y extent), metres.
+        num_layers: number of stacked active layers.
+        row_height: standard-cell row height, metres.
+        row_pitch: vertical distance between row origins, metres
+            (``row_height`` plus inter-row space).
+        layer_thickness: thickness of one active layer, metres.
+        interlayer_thickness: dielectric between adjacent active layers, metres.
+        substrate_thickness: bulk substrate below layer 0, metres.
+    """
+
+    width: float
+    height: float
+    num_layers: int
+    row_height: float
+    row_pitch: float
+    layer_thickness: float = 5.7e-6
+    interlayer_thickness: float = 0.7e-6
+    substrate_thickness: float = 500e-6
+    _rows: List[Row] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("die dimensions must be positive")
+        if self.num_layers < 1:
+            raise ValueError("need at least one active layer")
+        if self.row_pitch < self.row_height:
+            raise ValueError("row pitch cannot be smaller than row height")
+        self._rows = [
+            Row(layer=layer, index=i, y=i * self.row_pitch,
+                height=self.row_height, xlo=0.0, xhi=self.width)
+            for layer in range(self.num_layers)
+            for i in range(self.rows_per_layer)
+        ]
+
+    # ------------------------------------------------------------------
+    # derived dimensions
+    # ------------------------------------------------------------------
+    @property
+    def rows_per_layer(self) -> int:
+        """Number of complete rows that fit in the die height."""
+        return max(1, int(math.floor(self.height / self.row_pitch + 1e-9)))
+
+    @property
+    def bounds(self) -> BBox3D:
+        """The full placement volume as a :class:`BBox3D`."""
+        return BBox3D(0.0, self.width, 0.0, self.height,
+                      0, self.num_layers - 1)
+
+    @property
+    def footprint_area(self) -> float:
+        """Die footprint area (one layer), square metres."""
+        return self.width * self.height
+
+    @property
+    def placement_area(self) -> float:
+        """Total placeable area across all layers, square metres."""
+        return self.footprint_area * self.num_layers
+
+    @property
+    def layer_pitch(self) -> float:
+        """Vertical distance between corresponding points of adjacent layers."""
+        return self.layer_thickness + self.interlayer_thickness
+
+    @property
+    def stack_height(self) -> float:
+        """Total silicon height from the top of the substrate to the top layer."""
+        return (self.num_layers * self.layer_thickness
+                + (self.num_layers - 1) * self.interlayer_thickness)
+
+    # ------------------------------------------------------------------
+    # coordinate conversions
+    # ------------------------------------------------------------------
+    def layer_base_height(self, layer: int) -> float:
+        """Physical height of the *bottom* of active layer ``layer`` above
+        the substrate top, metres."""
+        self._check_layer(layer)
+        return layer * self.layer_pitch
+
+    def layer_center_height(self, layer: int) -> float:
+        """Physical height of the mid-plane of active layer ``layer`` above
+        the substrate top, metres.
+
+        This is the ``d_j^z`` of the paper's thermal-resistance profile
+        ``R_j^cell ~ R0^z + Rslope^z * d_j^z``.
+        """
+        return self.layer_base_height(layer) + 0.5 * self.layer_thickness
+
+    def distance_to_heat_sink(self, layer: int) -> float:
+        """Conduction path length from the mid-plane of ``layer`` down to
+        the heat-sink face (bottom of the substrate), metres."""
+        return self.layer_center_height(layer) + self.substrate_thickness
+
+    def row_of_y(self, y: float, layer: int = 0) -> Row:
+        """Row whose span contains (or is nearest to) the y coordinate."""
+        idx = int(math.floor(y / self.row_pitch))
+        idx = min(max(idx, 0), self.rows_per_layer - 1)
+        return self.row(layer, idx)
+
+    def row(self, layer: int, index: int) -> Row:
+        """Row ``index`` on ``layer``."""
+        self._check_layer(layer)
+        if not 0 <= index < self.rows_per_layer:
+            raise IndexError(f"row index {index} out of range "
+                             f"[0, {self.rows_per_layer})")
+        return self._rows[layer * self.rows_per_layer + index]
+
+    def rows_on_layer(self, layer: int) -> List[Row]:
+        """All rows on one layer, bottom to top."""
+        self._check_layer(layer)
+        start = layer * self.rows_per_layer
+        return self._rows[start:start + self.rows_per_layer]
+
+    def snap_y_to_row(self, y: float) -> float:
+        """y coordinate of the origin of the row nearest to ``y``."""
+        idx = int(round(y / self.row_pitch))
+        idx = min(max(idx, 0), self.rows_per_layer - 1)
+        return idx * self.row_pitch
+
+    def clamp_layer(self, z: float) -> int:
+        """Round a continuous layer coordinate to the nearest valid layer."""
+        return min(max(int(round(z)), 0), self.num_layers - 1)
+
+    def _check_layer(self, layer: int) -> None:
+        if not 0 <= layer < self.num_layers:
+            raise IndexError(
+                f"layer {layer} out of range [0, {self.num_layers})")
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def for_cell_area(total_cell_area: float, num_layers: int,
+                      row_height: float, whitespace: float = 0.05,
+                      inter_row_space: float = 0.25,
+                      aspect_ratio: float = 1.0,
+                      min_row_width: float = 0.0,
+                      layer_thickness: float = 5.7e-6,
+                      interlayer_thickness: float = 0.7e-6,
+                      substrate_thickness: float = 500e-6) -> "ChipGeometry":
+        """Size a die for a given total standard-cell area.
+
+        The die is sized so that the *row* area (excluding inter-row space)
+        per layer equals ``total_cell_area / num_layers / (1 - whitespace)``,
+        mirroring the paper's 5% whitespace and 25% inter-row spacing
+        (Table 2).
+
+        Args:
+            total_cell_area: sum of all cell footprints, square metres.
+            num_layers: number of active layers.
+            row_height: standard-cell height, metres.
+            whitespace: fraction of row area left unfilled (0 <= w < 1).
+            inter_row_space: inter-row gap as a fraction of row height.
+            aspect_ratio: die width / height.
+            min_row_width: widen the die (raising the aspect ratio) so
+                rows are at least this long, metres.  Downscaled
+                benchmark instances would otherwise end up with rows a
+                handful of cells long, where the whitespace per row is
+                less than one cell width and legalization has no room to
+                manoeuvre — an artefact full-size circuits do not have.
+
+        Returns:
+            A :class:`ChipGeometry` whose rows can legally hold the cells.
+        """
+        if not 0 <= whitespace < 1:
+            raise ValueError("whitespace must be in [0, 1)")
+        if total_cell_area <= 0:
+            raise ValueError("total cell area must be positive")
+        row_area_per_layer = total_cell_area / num_layers / (1.0 - whitespace)
+        # Rows occupy 1/(1+inter_row_space) of the die height.
+        die_area_per_layer = row_area_per_layer * (1.0 + inter_row_space)
+        if min_row_width > 0:
+            needed = min_row_width ** 2 / die_area_per_layer
+            aspect_ratio = max(aspect_ratio, needed)
+        height = math.sqrt(die_area_per_layer / aspect_ratio)
+        width = die_area_per_layer / height
+        row_pitch = row_height * (1.0 + inter_row_space)
+        # Round height up to a whole number of row pitches so no capacity
+        # is lost to a partial top row (die area is conserved, so total
+        # row capacity is unchanged either way).
+        n_rows = max(1, int(math.ceil(height / row_pitch - 1e-9)))
+        if min_row_width > 0:
+            # rounding up may have narrowed the die below the requested
+            # row length; drop rows until it fits again
+            while n_rows > 1 and (die_area_per_layer
+                                  / (n_rows * row_pitch)) < min_row_width:
+                n_rows -= 1
+        height = n_rows * row_pitch
+        width = die_area_per_layer / height
+        return ChipGeometry(
+            width=width, height=height, num_layers=num_layers,
+            row_height=row_height, row_pitch=row_pitch,
+            layer_thickness=layer_thickness,
+            interlayer_thickness=interlayer_thickness,
+            substrate_thickness=substrate_thickness)

@@ -1,0 +1,104 @@
+"""Combined placement quality reports.
+
+``evaluate_placement`` is the one-call evaluation used by the examples
+and the benchmark harnesses: wirelength, via counts/density, power and
+(optionally) a full thermal solve, in one dataclass that prints as the
+row format the paper's figures are built from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.wirelength import (
+    compute_net_metrics,
+    ilv_density_per_interlayer,
+)
+from repro.netlist.placement import Placement
+from repro.technology import TechnologyConfig
+
+
+@dataclass
+class PlacementReport:
+    """Quality summary of one placement.
+
+    Attributes:
+        name: netlist name.
+        num_cells: movable cell count.
+        wirelength: total lateral HPWL, metres.
+        ilv: total interlayer-via count.
+        ilv_per_interlayer: via count divided by the number of via
+            interfaces (the per-interlayer count of Figure 5).
+        ilv_density: vias per interlayer per square metre (Figures 3-4).
+        total_power: dynamic power, watts (0 when thermal evaluation is
+            skipped).
+        average_temperature: mean cell temperature above ambient, kelvin
+            (0 when skipped).
+        max_temperature: hottest cell, kelvin above ambient (0 when
+            skipped).
+        runtime_seconds: caller-supplied placement runtime (optional).
+    """
+
+    name: str
+    num_cells: int
+    wirelength: float
+    ilv: int
+    ilv_per_interlayer: float
+    ilv_density: float
+    total_power: float = 0.0
+    average_temperature: float = 0.0
+    max_temperature: float = 0.0
+    runtime_seconds: float = 0.0
+
+    def row(self) -> str:
+        """One aligned text row (used by the benchmark harnesses)."""
+        return (f"{self.name:<12} {self.num_cells:>8} "
+                f"{self.wirelength:>11.4e} {self.ilv:>9} "
+                f"{self.ilv_density:>11.4e} {self.total_power*1e3:>9.3f} "
+                f"{self.average_temperature:>8.3f} "
+                f"{self.max_temperature:>8.3f} "
+                f"{self.runtime_seconds:>8.2f}")
+
+    @staticmethod
+    def header() -> str:
+        """Column header matching :meth:`row`."""
+        return (f"{'circuit':<12} {'cells':>8} {'WL_m':>11} "
+                f"{'ILVs':>9} {'ILV/m^2':>11} {'P_mW':>9} "
+                f"{'avgT':>8} {'maxT':>8} {'time_s':>8}")
+
+
+def evaluate_placement(placement: Placement,
+                       tech: Optional[TechnologyConfig] = None,
+                       thermal: bool = True,
+                       runtime_seconds: float = 0.0) -> PlacementReport:
+    """Evaluate a placement's wirelength, vias, power and temperatures.
+
+    Args:
+        placement: the placement to score.
+        tech: technology parameters (defaults to Table 2).
+        thermal: run the power model and full-chip thermal solve; set
+            False for wirelength-only sweeps (much faster).
+        runtime_seconds: recorded into the report verbatim.
+    """
+    tech = tech or TechnologyConfig()
+    metrics = compute_net_metrics(placement)
+    total_ilv = metrics.total_ilv
+    interfaces = max(placement.chip.num_layers - 1, 1)
+    report = PlacementReport(
+        name=placement.netlist.name,
+        num_cells=placement.netlist.num_movable,
+        wirelength=metrics.total_wl,
+        ilv=total_ilv,
+        ilv_per_interlayer=total_ilv / interfaces,
+        ilv_density=ilv_density_per_interlayer(placement, total_ilv),
+        runtime_seconds=runtime_seconds,
+    )
+    if thermal:
+        # imported here: repro.thermal itself builds on repro.metrics
+        from repro.thermal.analysis import analyze_placement
+        summary = analyze_placement(placement, tech, metrics=metrics)
+        report.total_power = summary.total_power
+        report.average_temperature = summary.average_temperature
+        report.max_temperature = summary.max_temperature
+    return report

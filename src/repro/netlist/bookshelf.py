@@ -1,0 +1,226 @@
+"""Reader/writer for the UCLA Bookshelf placement format.
+
+The IBM-PLACE benchmark suite the paper evaluates on is distributed in
+this format.  We support the three files placement needs:
+
+- ``.nodes`` — cell names and dimensions, ``terminal`` keyword for pads;
+- ``.nets``  — hypergraph nets with per-pin direction (``O`` = output /
+  driver, ``I`` = input / sink, ``B`` = bidirectional, treated as sink);
+- ``.pl``    — cell positions (used for fixed terminals and for dumping
+  results).
+
+Dimensions in Bookshelf files are in abstract "units"; a ``unit`` scale
+factor converts them to metres on read (IBM-PLACE units are on a ~1 µm
+grid, so the default scale is 1e-6).
+
+The writer emits files the reader round-trips exactly, so placements can
+be checkpointed to disk and reloaded.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Tuple
+
+from repro.netlist.net import PinRole
+from repro.netlist.netlist import Netlist
+
+_ROLE_OF_DIRECTION = {"O": PinRole.DRIVER, "I": PinRole.SINK,
+                      "B": PinRole.SINK}
+_DIRECTION_OF_ROLE = {PinRole.DRIVER: "O", PinRole.SINK: "I"}
+
+
+def _content_lines(path: str) -> List[str]:
+    """Non-empty, non-comment lines of a Bookshelf file.
+
+    The first line of every Bookshelf file is a format banner (``UCLA
+    nodes 1.0`` etc.) which is skipped along with ``#`` comments.
+    """
+    with open(path) as f:
+        raw = f.readlines()
+    lines = []
+    for i, line in enumerate(raw):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if i == 0 and stripped.upper().startswith("UCLA"):
+            continue
+        lines.append(stripped)
+    return lines
+
+
+def read_nodes(path: str, netlist: Netlist, unit: float = 1e-6,
+               default_height: Optional[float] = None) -> None:
+    """Parse a ``.nodes`` file into an existing (usually empty) netlist.
+
+    Terminals are added as fixed cells at the origin; their true
+    positions come later from :func:`read_pl`.
+
+    Args:
+        path: the ``.nodes`` file.
+        netlist: destination netlist; cells are appended.
+        unit: metres per Bookshelf unit.
+        default_height: height for nodes listed without one, metres.
+    """
+    for line in _content_lines(path):
+        fields = line.split()
+        key = fields[0]
+        if key in ("NumNodes", "NumTerminals"):
+            continue
+        name = fields[0]
+        rest = [f for f in fields[1:]]
+        terminal = "terminal" in rest
+        dims = [f for f in rest if f != "terminal"]
+        if len(dims) >= 2:
+            width = float(dims[0]) * unit
+            height = float(dims[1]) * unit
+        elif len(dims) == 1:
+            width = float(dims[0]) * unit
+            if default_height is None:
+                raise ValueError(
+                    f"{path}: node {name} has no height and no default")
+            height = default_height
+        else:
+            raise ValueError(f"{path}: node {name} has no dimensions")
+        if terminal:
+            netlist.add_cell(name, width, height, fixed=True,
+                             fixed_position=(0.0, 0.0, 0))
+        else:
+            netlist.add_cell(name, width, height)
+
+
+def read_nets(path: str, netlist: Netlist,
+              default_activity: float = 0.2) -> None:
+    """Parse a ``.nets`` file into a netlist whose cells already exist.
+
+    Nets whose first listed pin has no explicit direction get the first
+    pin as driver — the convention the IBM-PLACE conversion scripts used.
+    """
+    lines = _content_lines(path)
+    i = 0
+    net_count = 0
+    while i < len(lines):
+        fields = lines[i].split()
+        if fields[0] in ("NumNets", "NumPins"):
+            i += 1
+            continue
+        if fields[0] != "NetDegree":
+            raise ValueError(f"{path}: expected NetDegree, got {lines[i]!r}")
+        # "NetDegree : <k> [name]"
+        parts = lines[i].replace(":", " ").split()
+        degree = int(parts[1])
+        name = parts[2] if len(parts) > 2 else f"net{net_count}"
+        i += 1
+        pins: List[Tuple[int, PinRole]] = []
+        saw_direction = False
+        for _ in range(degree):
+            pf = lines[i].split()
+            cell_name = pf[0]
+            role = PinRole.SINK
+            if len(pf) > 1 and pf[1] in _ROLE_OF_DIRECTION:
+                role = _ROLE_OF_DIRECTION[pf[1]]
+                saw_direction = True
+            pins.append((netlist.cell(cell_name).id, role))
+            i += 1
+        if not saw_direction and pins:
+            pins[0] = (pins[0][0], PinRole.DRIVER)
+        elif pins and not any(r is PinRole.DRIVER for _, r in pins):
+            pins[0] = (pins[0][0], PinRole.DRIVER)
+        netlist.add_net(name, pins, activity=default_activity)
+        net_count += 1
+
+
+def read_pl(path: str, netlist: Netlist, unit: float = 1e-6
+            ) -> Dict[str, Tuple[float, float, int]]:
+    """Parse a ``.pl`` file; returns ``{cell name: (x, y, layer)}``.
+
+    Fixed cells in the netlist get their ``fixed_position`` updated in
+    place.  Positions in ``.pl`` files are lower-left corners; they are
+    converted to cell centres.  An optional fourth numeric column is read
+    as the layer index (our 3D extension); 2D files default to layer 0.
+    """
+    positions: Dict[str, Tuple[float, float, int]] = {}
+    for line in _content_lines(path):
+        fields = line.split()
+        name = fields[0]
+        if name not in netlist._cell_by_name:
+            raise ValueError(f"{path}: unknown cell {name!r}")
+        x = float(fields[1]) * unit
+        y = float(fields[2]) * unit
+        layer = 0
+        if len(fields) > 3:
+            try:
+                layer = int(fields[3])
+            except ValueError:
+                layer = 0  # orientation token such as ": N"
+        cell = netlist.cell(name)
+        cx = x + 0.5 * cell.width
+        cy = y + 0.5 * cell.height
+        positions[name] = (cx, cy, layer)
+        if cell.fixed:
+            cell.fixed_position = (cx, cy, layer)
+    return positions
+
+
+def read_bookshelf(prefix: str, unit: float = 1e-6,
+                   default_activity: float = 0.2) -> Netlist:
+    """Read ``<prefix>.nodes`` and ``<prefix>.nets`` (plus ``.pl`` if
+    present) into a fresh netlist."""
+    netlist = Netlist(name=os.path.basename(prefix))
+    read_nodes(prefix + ".nodes", netlist, unit=unit)
+    read_nets(prefix + ".nets", netlist, default_activity=default_activity)
+    if os.path.exists(prefix + ".pl"):
+        read_pl(prefix + ".pl", netlist, unit=unit)
+    netlist.validate()
+    return netlist
+
+
+def write_nodes(path: str, netlist: Netlist, unit: float = 1e-6) -> None:
+    """Write a ``.nodes`` file (signal cells only)."""
+    with open(path, "w") as f:
+        f.write("UCLA nodes 1.0\n")
+        f.write(f"NumNodes : {netlist.num_cells}\n")
+        f.write(f"NumTerminals : {len(netlist.fixed_cells())}\n")
+        for cell in netlist.cells:
+            w = cell.width / unit
+            h = cell.height / unit
+            suffix = " terminal" if cell.fixed else ""
+            f.write(f"  {cell.name} {w:.6f} {h:.6f}{suffix}\n")
+
+
+def write_nets(path: str, netlist: Netlist) -> None:
+    """Write a ``.nets`` file (signal nets only; TRR nets are virtual)."""
+    nets = netlist.signal_nets()
+    num_pins = sum(n.degree for n in nets)
+    with open(path, "w") as f:
+        f.write("UCLA nets 1.0\n")
+        f.write(f"NumNets : {len(nets)}\n")
+        f.write(f"NumPins : {num_pins}\n")
+        for net in nets:
+            f.write(f"NetDegree : {net.degree} {net.name}\n")
+            for cid, role in net.pins:
+                f.write(f"  {netlist.cells[cid].name} "
+                        f"{_DIRECTION_OF_ROLE[role]}\n")
+
+
+def write_pl(path: str, netlist: Netlist, positions, unit: float = 1e-6
+             ) -> None:
+    """Write a ``.pl`` file from a :class:`Placement`-like object with
+    ``x``/``y``/``z`` arrays (cell centres; corners are written)."""
+    with open(path, "w") as f:
+        f.write("UCLA pl 1.0\n")
+        for cell in netlist.cells:
+            x = (positions.x[cell.id] - 0.5 * cell.width) / unit
+            y = (positions.y[cell.id] - 0.5 * cell.height) / unit
+            z = int(positions.z[cell.id])
+            f.write(f"  {cell.name} {x:.6f} {y:.6f} {z}\n")
+
+
+def write_bookshelf(prefix: str, netlist: Netlist, positions=None,
+                    unit: float = 1e-6) -> None:
+    """Write ``<prefix>.nodes`` / ``.nets`` (and ``.pl`` when positions
+    are given)."""
+    write_nodes(prefix + ".nodes", netlist, unit=unit)
+    write_nets(prefix + ".nets", netlist)
+    if positions is not None:
+        write_pl(prefix + ".pl", netlist, positions, unit=unit)

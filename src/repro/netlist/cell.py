@@ -1,0 +1,45 @@
+"""Standard cells and fixed terminals."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+
+@dataclass
+class Cell:
+    """A standard cell (or a fixed terminal / IO pad).
+
+    Attributes:
+        id: dense integer index assigned by the owning netlist.
+        name: instance name, unique within the netlist.
+        width: footprint width in metres.
+        height: footprint height in metres (the row height for movable
+            standard cells).
+        fixed: True for terminals/pads that the placer must not move.
+        fixed_position: ``(x, y, layer)`` for fixed cells, else ``None``.
+            x/y are the cell centre in metres.
+    """
+
+    id: int
+    name: str
+    width: float
+    height: float
+    fixed: bool = False
+    fixed_position: Optional[Tuple[float, float, int]] = None
+
+    def __post_init__(self) -> None:
+        if self.width < 0 or self.height < 0:
+            raise ValueError(f"cell {self.name}: negative dimensions")
+        if self.fixed and self.fixed_position is None:
+            raise ValueError(f"cell {self.name}: fixed cells need a position")
+
+    @property
+    def area(self) -> float:
+        """Footprint area, square metres."""
+        return self.width * self.height
+
+    @property
+    def movable(self) -> bool:
+        """Whether the placer is allowed to move this cell."""
+        return not self.fixed

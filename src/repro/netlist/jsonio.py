@@ -1,0 +1,123 @@
+"""JSON checkpointing of netlists and placements.
+
+Bookshelf covers interchange with other tools; JSON checkpoints cover
+round-tripping *everything* this library knows about a design —
+including pin roles, switching activities and TRR flags that Bookshelf
+cannot express — so an experiment can be paused, archived and resumed
+bit-exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+import numpy as np
+
+from repro.geometry.chip import ChipGeometry
+from repro.netlist.net import PinRole
+from repro.netlist.netlist import Netlist
+from repro.netlist.placement import Placement
+
+FORMAT_VERSION = 1
+
+
+def netlist_to_dict(netlist: Netlist) -> dict:
+    """Serializable representation of a netlist."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": netlist.name,
+        "cells": [
+            {
+                "name": c.name,
+                "width": c.width,
+                "height": c.height,
+                "fixed": c.fixed,
+                "fixed_position": (list(c.fixed_position)
+                                   if c.fixed_position else None),
+            }
+            for c in netlist.cells
+        ],
+        "nets": [
+            {
+                "name": n.name,
+                "pins": [[cid, role.value] for cid, role in n.pins],
+                "activity": n.activity,
+                "is_trr": n.is_trr,
+            }
+            for n in netlist.nets
+        ],
+    }
+
+
+def netlist_from_dict(data: dict) -> Netlist:
+    """Rebuild a netlist from :func:`netlist_to_dict` output."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version "
+                         f"{data.get('version')!r}")
+    netlist = Netlist(name=data["name"])
+    for c in data["cells"]:
+        pos = tuple(c["fixed_position"]) if c["fixed_position"] else None
+        netlist.add_cell(c["name"], c["width"], c["height"],
+                         fixed=c["fixed"], fixed_position=pos)
+    for n in data["nets"]:
+        pins = [(cid, PinRole(role)) for cid, role in n["pins"]]
+        netlist.add_net(n["name"], pins, activity=n["activity"],
+                        is_trr=n["is_trr"])
+    netlist.validate()
+    return netlist
+
+
+def placement_to_dict(placement: Placement) -> dict:
+    """Serializable representation of a placement (chip + coordinates)."""
+    chip = placement.chip
+    return {
+        "version": FORMAT_VERSION,
+        "chip": {
+            "width": chip.width,
+            "height": chip.height,
+            "num_layers": chip.num_layers,
+            "row_height": chip.row_height,
+            "row_pitch": chip.row_pitch,
+            "layer_thickness": chip.layer_thickness,
+            "interlayer_thickness": chip.interlayer_thickness,
+            "substrate_thickness": chip.substrate_thickness,
+        },
+        "x": placement.x.tolist(),
+        "y": placement.y.tolist(),
+        "z": placement.z.tolist(),
+    }
+
+
+def placement_from_dict(data: dict, netlist: Netlist) -> Placement:
+    """Rebuild a placement over an existing netlist."""
+    if data.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported checkpoint version "
+                         f"{data.get('version')!r}")
+    chip = ChipGeometry(**data["chip"])
+    return Placement(netlist, chip,
+                     x=np.array(data["x"]),
+                     y=np.array(data["y"]),
+                     z=np.array(data["z"], dtype=np.int64))
+
+
+def save_checkpoint(path: str, netlist: Netlist,
+                    placement: Optional[Placement] = None) -> None:
+    """Write a JSON checkpoint of a design (and optionally its
+    placement)."""
+    payload = {"netlist": netlist_to_dict(netlist)}
+    if placement is not None:
+        payload["placement"] = placement_to_dict(placement)
+    with open(path, "w") as f:
+        json.dump(payload, f)
+
+
+def load_checkpoint(path: str):
+    """Read a checkpoint; returns ``(netlist, placement_or_None)``."""
+    with open(path) as f:
+        payload = json.load(f)
+    netlist = netlist_from_dict(payload["netlist"])
+    placement = None
+    if "placement" in payload:
+        placement = placement_from_dict(payload["placement"], netlist)
+    return netlist, placement

@@ -1,0 +1,22 @@
+"""Multilevel hypergraph bisection (our stand-in for hMetis [15]).
+
+The paper's global placer calls hMetis for every recursive bisection.
+hMetis is closed-source, so this subpackage implements the same
+functionality from scratch:
+
+- :class:`~repro.partition.hypergraph.Hypergraph` — weighted hypergraphs
+  with fixed (terminal-propagated) vertices and contraction;
+- :mod:`~repro.partition.fm` — Fiduccia–Mattheyses refinement with
+  float net weights, balance tolerance and a lazy-deletion heap;
+- :mod:`~repro.partition.multilevel` — heavy-edge coarsening, portfolio
+  initial partitioning and V-cycle refinement.
+
+The entry point is :func:`~repro.partition.multilevel.bisect`.
+"""
+
+from repro.partition.hypergraph import Hypergraph
+from repro.partition.fm import FMRefiner, cut_cost
+from repro.partition.multilevel import BisectionConfig, bisect
+
+__all__ = ["Hypergraph", "FMRefiner", "cut_cost",
+           "BisectionConfig", "bisect"]

@@ -1,0 +1,266 @@
+"""Fiduccia–Mattheyses bisection refinement with float net weights.
+
+Classic FM uses integer gain buckets; the placer's net weights are real
+numbers (thermal net weights, Eq. 8 of the paper), so this implementation
+keeps move candidates in a lazy-deletion binary heap instead.  Gains are
+maintained incrementally with the standard FM critical-net update rules,
+so each move costs O(pins on critical nets), not O(neighbourhood size).
+
+Each pass moves vertices one at a time (always the best *legal* move),
+locks them, and finally rolls back to the best prefix seen — exactly the
+FM schedule, with a balance window ``[target - tol, target + tol]`` on
+part 0's share of the free vertex weight.
+
+The inner loop deliberately uses plain Python lists: the hypergraphs have
+tiny nets, where list indexing beats NumPy scalar access several-fold,
+and this loop dominates total placement runtime.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.partition.hypergraph import FREE, Hypergraph
+
+
+def cut_cost(graph: Hypergraph, parts) -> float:
+    """Weighted cut of a bisection: sum of weights of nets with pins on
+    both sides."""
+    side = list(parts)
+    total = 0.0
+    for pins, w in zip(graph.nets, graph.net_weights):
+        if not pins:
+            continue
+        first = side[pins[0]]
+        for p in pins:
+            if side[p] != first:
+                total += w
+                break
+    return total
+
+
+class FMRefiner:
+    """One FM refinement engine bound to a hypergraph.
+
+    Args:
+        graph: the hypergraph to refine.
+        target: desired fraction of *free* vertex weight in part 0.
+        tolerance: allowed deviation of that fraction (absolute).
+        rng: random generator for tie-breaking order.
+    """
+
+    def __init__(self, graph: Hypergraph, target: float = 0.5,
+                 tolerance: float = 0.05,
+                 rng: Optional[np.random.Generator] = None):
+        if not 0.0 < target < 1.0:
+            raise ValueError("target must be in (0, 1)")
+        if tolerance < 0:
+            raise ValueError("tolerance must be non-negative")
+        self.graph = graph
+        self.target = target
+        self.tolerance = tolerance
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        free_w = graph.free_weight
+        half = tolerance * free_w
+        # The window must leave room to move the heaviest free vertex out
+        # of a perfectly balanced state, or FM deadlocks immediately.
+        movable = graph.fixed == FREE
+        if movable.any():
+            biggest = float(graph.vertex_weights[movable].max())
+            half = max(half, biggest)
+        self.lo = target * free_w - half
+        self.hi = target * free_w + half
+
+    # ------------------------------------------------------------------
+    def refine(self, parts: np.ndarray, max_passes: int = 8) -> float:
+        """Run FM passes in place until no pass improves the cut.
+
+        Args:
+            parts: 0/1 side of each vertex; modified in place.  Fixed
+                vertices must already sit on their pinned side.
+            max_passes: upper bound on passes.
+
+        Returns:
+            The final weighted cut cost.
+        """
+        g = self.graph
+        for v in range(g.num_vertices):
+            if g.fixed[v] != FREE and parts[v] != g.fixed[v]:
+                raise ValueError(
+                    f"vertex {v} is fixed to side {g.fixed[v]} "
+                    f"but assigned to {parts[v]}")
+        cost = cut_cost(g, parts)
+        side = [int(p) for p in parts]
+        for _ in range(max_passes):
+            improvement, kept_moves = self._pass(side)
+            cost -= improvement
+            # A pass that kept moves without improving the cut was a
+            # balance repair; give the next pass a chance to optimize
+            # from the now-feasible state.
+            if improvement <= 1e-15 and kept_moves == 0:
+                break
+        parts[:] = side
+        return cost
+
+    # ------------------------------------------------------------------
+    def _pass(self, side: List[int]) -> Tuple[float, int]:
+        """One FM pass over ``side`` (mutated in place).
+
+        Returns:
+            ``(improvement, kept_moves)`` — the cut improvement of the
+            kept prefix (may be negative if the prefix was kept to
+            repair an out-of-window balance) and its length.
+        """
+        g = self.graph
+        n = g.num_vertices
+        nets = g.nets
+        net_w = g.net_weights
+        vnets = g.vertex_nets_all()
+        vw = [float(w) for w in g.vertex_weights]
+        free = [f == FREE for f in g.fixed]
+
+        # pins of each net on each side
+        counts: List[List[int]] = []
+        for pins in nets:
+            c1 = 0
+            for p in pins:
+                c1 += side[p]
+            counts.append([len(pins) - c1, c1])
+
+        # initial gains, computed net-by-net from the critical patterns
+        gains = [0.0] * n
+        for e, pins in enumerate(nets):
+            w = net_w[e]
+            c0, c1 = counts[e]
+            if c0 == 0 or c1 == 0:
+                for p in pins:
+                    gains[p] -= w
+            else:
+                if c0 == 1:
+                    for p in pins:
+                        if side[p] == 0:
+                            gains[p] += w
+                            break
+                if c1 == 1:
+                    for p in pins:
+                        if side[p] == 1:
+                            gains[p] += w
+                            break
+
+        weight0 = 0.0
+        for v in range(n):
+            if free[v] and side[v] == 0:
+                weight0 += vw[v]
+
+        locked = [False] * n
+        stamp = [0] * n
+        noise = self.rng.random(n).tolist()
+        heap: List[Tuple[float, float, int, int]] = [
+            (-gains[v], noise[v], v, 0) for v in range(n) if free[v]]
+        heapq.heapify(heap)
+
+        moves: List[int] = []
+        cum_gain = 0.0
+        lo, hi = self.lo, self.hi
+
+        def violation(w0: float) -> float:
+            return max(0.0, lo - w0, w0 - hi)
+
+        # Best prefix: feasibility (smallest balance violation) first,
+        # then cut gain — otherwise moves that only repair an
+        # out-of-window start would always be rolled back.
+        best_key = (violation(weight0), 0.0)
+        best_gain = 0.0
+        best_prefix = 0
+        deferred: List[Tuple[float, float, int, int]] = []
+
+        while heap:
+            item = heapq.heappop(heap)
+            neg_gain, _, v, st = item
+            if locked[v] or st != stamp[v]:
+                continue
+            w = vw[v]
+            new_w0 = weight0 - w if side[v] == 0 else weight0 + w
+            if not self._legal(new_w0, weight0, lo, hi):
+                # Set aside until the balance changes (the next applied
+                # move re-queues it).  Every pop consumes a heap entry,
+                # so the pass terminates.
+                deferred.append(item)
+                continue
+            for it in deferred:
+                if not locked[it[2]]:
+                    heapq.heappush(heap, it)
+            deferred.clear()
+
+            # ---- apply the move with FM critical-net gain updates ----
+            frm = side[v]
+            to = 1 - frm
+            delta = {}
+            for e in vnets[v]:
+                pins = nets[e]
+                we = net_w[e]
+                c = counts[e]
+                t_before = c[to]
+                if t_before == 0:
+                    for u in pins:
+                        if u != v and free[u] and not locked[u]:
+                            delta[u] = delta.get(u, 0.0) + we
+                elif t_before == 1:
+                    for u in pins:
+                        if side[u] == to:
+                            if free[u] and not locked[u]:
+                                delta[u] = delta.get(u, 0.0) - we
+                            break
+                c[frm] -= 1
+                c[to] += 1
+                f_after = c[frm]
+                if f_after == 0:
+                    for u in pins:
+                        if u != v and free[u] and not locked[u]:
+                            delta[u] = delta.get(u, 0.0) - we
+                elif f_after == 1:
+                    for u in pins:
+                        if u != v and side[u] == frm:
+                            if free[u] and not locked[u]:
+                                delta[u] = delta.get(u, 0.0) + we
+                            break
+            side[v] = to
+            weight0 = new_w0
+            locked[v] = True
+            moves.append(v)
+            cum_gain += -neg_gain
+            viol = violation(weight0)
+            better = (viol < best_key[0] - 1e-15
+                      or (abs(viol - best_key[0]) <= 1e-15
+                          and -cum_gain < best_key[1] - 1e-15))
+            if better:
+                best_key = (viol, -cum_gain)
+                best_gain = cum_gain
+                best_prefix = len(moves)
+
+            for u, d in delta.items():
+                if d:
+                    gains[u] += d
+                    stamp[u] += 1
+                    heapq.heappush(heap, (-gains[u], noise[u], u, stamp[u]))
+
+        # roll back to the best prefix
+        for v in moves[best_prefix:]:
+            side[v] = 1 - side[v]
+        return best_gain, best_prefix
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _legal(new_w0: float, cur_w0: float, lo: float, hi: float) -> bool:
+        """A move is legal if it lands in the balance window, or at least
+        reduces an existing violation."""
+        if lo <= new_w0 <= hi:
+            return True
+        if cur_w0 < lo:
+            return new_w0 > cur_w0
+        if cur_w0 > hi:
+            return new_w0 < cur_w0
+        return False

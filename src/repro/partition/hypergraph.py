@@ -1,0 +1,155 @@
+"""Weighted hypergraphs with fixed vertices and contraction.
+
+Nets are stored as plain Python lists of distinct vertex ids: the
+placer's nets are tiny (2-4 pins on average), where list operations beat
+NumPy's per-array overhead by a wide margin, and the FM inner loop is the
+hottest code in the whole library.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Marker for vertices free to go to either side.
+FREE = -1
+
+
+class Hypergraph:
+    """A vertex- and net-weighted hypergraph for bisection.
+
+    Attributes:
+        num_vertices: vertex count; vertices are ``0..num_vertices-1``.
+        nets: list of pin lists; each pin list holds distinct vertex ids.
+        net_weights: list of floats, cost of cutting each net.
+        vertex_weights: float array, balance weight of each vertex
+            (cell area in the placer; fixed vertices conventionally get
+            weight 0 because they do not occupy the region being split).
+        fixed: int array; ``FREE`` (-1) for movable vertices, else the
+            side (0/1) the vertex is pinned to.  Used for terminal
+            propagation.
+    """
+
+    def __init__(self, num_vertices: int,
+                 nets: Sequence[Sequence[int]],
+                 net_weights: Optional[Sequence[float]] = None,
+                 vertex_weights: Optional[Sequence[float]] = None,
+                 fixed: Optional[Sequence[int]] = None):
+        self.num_vertices = int(num_vertices)
+        self.nets: List[List[int]] = []
+        for pins in nets:
+            distinct = sorted(set(int(p) for p in pins))
+            if distinct and (distinct[0] < 0
+                             or distinct[-1] >= num_vertices):
+                raise ValueError(f"net pin out of range: {distinct}")
+            self.nets.append(distinct)
+        m = len(self.nets)
+        if net_weights is None:
+            self.net_weights = [1.0] * m
+        else:
+            self.net_weights = [float(w) for w in net_weights]
+        if len(self.net_weights) != m:
+            raise ValueError("net_weights length mismatch")
+        self.vertex_weights = (np.ones(self.num_vertices)
+                               if vertex_weights is None
+                               else np.asarray(vertex_weights, dtype=float))
+        if self.vertex_weights.shape != (self.num_vertices,):
+            raise ValueError("vertex_weights length mismatch")
+        self.fixed = (np.full(self.num_vertices, FREE, dtype=np.int64)
+                      if fixed is None
+                      else np.asarray(fixed, dtype=np.int64))
+        if self.fixed.shape != (self.num_vertices,):
+            raise ValueError("fixed length mismatch")
+        self._vertex_nets: Optional[List[List[int]]] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nets(self) -> int:
+        """Number of nets."""
+        return len(self.nets)
+
+    @property
+    def free_weight(self) -> float:
+        """Total balance weight of movable vertices."""
+        return float(self.vertex_weights[self.fixed == FREE].sum())
+
+    def vertex_nets_all(self) -> List[List[int]]:
+        """Incidence lists: for each vertex, the indices of its nets."""
+        if self._vertex_nets is None:
+            incidence: List[List[int]] = [[] for _ in
+                                          range(self.num_vertices)]
+            for e, pins in enumerate(self.nets):
+                for p in pins:
+                    incidence[p].append(e)
+            self._vertex_nets = incidence
+        return self._vertex_nets
+
+    def vertex_nets(self, v: int) -> List[int]:
+        """Indices of nets incident to vertex ``v``."""
+        return self.vertex_nets_all()[v]
+
+    def neighbors_scored(self, v: int) -> Dict[int, float]:
+        """Heavy-edge connectivity scores of v's hypergraph neighbours.
+
+        Each shared net ``e`` contributes ``w_e / (|e| - 1)`` — the
+        standard heavy-edge rating for hypergraph coarsening.
+        """
+        scores: Dict[int, float] = {}
+        for e in self.vertex_nets(v):
+            pins = self.nets[e]
+            if len(pins) < 2:
+                continue
+            share = self.net_weights[e] / (len(pins) - 1)
+            for u in pins:
+                if u != v:
+                    scores[u] = scores.get(u, 0.0) + share
+        return scores
+
+    # ------------------------------------------------------------------
+    def contract(self, match: np.ndarray) -> Tuple["Hypergraph", np.ndarray]:
+        """Contract the hypergraph along a vertex map.
+
+        Args:
+            match: array mapping each vertex to its *group representative*
+                (any vertex id; vertices sharing a representative merge).
+
+        Returns:
+            ``(coarse, vertex_map)`` where ``vertex_map[v]`` is the coarse
+            vertex id of fine vertex ``v``.  Coarse vertex weights are
+            summed; coarse nets drop duplicate pins, single-pin nets are
+            removed, and parallel nets are merged with summed weights.
+            Fixed sides propagate (merging differently-fixed vertices is
+            an error).
+        """
+        reps: Dict[int, int] = {}
+        vertex_map = np.empty(self.num_vertices, dtype=np.int64)
+        for v in range(self.num_vertices):
+            r = int(match[v])
+            if r not in reps:
+                reps[r] = len(reps)
+            vertex_map[v] = reps[r]
+        n_coarse = len(reps)
+
+        weights = np.zeros(n_coarse)
+        fixed = np.full(n_coarse, FREE, dtype=np.int64)
+        for v in range(self.num_vertices):
+            c = vertex_map[v]
+            weights[c] += self.vertex_weights[v]
+            if self.fixed[v] != FREE:
+                if fixed[c] != FREE and fixed[c] != self.fixed[v]:
+                    raise ValueError(
+                        "cannot merge vertices fixed to different sides")
+                fixed[c] = self.fixed[v]
+
+        merged: Dict[Tuple[int, ...], float] = {}
+        for e, pins in enumerate(self.nets):
+            coarse_pins = tuple(sorted(set(int(vertex_map[p])
+                                           for p in pins)))
+            if len(coarse_pins) < 2:
+                continue
+            merged[coarse_pins] = (merged.get(coarse_pins, 0.0)
+                                   + self.net_weights[e])
+        coarse = Hypergraph(n_coarse, list(merged.keys()),
+                            list(merged.values()), weights, fixed)
+        return coarse, vertex_map

@@ -1,0 +1,107 @@
+"""K-way partitioning by recursive bisection.
+
+The placer only ever bisects, but a k-way split of a netlist is useful
+on its own (floorplanning studies, the Rent estimator, multi-die
+assignment).  This applies the multilevel bisector recursively with
+balanced target fractions, the standard construction hMetis also offers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.partition.fm import cut_cost
+from repro.partition.hypergraph import FREE, Hypergraph
+from repro.partition.multilevel import BisectionConfig, bisect
+
+
+def partition_kway(graph: Hypergraph, k: int,
+                   config: Optional[BisectionConfig] = None
+                   ) -> Tuple[np.ndarray, float]:
+    """Split a hypergraph into ``k`` balanced parts.
+
+    Parts are produced by recursive bisection with target fractions
+    proportional to the number of final parts on each side, so any
+    ``k`` (not only powers of two) comes out balanced.
+
+    Args:
+        graph: the hypergraph; fixed vertices are only supported for
+            ``k == 2`` (they pin to sides, which has no unique meaning
+            across an arbitrary recursion tree).
+        k: number of parts (>= 1).
+        config: bisection parameters for every internal split.
+
+    Returns:
+        ``(parts, total_cut)`` — part index per vertex in ``0..k-1``
+        and the weighted k-way cut (each net spanning >1 part counts
+        once).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k > max(graph.num_vertices, 1):
+        raise ValueError("more parts than vertices")
+    if k > 2 and (graph.fixed != FREE).any():
+        raise ValueError("fixed vertices are only supported for k == 2")
+    config = config or BisectionConfig()
+    parts = np.zeros(graph.num_vertices, dtype=np.int64)
+    if k == 1 or graph.num_vertices == 0:
+        return parts, 0.0
+
+    rng = np.random.default_rng(config.seed)
+
+    def split(vertex_ids: List[int], k_here: int, base: int) -> None:
+        if k_here == 1 or len(vertex_ids) <= 1:
+            parts[vertex_ids] = base
+            return
+        k_left = k_here // 2
+        k_right = k_here - k_left
+        local = {cid: i for i, cid in enumerate(vertex_ids)}
+        sub_nets = []
+        sub_weights = []
+        for pins, w in zip(graph.nets, graph.net_weights):
+            inside = [local[p] for p in pins if p in local]
+            if len(inside) >= 2:
+                sub_nets.append(inside)
+                sub_weights.append(w)
+        sub = Hypergraph(len(vertex_ids), sub_nets, sub_weights,
+                         graph.vertex_weights[vertex_ids],
+                         graph.fixed[vertex_ids] if k_here == 2
+                         and len(vertex_ids) == graph.num_vertices
+                         else None)
+        sub_config = BisectionConfig(
+            target=k_left / k_here,
+            tolerance=config.tolerance,
+            coarsen_to=config.coarsen_to,
+            num_starts=config.num_starts,
+            max_passes=config.max_passes,
+            seed=int(rng.integers(0, 2 ** 31)))
+        side, _ = bisect(sub, sub_config)
+        left = [cid for cid in vertex_ids if side[local[cid]] == 0]
+        right = [cid for cid in vertex_ids if side[local[cid]] == 1]
+        if not left or not right:
+            # degenerate split: fall back to a size-based slice
+            ordered = list(vertex_ids)
+            cut_at = max(1, len(ordered) * k_left // k_here)
+            left, right = ordered[:cut_at], ordered[cut_at:]
+        split(left, k_left, base)
+        split(right, k_right, base + k_left)
+
+    split(list(range(graph.num_vertices)), k, 0)
+    return parts, kway_cut(graph, parts)
+
+
+def kway_cut(graph: Hypergraph, parts: np.ndarray) -> float:
+    """Weighted k-way cut: nets spanning more than one part, counted
+    once each."""
+    total = 0.0
+    for pins, w in zip(graph.nets, graph.net_weights):
+        if not pins:
+            continue
+        first = parts[pins[0]]
+        for p in pins:
+            if parts[p] != first:
+                total += w
+                break
+    return total

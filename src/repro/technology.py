@@ -1,0 +1,133 @@
+"""Process / technology parameters (Table 2 of the paper).
+
+All values default to the paper's experimental setup: MIT Lincoln Labs'
+0.18 um 3D FD-SOI stack [17][18] for the vertical dimensions and thermal
+conductivity, capacitances from [19], a 100 nm technology node, and a
+forced-convection heat sink on the bottom of the bulk substrate.
+
+Two electrical parameters the power model (Eq. 4) needs are not listed
+in Table 2 — clock frequency and supply voltage.  We default to 2 GHz
+and 1.2 V (typical for a 100 nm node); with the suite's switching
+activities this lands average temperatures in the same few-to-tens-of-
+kelvin-above-ambient range the paper's Figure 6 reports.  Both are
+plain fields, so they can be overridden.
+
+Temperatures throughout the library are measured *relative to ambient*
+(the paper sets ambient to 0 C, so the numbers coincide).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class TechnologyConfig:
+    """Process and package parameters.
+
+    Attributes (defaults = Table 2):
+        technode: feature size, metres (informational).
+        substrate_thickness: bulk substrate below layer 0, metres.
+        layer_thickness: one active layer, metres.
+        interlayer_thickness: bond/dielectric between layers, metres.
+        thermal_conductivity: effective conductivity of the *active
+            stack* (thin silicon layers + oxide bonds), W/(m K).
+        substrate_conductivity: bulk silicon substrate, W/(m K).  Table 2
+            lists only the effective stack value; using it for the 500 um
+            substrate would make the substrate dominate every thermal
+            path and erase the vertical sensitivity the paper's Figure 8
+            demonstrates, so the substrate gets bulk silicon's
+            conductivity.
+        whitespace: fraction of row area left unfilled.
+        inter_row_space: inter-row gap as a fraction of row height.
+        cap_per_wirelength: lateral interconnect capacitance, F/m.
+        cap_per_via_length: interlayer-via capacitance, F/m of via.
+        input_pin_cap: input pin capacitance, F.
+        ambient_temperature: heat-sink fluid temperature, degrees C
+            (temperature *offsets* are what the models compute; this is
+            only used when absolute values are printed).
+        heat_sink_convection: convection coefficient at the heat-sink
+            face, W/(m^2 K).
+        substrate_in_thermal_path: whether the 500 um bulk substrate
+            conducts between layer 0 and the heat sink.  The paper's FEA
+            reference ([2], Goplen & Sapatnekar ICCAD'03) meshes the
+            active stack and applies the convective heat-sink boundary at
+            its bottom face; with the substrate in series the vertical
+            resistance gradient collapses to ~1.4x and the 19-33%
+            temperature reductions of Figures 8-9 become unreachable, so
+            the default matches [2] (False).  Set True to study a
+            package where the full substrate separates die and sink.
+        secondary_convection: convection at the top and side faces,
+            W/(m^2 K); tiny compared to the heat sink (natural
+            convection), which is why heat sinking is primarily in -z.
+        clock_frequency: Hz (assumption, see module docstring).
+        vdd: supply voltage, volts (assumption).
+        leakage_power_density: static power per unit cell area,
+            W/m^2.  The paper notes "leakage power could be added to
+            P_j^cell" (Section 3.2); zero (the default) reproduces the
+            paper's dynamic-only model, a positive value adds an
+            area-proportional static component that the TRR weights and
+            the thermal term then see.
+    """
+
+    technode: float = 100e-9
+    substrate_thickness: float = 500e-6
+    layer_thickness: float = 5.7e-6
+    interlayer_thickness: float = 0.7e-6
+    thermal_conductivity: float = 10.2
+    substrate_conductivity: float = 150.0
+    whitespace: float = 0.05
+    inter_row_space: float = 0.25
+    cap_per_wirelength: float = 73.8e-12
+    cap_per_via_length: float = 1480e-12
+    input_pin_cap: float = 0.350e-15
+    ambient_temperature: float = 0.0
+    heat_sink_convection: float = 1e6
+    substrate_in_thermal_path: bool = False
+    secondary_convection: float = 10.0
+    clock_frequency: float = 2e9
+    vdd: float = 1.2
+    leakage_power_density: float = 0.0
+
+    def __post_init__(self) -> None:
+        positives = {
+            "substrate_thickness": self.substrate_thickness,
+            "layer_thickness": self.layer_thickness,
+            "thermal_conductivity": self.thermal_conductivity,
+            "substrate_conductivity": self.substrate_conductivity,
+            "heat_sink_convection": self.heat_sink_convection,
+            "clock_frequency": self.clock_frequency,
+            "vdd": self.vdd,
+        }
+        for name, value in positives.items():
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value}")
+        if self.interlayer_thickness < 0:
+            raise ValueError("interlayer_thickness cannot be negative")
+        if not 0 <= self.whitespace < 1:
+            raise ValueError("whitespace must be in [0, 1)")
+        if self.leakage_power_density < 0:
+            raise ValueError("leakage_power_density cannot be negative")
+
+    @property
+    def layer_pitch(self) -> float:
+        """Vertical distance between adjacent active layers, metres."""
+        return self.layer_thickness + self.interlayer_thickness
+
+    @property
+    def cap_per_via(self) -> float:
+        """Capacitance of one interlayer via, farads.
+
+        Table 2 gives via capacitance per metre of via.  An interlayer
+        via connects the top metal of one layer to the next layer through
+        the bonding dielectric, so its electrical length is the
+        interlayer thickness (0.7 um), giving ~1 fF per via — a few input
+        pins' worth, consistent with the paper's observation that via
+        capacitance matters but does not dominate.
+        """
+        return self.cap_per_via_length * self.interlayer_thickness
+
+    @property
+    def switching_energy_scale(self) -> float:
+        """``1/2 * f * Vdd^2`` — the prefactor of Eq. 4, W/F."""
+        return 0.5 * self.clock_frequency * self.vdd ** 2

@@ -1,0 +1,29 @@
+"""Thermal and power models for 3D ICs.
+
+- :class:`~repro.thermal.power.PowerModel` — the dynamic power model of
+  Eqs. 4-5 and the per-cell attribution of Eqs. 10-11, with the PEKO-3D
+  optimal lower bounds of Eqs. 13-15.
+- :class:`~repro.thermal.resistance.ResistanceModel` — the paper's
+  simple straight-path conduction/convection thermal resistances and the
+  vertical profile ``R ~ R0 + Rslope * dz`` that drives TRR nets.
+- :class:`~repro.thermal.solver.ThermalSolver` — a full-chip
+  finite-volume temperature solver (the evaluation-side substitute for
+  the paper's FEA, see DESIGN.md substitution #3).
+- :mod:`~repro.thermal.analysis` — temperature summaries of placements.
+"""
+
+from repro.thermal.power import PekoOptimal, PowerModel
+from repro.thermal.resistance import ResistanceModel, VerticalProfile
+from repro.thermal.solver import ThermalSolver, TemperatureField
+from repro.thermal.analysis import ThermalSummary, analyze_placement
+
+__all__ = [
+    "PowerModel",
+    "PekoOptimal",
+    "ResistanceModel",
+    "VerticalProfile",
+    "ThermalSolver",
+    "TemperatureField",
+    "ThermalSummary",
+    "analyze_placement",
+]

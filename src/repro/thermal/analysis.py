@@ -1,0 +1,68 @@
+"""Placement-level thermal summaries (the paper's evaluation metrics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.metrics.wirelength import NetMetrics, compute_net_metrics
+from repro.netlist.placement import Placement
+from repro.technology import TechnologyConfig
+from repro.thermal.power import PowerModel
+from repro.thermal.solver import TemperatureField, ThermalSolver
+
+
+@dataclass
+class ThermalSummary:
+    """Thermal evaluation of one placement.
+
+    Attributes:
+        total_power: total dynamic power, watts.
+        average_temperature: mean cell temperature above ambient, kelvin
+            (the "average temperature" of the paper's Figures 6, 8, 9).
+        max_temperature: hottest cell temperature above ambient, kelvin.
+        field: the full solved temperature field.
+        cell_temperatures: kelvin above ambient, indexed by cell id.
+    """
+
+    total_power: float
+    average_temperature: float
+    max_temperature: float
+    field: TemperatureField
+    cell_temperatures: np.ndarray
+
+
+def analyze_placement(placement: Placement,
+                      tech: Optional[TechnologyConfig] = None,
+                      power_model: Optional[PowerModel] = None,
+                      solver: Optional[ThermalSolver] = None,
+                      metrics: Optional[NetMetrics] = None
+                      ) -> ThermalSummary:
+    """Run the evaluation-side thermal flow on a placement.
+
+    Computes net geometry, dynamic power (Eqs. 4-5), attributes power to
+    driver cells (Eq. 10, no floors — real geometry is available at
+    evaluation time), solves the full-chip temperature field, and reads
+    back per-cell temperatures.
+    """
+    tech = tech or TechnologyConfig()
+    power_model = power_model or PowerModel(placement.netlist, tech)
+    solver = solver or ThermalSolver(placement.chip, tech)
+    if metrics is None:
+        metrics = compute_net_metrics(placement)
+    cell_powers = power_model.cell_powers(metrics)
+    field = solver.solve_placement(placement, cell_powers)
+    cell_temps = field.cell_temperatures(placement)
+    movable = np.array([c.movable for c in placement.netlist.cells],
+                       dtype=bool)
+    seen = cell_temps[movable] if movable.any() else cell_temps
+    return ThermalSummary(
+        total_power=float(power_model.net_powers(metrics).sum()
+                          + power_model.leakage_powers().sum()),
+        average_temperature=float(seen.mean()) if len(seen) else 0.0,
+        max_temperature=float(seen.max()) if len(seen) else 0.0,
+        field=field,
+        cell_temperatures=cell_temps,
+    )

@@ -1,0 +1,257 @@
+"""Full-chip steady-state temperature solver (finite-volume network).
+
+The paper evaluates its placements with finite-element analysis [2],
+with convective boundary conditions at the heat sink under the bulk
+substrate.  We discretize the same physics as a finite-volume resistive
+network: hexahedral control volumes on a regular ``nx x ny`` lateral
+grid, one volume plane per active layer plus several planes through the
+bulk substrate, conduction conductances between face-adjacent volumes
+(``G = k A / d``) and a convective film conductance (``G = h A``) from
+every boundary face to ambient.  On a regular hexahedral mesh with
+piecewise-constant material properties this is the same discrete system
+first-order FEA produces (DESIGN.md substitution #3).
+
+Temperatures are solved from ``G T = P`` with a sparse direct solve and
+reported relative to ambient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.sparse import coo_matrix, csr_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.geometry.chip import ChipGeometry
+from repro.netlist.placement import Placement
+from repro.technology import TechnologyConfig
+
+
+@dataclass
+class TemperatureField:
+    """A solved temperature field.
+
+    Attributes:
+        chip: the geometry the field was solved on.
+        nx, ny: lateral grid resolution.
+        active: temperatures of the active-layer volumes above ambient,
+            shape ``(nx, ny, num_layers)``, kelvin.
+        substrate: temperatures of the substrate volume planes,
+            shape ``(nx, ny, n_substrate)``, kelvin (plane 0 is adjacent
+            to the heat sink).
+    """
+
+    chip: ChipGeometry
+    nx: int
+    ny: int
+    active: np.ndarray
+    substrate: np.ndarray
+
+    def at(self, x: float, y: float, layer: int) -> float:
+        """Temperature above ambient at a point on an active layer."""
+        i = min(max(int(x / self.chip.width * self.nx), 0), self.nx - 1)
+        j = min(max(int(y / self.chip.height * self.ny), 0), self.ny - 1)
+        return float(self.active[i, j, layer])
+
+    def cell_temperatures(self, placement: Placement) -> np.ndarray:
+        """Temperature above ambient at each cell's position."""
+        n = placement.netlist.num_cells
+        out = np.zeros(n)
+        for cid in range(n):
+            out[cid] = self.at(float(placement.x[cid]),
+                               float(placement.y[cid]),
+                               int(placement.z[cid]))
+        return out
+
+    @property
+    def max_temperature(self) -> float:
+        """Hottest active volume, kelvin above ambient."""
+        return float(self.active.max())
+
+    @property
+    def mean_temperature(self) -> float:
+        """Mean active-volume temperature, kelvin above ambient."""
+        return float(self.active.mean())
+
+
+class ThermalSolver:
+    """Finite-volume thermal solver bound to a chip geometry.
+
+    Args:
+        chip: the placement volume.
+        tech: technology parameters (conductivity, film coefficients).
+        nx, ny: lateral grid resolution (defaults scale with aspect).
+        n_substrate: number of volume planes through the bulk substrate;
+            more planes capture lateral heat spreading more accurately.
+            Forced to 0 when the technology excludes the substrate from
+            the thermal path (the paper's [2]-style boundary condition,
+            the default) — the heat-sink film then sits directly under
+            layer 0.
+    """
+
+    def __init__(self, chip: ChipGeometry,
+                 tech: Optional[TechnologyConfig] = None,
+                 nx: int = 16, ny: int = 16, n_substrate: int = 4):
+        if nx < 1 or ny < 1 or n_substrate < 0:
+            raise ValueError("grid resolutions must be positive")
+        self.chip = chip
+        self.tech = tech or TechnologyConfig()
+        self.nx = nx
+        self.ny = ny
+        self.n_substrate = (n_substrate
+                            if self.tech.substrate_in_thermal_path else 0)
+        self._matrix: Optional[csr_matrix] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def _nz(self) -> int:
+        return self.chip.num_layers + self.n_substrate
+
+    def _plane_thickness(self, kz: int) -> float:
+        """Thickness of volume plane ``kz`` (0 = bottom substrate plane)."""
+        if kz < self.n_substrate:
+            return self.chip.substrate_thickness / self.n_substrate
+        return self.chip.layer_thickness
+
+    def _plane_conductivity(self, kz: int) -> float:
+        """Conductivity of volume plane ``kz``: bulk silicon in the
+        substrate, the effective stack value in the active layers."""
+        if kz < self.n_substrate:
+            return self.tech.substrate_conductivity
+        return self.tech.thermal_conductivity
+
+    def _vertical_resistance_per_area(self, kz: int) -> float:
+        """Series thermal resistance (times area) between the centres of
+        planes ``kz`` and ``kz+1``: half of each plane at its own
+        conductivity, plus the bonding dielectric between active layers
+        at the effective stack conductivity."""
+        r = (0.5 * self._plane_thickness(kz) / self._plane_conductivity(kz)
+             + 0.5 * self._plane_thickness(kz + 1)
+             / self._plane_conductivity(kz + 1))
+        if kz >= self.n_substrate:
+            r += (self.chip.interlayer_thickness
+                  / self.tech.thermal_conductivity)
+        return r
+
+    def _node(self, i: int, j: int, kz: int) -> int:
+        return (kz * self.ny + j) * self.nx + i
+
+    def _assemble(self) -> csr_matrix:
+        """Build the conductance matrix once; it depends only on geometry."""
+        if self._matrix is not None:
+            return self._matrix
+        nx, ny, nz = self.nx, self.ny, self._nz
+        dx = self.chip.width / nx
+        dy = self.chip.height / ny
+        rows, cols, vals = [], [], []
+        diag = np.zeros(nx * ny * nz)
+
+        def couple(a: int, b: int, g: float) -> None:
+            rows.append(a)
+            cols.append(b)
+            vals.append(-g)
+            rows.append(b)
+            cols.append(a)
+            vals.append(-g)
+            diag[a] += g
+            diag[b] += g
+
+        h_sink = self.tech.heat_sink_convection
+        h2 = self.tech.secondary_convection
+        for kz in range(nz):
+            t = self._plane_thickness(kz)
+            k_plane = self._plane_conductivity(kz)
+            g_x = k_plane * (dy * t) / dx
+            g_y = k_plane * (dx * t) / dy
+            if kz + 1 < nz:
+                g_z = (dx * dy) / self._vertical_resistance_per_area(kz)
+            for j in range(ny):
+                for i in range(nx):
+                    node = self._node(i, j, kz)
+                    if i + 1 < nx:
+                        couple(node, self._node(i + 1, j, kz), g_x)
+                    if j + 1 < ny:
+                        couple(node, self._node(i, j + 1, kz), g_y)
+                    if kz + 1 < nz:
+                        couple(node, self._node(i, j, kz + 1), g_z)
+                    # boundary films to ambient
+                    g_amb = 0.0
+                    if kz == 0:
+                        # heat-sink face, in series with conduction
+                        # through the half-thickness of the bottom plane
+                        r_film = 1.0 / (h_sink * dx * dy)
+                        r_half = (0.5 * t) / (k_plane * dx * dy)
+                        g_amb += 1.0 / (r_film + r_half)
+                    if kz == nz - 1 and h2 > 0:
+                        g_amb += h2 * dx * dy
+                    if h2 > 0:
+                        if i == 0 or i == nx - 1:
+                            g_amb += h2 * dy * t
+                        if j == 0 or j == ny - 1:
+                            g_amb += h2 * dx * t
+                    diag[node] += g_amb
+
+        n = nx * ny * nz
+        rows.extend(range(n))
+        cols.extend(range(n))
+        vals.extend(diag.tolist())
+        self._matrix = coo_matrix((vals, (rows, cols)),
+                                  shape=(n, n)).tocsr()
+        return self._matrix
+
+    # ------------------------------------------------------------------
+    def solve_powers(self, power_density: np.ndarray) -> TemperatureField:
+        """Solve for a given active-layer power map.
+
+        Args:
+            power_density: watts injected per active-layer volume, shape
+                ``(nx, ny, num_layers)``.
+
+        Returns:
+            The solved :class:`TemperatureField` (relative to ambient).
+        """
+        expected = (self.nx, self.ny, self.chip.num_layers)
+        if power_density.shape != expected:
+            raise ValueError(f"power map shape {power_density.shape}, "
+                             f"expected {expected}")
+        matrix = self._assemble()
+        rhs = np.zeros(self.nx * self.ny * self._nz)
+        for layer in range(self.chip.num_layers):
+            kz = self.n_substrate + layer
+            for j in range(self.ny):
+                for i in range(self.nx):
+                    rhs[self._node(i, j, kz)] = power_density[i, j, layer]
+        temps = spsolve(matrix, rhs)
+        grid = temps.reshape(self._nz, self.ny, self.nx).transpose(2, 1, 0)
+        return TemperatureField(
+            chip=self.chip, nx=self.nx, ny=self.ny,
+            active=grid[:, :, self.n_substrate:].copy(),
+            substrate=grid[:, :, :self.n_substrate].copy())
+
+    def solve_placement(self, placement: Placement,
+                        cell_powers: np.ndarray) -> TemperatureField:
+        """Solve the temperature field of a placement.
+
+        Args:
+            placement: cell positions.
+            cell_powers: watts per cell (e.g. from
+                :meth:`repro.thermal.power.PowerModel.cell_powers`).
+
+        Returns:
+            The solved temperature field.
+        """
+        if cell_powers.shape != (placement.netlist.num_cells,):
+            raise ValueError("cell_powers must be indexed by cell id")
+        pmap = np.zeros((self.nx, self.ny, self.chip.num_layers))
+        for cid in range(placement.netlist.num_cells):
+            p = float(cell_powers[cid])
+            if p == 0.0:
+                continue
+            i = min(max(int(placement.x[cid] / self.chip.width * self.nx),
+                        0), self.nx - 1)
+            j = min(max(int(placement.y[cid] / self.chip.height * self.ny),
+                        0), self.ny - 1)
+            pmap[i, j, int(placement.z[cid])] += p
+        return self.solve_powers(pmap)

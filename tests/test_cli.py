@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+class TestSuiteCommand:
+    def test_lists_profiles(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "ibm01" in out
+        assert "ibm18" in out
+        assert "12282" in out
+
+
+class TestPlaceCommand:
+    def test_place_suite_circuit(self, capsys, tmp_path):
+        out_prefix = str(tmp_path / "result")
+        code = main(["place", "--circuit", "ibm01", "--scale", "0.01",
+                     "--layers", "2", "--out", out_prefix])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "placing ibm01@0.01" in out
+        assert os.path.exists(out_prefix + ".pl")
+        assert os.path.exists(out_prefix + ".nodes")
+
+    def test_place_with_maps(self, capsys):
+        code = main(["place", "--circuit", "ibm01", "--scale", "0.01",
+                     "--layers", "2", "--maps"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cell density, layer 0" in out
+        assert "area util" in out
+
+    def test_place_bookshelf_input(self, capsys, tmp_path):
+        from repro import load_benchmark
+        from repro.netlist import bookshelf
+        prefix = str(tmp_path / "circ")
+        bookshelf.write_bookshelf(prefix, load_benchmark(
+            "ibm01", scale=0.01))
+        code = main(["place", "--bookshelf", prefix, "--layers", "2"])
+        assert code == 0
+        assert "placing circ" in capsys.readouterr().out
+
+    def test_requires_a_source(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["place"])
+
+
+class TestSweepCommand:
+    def test_sweep_prints_curve(self, capsys):
+        code = main(["sweep", "--circuit", "ibm01", "--scale", "0.01",
+                     "--points", "3", "--layers", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alpha_ILV" in out
+        assert out.count("\n") > 5
+        assert "o" in out  # the ascii tradeoff plot

@@ -1,0 +1,72 @@
+"""Tests for the quadratic (force-directed) baseline placer."""
+
+import numpy as np
+import pytest
+
+from repro import PlacementConfig, Placer3D
+from repro.core.detailed import check_legal
+from repro.core.quadratic import QuadraticPlacer, _rank_spread
+from repro.netlist.pads import add_peripheral_pads
+from tests.conftest import make_chip
+
+
+class TestRankSpread:
+    def test_preserves_order(self):
+        values = np.array([5.0, 1.0, 3.0, 2.0])
+        spread = _rank_spread(values, 0.0, 1.0)
+        assert list(np.argsort(spread)) == list(np.argsort(values))
+
+    def test_covers_interval_evenly(self):
+        spread = _rank_spread(np.random.default_rng(0).normal(size=10),
+                              0.0, 10.0)
+        assert spread.min() == pytest.approx(0.5)
+        assert spread.max() == pytest.approx(9.5)
+
+    def test_empty(self):
+        out = _rank_spread(np.array([]), 0.0, 1.0)
+        assert len(out) == 0
+
+
+class TestQuadraticPlacer:
+    def test_legal_result(self, small_netlist, config):
+        result = QuadraticPlacer(small_netlist, config).run()
+        check_legal(result.placement)
+
+    def test_beats_random(self, small_netlist, config):
+        from repro.core.baseline import random_baseline
+        quad = QuadraticPlacer(small_netlist, config).run()
+        rand = random_baseline(small_netlist, config)
+        assert quad.objective < rand.objective
+
+    def test_deterministic(self, small_netlist, config):
+        a = QuadraticPlacer(small_netlist, config).run()
+        b = QuadraticPlacer(small_netlist, config).run()
+        assert np.array_equal(a.placement.x, b.placement.x)
+
+    def test_padded_design_supported(self, config):
+        """Pad anchors enter the quadratic system through the RHS; the
+        solve must succeed and the pads must not move."""
+        from repro.netlist.generator import GeneratorSpec, \
+            generate_netlist
+        nl = generate_netlist(GeneratorSpec(
+            "fd", 150, 150 * 5e-12, seed=17))
+        chip = make_chip(nl, num_layers=config.num_layers)
+        add_peripheral_pads(nl, chip, count=16, seed=3)
+        result = QuadraticPlacer(nl, config, chip=chip).run()
+        check_legal(result.placement)
+        for cell in nl.fixed_cells():
+            assert result.placement.position(cell.id) == \
+                cell.fixed_position
+
+    def test_bisection_beats_quadratic_without_pads(self,
+                                                    medium_netlist,
+                                                    config):
+        quad = QuadraticPlacer(medium_netlist, config).run()
+        main = Placer3D(medium_netlist, config).run()
+        assert main.objective < quad.objective
+
+    def test_single_layer(self, small_netlist):
+        config = PlacementConfig(alpha_ilv=1e-5, num_layers=1, seed=0)
+        result = QuadraticPlacer(small_netlist, config).run()
+        check_legal(result.placement)
+        assert result.ilv == 0

@@ -1,0 +1,11 @@
+"""Run the executable examples embedded in docstrings."""
+
+import doctest
+
+import repro.core.placer
+
+
+def test_placer_docstring_example():
+    results = doctest.testmod(repro.core.placer, verbose=False)
+    assert results.attempted > 0
+    assert results.failed == 0

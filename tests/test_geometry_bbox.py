@@ -1,0 +1,109 @@
+"""Unit tests for repro.geometry.bbox."""
+
+import pytest
+
+from repro.geometry.bbox import BBox3D
+
+
+class TestConstruction:
+    def test_basic_attributes(self):
+        box = BBox3D(0.0, 2.0, 1.0, 4.0, 0, 3)
+        assert box.width == 2.0
+        assert box.height == 3.0
+        assert box.layers == 4
+        assert box.layer_span == 3
+
+    def test_zero_extent_is_valid(self):
+        box = BBox3D(1.0, 1.0, 2.0, 2.0, 1, 1)
+        assert box.width == 0.0
+        assert box.layers == 1
+        assert box.layer_span == 0
+
+    @pytest.mark.parametrize("args", [
+        (2.0, 1.0, 0.0, 1.0, 0, 0),   # xlo > xhi
+        (0.0, 1.0, 2.0, 1.0, 0, 0),   # ylo > yhi
+        (0.0, 1.0, 0.0, 1.0, 2, 1),   # zlo > zhi
+    ])
+    def test_inverted_bounds_rejected(self, args):
+        with pytest.raises(ValueError):
+            BBox3D(*args)
+
+    def test_frozen(self):
+        box = BBox3D(0, 1, 0, 1, 0, 0)
+        with pytest.raises(AttributeError):
+            box.xlo = 5.0
+
+
+class TestGeometry:
+    def test_area_and_half_perimeter(self):
+        box = BBox3D(0.0, 3.0, 0.0, 4.0, 0, 1)
+        assert box.area == 12.0
+        assert box.half_perimeter == 7.0
+
+    def test_center(self):
+        box = BBox3D(0.0, 2.0, 0.0, 6.0, 0, 3)
+        assert box.center == (1.0, 3.0, 1.5)
+
+    def test_contains_point_boundaries_inclusive(self):
+        box = BBox3D(0.0, 1.0, 0.0, 1.0, 0, 2)
+        assert box.contains_point(0.0, 1.0, 0)
+        assert box.contains_point(0.5, 0.5, 2)
+        assert not box.contains_point(1.5, 0.5, 1)
+        assert not box.contains_point(0.5, 0.5, 3)
+
+    def test_clamp_point_inside_is_identity(self):
+        box = BBox3D(0.0, 1.0, 0.0, 1.0, 0, 2)
+        assert box.clamp_point(0.3, 0.7, 1) == (0.3, 0.7, 1)
+
+    def test_clamp_point_projects_outside_point(self):
+        box = BBox3D(0.0, 1.0, 0.0, 1.0, 0, 2)
+        assert box.clamp_point(-1.0, 2.0, 5) == (0.0, 1.0, 2)
+
+
+class TestSetOperations:
+    def test_intersects_overlapping(self):
+        a = BBox3D(0, 2, 0, 2, 0, 1)
+        b = BBox3D(1, 3, 1, 3, 1, 2)
+        assert a.intersects(b)
+        assert b.intersects(a)
+
+    def test_intersects_touching_counts(self):
+        a = BBox3D(0, 1, 0, 1, 0, 0)
+        b = BBox3D(1, 2, 0, 1, 0, 0)
+        assert a.intersects(b)
+
+    def test_disjoint_in_z(self):
+        a = BBox3D(0, 1, 0, 1, 0, 1)
+        b = BBox3D(0, 1, 0, 1, 2, 3)
+        assert not a.intersects(b)
+
+    def test_union_covers_both(self):
+        a = BBox3D(0, 1, 0, 1, 0, 0)
+        b = BBox3D(2, 3, -1, 0.5, 1, 2)
+        u = a.union(b)
+        assert u == BBox3D(0, 3, -1, 1, 0, 2)
+
+    def test_expand_to(self):
+        a = BBox3D(0, 1, 0, 1, 1, 1)
+        e = a.expand_to(2.0, -1.0, 0)
+        assert e == BBox3D(0, 2, -1, 1, 0, 1)
+
+
+class TestOfPoints:
+    def test_of_points_single(self):
+        box = BBox3D.of_points([(1.0, 2.0, 3)])
+        assert box == BBox3D(1.0, 1.0, 2.0, 2.0, 3, 3)
+
+    def test_of_points_many(self):
+        pts = [(0.0, 5.0, 2), (3.0, 1.0, 0), (-1.0, 2.0, 1)]
+        box = BBox3D.of_points(pts)
+        assert box == BBox3D(-1.0, 3.0, 1.0, 5.0, 0, 2)
+
+    def test_of_points_empty_raises(self):
+        with pytest.raises(ValueError):
+            BBox3D.of_points([])
+
+    def test_of_points_matches_half_perimeter_hpwl(self):
+        pts = [(0.0, 0.0, 0), (2.0, 3.0, 1), (1.0, 1.0, 0)]
+        box = BBox3D.of_points(pts)
+        assert box.half_perimeter == pytest.approx(5.0)

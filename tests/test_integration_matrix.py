@@ -1,0 +1,84 @@
+"""Integration matrix: the full pipeline across the configuration space.
+
+Parametrized end-to-end runs asserting the invariants that must hold for
+*every* configuration: legality, objective-cache consistency, metric
+agreement, determinism and layer bounds.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Placer3D, PlacementConfig
+from repro.core.detailed import check_legal
+from repro.core.objective import ObjectiveState
+from repro.metrics.wirelength import compute_net_metrics
+from repro.netlist.generator import GeneratorSpec, generate_netlist
+
+CONFIG_MATRIX = [
+    # (layers, alpha_ilv, alpha_temp, label)
+    (1, 1e-5, 0.0, "2d"),
+    (2, 5e-9, 0.0, "cheap-vias"),
+    (2, 5e-3, 0.0, "costly-vias"),
+    (4, 1e-5, 0.0, "mid"),
+    (4, 1e-5, 1e-5, "thermal-mild"),
+    (4, 1e-5, 4e-4, "thermal-strong"),
+    (4, 1e-5, 1e-5, "trr-only"),
+    (4, 1e-5, 1e-5, "weights-only"),
+    (6, 1e-5, 0.0, "tall"),
+]
+
+
+def make_config(layers, alpha_ilv, alpha_temp, label):
+    return PlacementConfig(
+        alpha_ilv=alpha_ilv, alpha_temp=alpha_temp, num_layers=layers,
+        seed=0,
+        use_trr_nets=(label != "weights-only"),
+        use_thermal_net_weights=(label != "trr-only"))
+
+
+@pytest.fixture(scope="module")
+def circuit():
+    return GeneratorSpec(name="matrix", num_cells=150,
+                         total_area=150 * 5e-12, seed=21)
+
+
+@pytest.mark.parametrize("layers,alpha_ilv,alpha_temp,label",
+                         CONFIG_MATRIX,
+                         ids=[c[3] for c in CONFIG_MATRIX])
+class TestPipelineMatrix:
+    def test_invariants(self, circuit, layers, alpha_ilv, alpha_temp,
+                        label):
+        netlist = generate_netlist(circuit)
+        config = make_config(layers, alpha_ilv, alpha_temp, label)
+        result = Placer3D(netlist, config).run()
+
+        # 1. legality
+        check_legal(result.placement)
+
+        # 2. reported metrics equal recomputed metrics
+        metrics = compute_net_metrics(result.placement)
+        assert result.wirelength == pytest.approx(metrics.total_wl,
+                                                  rel=1e-9)
+        assert result.ilv == metrics.total_ilv
+
+        # 3. objective equals a from-scratch evaluation
+        fresh = ObjectiveState(result.placement, config)
+        assert fresh.total == pytest.approx(result.objective, rel=1e-9)
+
+        # 4. layers within bounds
+        z = result.placement.z
+        assert z.min() >= 0 and z.max() < layers
+
+    def test_determinism(self, circuit, layers, alpha_ilv, alpha_temp,
+                         label):
+        runs = []
+        for _ in range(2):
+            netlist = generate_netlist(circuit)
+            config = make_config(layers, alpha_ilv, alpha_temp, label)
+            result = Placer3D(netlist, config).run()
+            runs.append((result.placement.x.copy(),
+                         result.placement.z.copy(),
+                         result.objective))
+        assert np.array_equal(runs[0][0], runs[1][0])
+        assert np.array_equal(runs[0][1], runs[1][1])
+        assert runs[0][2] == runs[1][2]

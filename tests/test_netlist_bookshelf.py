@@ -1,0 +1,147 @@
+"""Unit tests for the Bookshelf reader/writer."""
+
+import os
+
+import pytest
+
+from repro.geometry.chip import ChipGeometry
+from repro.netlist import bookshelf
+from repro.netlist.net import PinRole
+from repro.netlist.netlist import Netlist
+from repro.netlist.placement import Placement
+
+NODES = """UCLA nodes 1.0
+# comment line
+NumNodes : 4
+NumTerminals : 1
+  a 2.0 1.0
+  b 3.0 1.0
+  c 2.5 1.0
+  p1 1.0 1.0 terminal
+"""
+
+NETS = """UCLA nets 1.0
+NumNets : 2
+NumPins : 5
+NetDegree : 3 n_first
+  a O
+  b I
+  c I
+NetDegree : 2
+  c
+  p1
+"""
+
+PL = """UCLA pl 1.0
+  a 0.0 0.0 0
+  b 4.0 0.0 1
+  c 0.0 2.0 0
+  p1 10.0 10.0 0
+"""
+
+
+@pytest.fixture
+def prefix(tmp_path):
+    p = tmp_path / "circ"
+    (tmp_path / "circ.nodes").write_text(NODES)
+    (tmp_path / "circ.nets").write_text(NETS)
+    (tmp_path / "circ.pl").write_text(PL)
+    return str(p)
+
+
+class TestReading:
+    def test_nodes(self, prefix):
+        nl = bookshelf.read_bookshelf(prefix)
+        assert nl.num_cells == 4
+        assert nl.cell("a").width == pytest.approx(2e-6)
+        assert nl.cell("p1").fixed
+
+    def test_nets_with_directions(self, prefix):
+        nl = bookshelf.read_bookshelf(prefix)
+        net = nl.net("n_first")
+        assert net.degree == 3
+        assert net.driver_ids == [nl.cell("a").id]
+        assert len(net.sink_ids) == 2
+
+    def test_nets_without_directions_get_first_pin_driver(self, prefix):
+        nl = bookshelf.read_bookshelf(prefix)
+        net = nl.nets[1]
+        assert net.name == "net1"
+        assert net.driver_ids == [nl.cell("c").id]
+
+    def test_pl_updates_fixed_positions(self, prefix):
+        nl = bookshelf.read_bookshelf(prefix)
+        pad = nl.cell("p1")
+        # centre = corner + half dims
+        assert pad.fixed_position[0] == pytest.approx(10.5e-6)
+        assert pad.fixed_position[1] == pytest.approx(10.5e-6)
+
+    def test_pl_returns_centres_and_layers(self, prefix):
+        nl = Netlist("t")
+        bookshelf.read_nodes(prefix + ".nodes", nl)
+        positions = bookshelf.read_pl(prefix + ".pl", nl)
+        assert positions["b"][2] == 1
+        assert positions["a"][0] == pytest.approx(1e-6)  # 0 + width/2
+
+    def test_unknown_cell_in_pl(self, prefix, tmp_path):
+        nl = Netlist("t")
+        bookshelf.read_nodes(prefix + ".nodes", nl)
+        bad = tmp_path / "bad.pl"
+        bad.write_text("UCLA pl 1.0\n  zz 0 0\n")
+        with pytest.raises(ValueError):
+            bookshelf.read_pl(str(bad), nl)
+
+    def test_unit_scaling(self, prefix):
+        nl = Netlist("t")
+        bookshelf.read_nodes(prefix + ".nodes", nl, unit=2e-6)
+        assert nl.cell("a").width == pytest.approx(4e-6)
+
+
+class TestRoundTrip:
+    def test_write_read_identity(self, prefix, tmp_path):
+        nl = bookshelf.read_bookshelf(prefix)
+        chip = ChipGeometry(width=50e-6, height=50e-6, num_layers=2,
+                            row_height=1e-6, row_pitch=1.25e-6)
+        pl = Placement.random(nl, chip, seed=2)
+        out = str(tmp_path / "out")
+        bookshelf.write_bookshelf(out, nl, pl)
+        back = bookshelf.read_bookshelf(out)
+        assert back.num_cells == nl.num_cells
+        assert back.num_nets == nl.num_nets
+        for cell in nl.cells:
+            other = back.cell(cell.name)
+            assert other.width == pytest.approx(cell.width, rel=1e-5)
+            assert other.fixed == cell.fixed
+        for net in nl.nets:
+            other = back.net(net.name)
+            assert other.degree == net.degree
+            assert other.driver_ids == net.driver_ids
+
+    def test_position_roundtrip(self, prefix, tmp_path):
+        nl = bookshelf.read_bookshelf(prefix)
+        chip = ChipGeometry(width=50e-6, height=50e-6, num_layers=4,
+                            row_height=1e-6, row_pitch=1.25e-6)
+        pl = Placement.random(nl, chip, seed=4)
+        out = str(tmp_path / "pos")
+        bookshelf.write_nodes(out + ".nodes", nl)
+        bookshelf.write_pl(out + ".pl", nl, pl)
+        nl2 = Netlist("t")
+        bookshelf.read_nodes(out + ".nodes", nl2)
+        positions = bookshelf.read_pl(out + ".pl", nl2)
+        for cell in nl.cells:
+            if cell.fixed:
+                continue
+            x, y, z = positions[cell.name]
+            assert x == pytest.approx(pl.x[cell.id], rel=1e-5)
+            assert y == pytest.approx(pl.y[cell.id], rel=1e-5)
+            assert z == pl.z[cell.id]
+
+    def test_trr_nets_not_written(self, prefix, tmp_path):
+        nl = bookshelf.read_bookshelf(prefix)
+        nl.add_net("__trr__a", [(nl.cell("a").id, PinRole.SINK)],
+                   activity=0.0, is_trr=True)
+        out = str(tmp_path / "trr")
+        bookshelf.write_nets(out + ".nets", nl)
+        text = open(out + ".nets").read()
+        assert "__trr__" not in text
+        assert "NumNets : 2" in text

@@ -1,0 +1,91 @@
+"""Tests for JSON checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.core.trrnets import add_trr_nets
+from repro.netlist.jsonio import (
+    load_checkpoint,
+    netlist_from_dict,
+    netlist_to_dict,
+    placement_from_dict,
+    placement_to_dict,
+    save_checkpoint,
+)
+from repro.netlist.placement import Placement
+from tests.conftest import make_chip
+
+
+class TestNetlistRoundTrip:
+    def test_cells_and_nets_preserved(self, tiny_netlist):
+        back = netlist_from_dict(netlist_to_dict(tiny_netlist))
+        assert back.num_cells == tiny_netlist.num_cells
+        assert back.num_nets == tiny_netlist.num_nets
+        for a, b in zip(tiny_netlist.cells, back.cells):
+            assert (a.name, a.width, a.height) == (b.name, b.width,
+                                                   b.height)
+        for a, b in zip(tiny_netlist.nets, back.nets):
+            assert a.pins == b.pins
+            assert a.activity == b.activity
+
+    def test_trr_flags_survive(self, tiny_netlist):
+        add_trr_nets(tiny_netlist)
+        back = netlist_from_dict(netlist_to_dict(tiny_netlist))
+        assert len(back.trr_nets()) == len(tiny_netlist.trr_nets())
+
+    def test_fixed_cells_survive(self, tiny_netlist):
+        tiny_netlist.add_cell("pad", 1e-6, 1e-6, fixed=True,
+                              fixed_position=(1e-6, 2e-6, 3))
+        back = netlist_from_dict(netlist_to_dict(tiny_netlist))
+        pad = back.cell("pad")
+        assert pad.fixed
+        assert pad.fixed_position == (1e-6, 2e-6, 3)
+
+    def test_version_checked(self, tiny_netlist):
+        data = netlist_to_dict(tiny_netlist)
+        data["version"] = 999
+        with pytest.raises(ValueError):
+            netlist_from_dict(data)
+
+
+class TestPlacementRoundTrip:
+    def test_coordinates_exact(self, small_netlist):
+        chip = make_chip(small_netlist)
+        pl = Placement.random(small_netlist, chip, seed=5)
+        back = placement_from_dict(placement_to_dict(pl), small_netlist)
+        assert np.array_equal(back.x, pl.x)
+        assert np.array_equal(back.y, pl.y)
+        assert np.array_equal(back.z, pl.z)
+        assert back.chip.num_layers == chip.num_layers
+        assert back.chip.width == pytest.approx(chip.width)
+
+
+class TestFileCheckpoint:
+    def test_save_load_with_placement(self, small_netlist, tmp_path):
+        chip = make_chip(small_netlist)
+        pl = Placement.random(small_netlist, chip, seed=1)
+        path = str(tmp_path / "ckpt.json")
+        save_checkpoint(path, small_netlist, pl)
+        netlist, placement = load_checkpoint(path)
+        assert netlist.num_cells == small_netlist.num_cells
+        assert placement is not None
+        assert np.array_equal(placement.z, pl.z)
+
+    def test_save_load_netlist_only(self, tiny_netlist, tmp_path):
+        path = str(tmp_path / "nl.json")
+        save_checkpoint(path, tiny_netlist)
+        netlist, placement = load_checkpoint(path)
+        assert placement is None
+        assert netlist.net("n0").degree == 3
+
+    def test_checkpoint_is_placeable(self, small_netlist, tmp_path,
+                                     config):
+        """A reloaded design runs through the placer unchanged."""
+        from repro.core.placer import Placer3D
+        path = str(tmp_path / "ckpt.json")
+        save_checkpoint(path, small_netlist)
+        netlist, _ = load_checkpoint(path)
+        a = Placer3D(small_netlist, config).run()
+        b = Placer3D(netlist, config).run()
+        assert a.wirelength == pytest.approx(b.wirelength)
+        assert a.ilv == b.ilv

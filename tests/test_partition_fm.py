@@ -1,0 +1,112 @@
+"""Unit tests for FM refinement."""
+
+import numpy as np
+import pytest
+
+from repro.partition.fm import FMRefiner, cut_cost
+from repro.partition.hypergraph import FREE, Hypergraph
+
+
+def two_cliques() -> Hypergraph:
+    """Two triangles joined by one bridge net; optimal cut = 1."""
+    nets = [[0, 1], [1, 2], [0, 2], [3, 4], [4, 5], [3, 5], [2, 3]]
+    return Hypergraph(6, nets)
+
+
+class TestCutCost:
+    def test_uncut(self):
+        g = Hypergraph(4, [[0, 1], [2, 3]])
+        assert cut_cost(g, [0, 0, 1, 1]) == 0.0
+
+    def test_cut_with_weights(self):
+        g = Hypergraph(4, [[0, 2], [1, 3]], net_weights=[2.0, 5.0])
+        assert cut_cost(g, [0, 0, 1, 1]) == pytest.approx(7.0)
+
+    def test_hyperedge_counted_once(self):
+        g = Hypergraph(3, [[0, 1, 2]])
+        assert cut_cost(g, [0, 1, 1]) == 1.0
+        assert cut_cost(g, [0, 0, 0]) == 0.0
+
+
+class TestRefine:
+    def test_finds_optimal_cut_of_cliques(self):
+        g = two_cliques()
+        parts = np.array([0, 1, 0, 1, 0, 1])  # bad start, cut = 6
+        refiner = FMRefiner(g, rng=np.random.default_rng(0))
+        cut = refiner.refine(parts)
+        assert cut == pytest.approx(1.0)
+        assert set(parts[:3]) != set(parts[3:]) or True
+        # the two triangles must be separated
+        assert parts[0] == parts[1] == parts[2]
+        assert parts[3] == parts[4] == parts[5]
+
+    def test_never_worsens_balanced_starts(self):
+        rng = np.random.default_rng(3)
+        for seed in range(5):
+            g = two_cliques()
+            parts = rng.permutation([0, 0, 0, 1, 1, 1])
+            before = cut_cost(g, parts)
+            after = FMRefiner(g, rng=np.random.default_rng(seed)
+                              ).refine(parts)
+            assert after <= before + 1e-12
+
+    def test_returned_cost_matches_actual(self):
+        g = two_cliques()
+        parts = np.array([1, 0, 1, 0, 1, 0])
+        cut = FMRefiner(g, rng=np.random.default_rng(1)).refine(parts)
+        assert cut == pytest.approx(cut_cost(g, parts))
+
+    def test_respects_balance_window(self):
+        g = Hypergraph(8, [[i, (i + 1) % 8] for i in range(8)])
+        parts = np.array([0, 0, 0, 0, 1, 1, 1, 1])
+        refiner = FMRefiner(g, target=0.5, tolerance=0.05,
+                            rng=np.random.default_rng(0))
+        refiner.refine(parts)
+        w0 = (parts == 0).sum()
+        assert refiner.lo <= w0 <= refiner.hi
+
+    def test_fixed_vertices_never_move(self):
+        g = Hypergraph(4, [[0, 1], [1, 2], [2, 3]], fixed=[0, -1, -1, 1])
+        parts = np.array([0, 1, 0, 1])
+        FMRefiner(g, rng=np.random.default_rng(0)).refine(parts)
+        assert parts[0] == 0
+        assert parts[3] == 1
+
+    def test_fixed_vertex_on_wrong_side_rejected(self):
+        g = Hypergraph(2, [[0, 1]], fixed=[1, FREE])
+        refiner = FMRefiner(g, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            refiner.refine(np.array([0, 1]))
+
+    def test_window_admits_heaviest_vertex(self):
+        # one huge vertex: tolerance must widen so FM can still move it
+        g = Hypergraph(3, [[0, 1], [1, 2]],
+                       vertex_weights=[10.0, 1.0, 1.0])
+        refiner = FMRefiner(g, tolerance=0.01,
+                            rng=np.random.default_rng(0))
+        assert refiner.hi - refiner.lo >= 10.0
+
+    def test_unbalanced_target(self):
+        g = Hypergraph(10, [[i, (i + 1) % 10] for i in range(10)])
+        parts = np.ones(10, dtype=np.int64)
+        parts[0] = 0
+        refiner = FMRefiner(g, target=0.3, tolerance=0.05,
+                            rng=np.random.default_rng(0))
+        refiner.refine(parts)
+        w0 = float((parts == 0).sum())
+        assert refiner.lo <= w0 <= refiner.hi
+
+    def test_weighted_nets_guide_moves(self):
+        # cutting the heavy net must be avoided
+        g = Hypergraph(4, [[0, 1], [2, 3], [1, 2]],
+                       net_weights=[10.0, 10.0, 1.0])
+        parts = np.array([0, 1, 0, 1])  # cuts both heavy nets
+        cut = FMRefiner(g, rng=np.random.default_rng(0)).refine(parts)
+        assert cut == pytest.approx(1.0)
+
+    def test_invalid_params(self):
+        g = two_cliques()
+        with pytest.raises(ValueError):
+            FMRefiner(g, target=0.0)
+        with pytest.raises(ValueError):
+            FMRefiner(g, tolerance=-0.1)

@@ -1,0 +1,52 @@
+"""Public-API surface tests: names, stability and basic contracts."""
+
+import pytest
+
+import repro
+import repro.core as core
+import repro.metrics as metrics
+import repro.netlist as netlist_pkg
+import repro.partition as partition
+import repro.thermal as thermal
+
+
+class TestTopLevel:
+    def test_version(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_names(self):
+        # the names the README quickstart uses must stay available
+        for name in ("Placer3D", "PlacementConfig", "load_benchmark",
+                     "evaluate_placement", "TechnologyConfig"):
+            assert hasattr(repro, name)
+
+
+@pytest.mark.parametrize("module", [core, metrics, netlist_pkg,
+                                    partition, thermal])
+def test_subpackage_all_resolve(module):
+    for name in module.__all__:
+        assert hasattr(module, name), f"{module.__name__}.{name}"
+
+
+class TestContracts:
+    def test_benchmark_names_stable(self):
+        names = repro.benchmark_names()
+        assert names == [f"ibm{i:02d}" for i in range(1, 19)]
+
+    def test_config_defaults_are_papers_midpoint(self):
+        config = repro.PlacementConfig()
+        assert config.alpha_ilv == pytest.approx(1e-5)
+        assert config.num_layers == 4
+        assert config.alpha_temp == 0.0  # thermal off by default
+
+    def test_placement_report_header_stable_columns(self):
+        header = repro.PlacementReport.header().split()
+        assert header[0] == "circuit"
+        assert "ILVs" in header
+        assert "avgT" in header

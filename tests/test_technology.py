@@ -1,0 +1,69 @@
+"""Unit tests for the technology configuration (Table 2)."""
+
+import dataclasses
+
+import pytest
+
+from repro.technology import TechnologyConfig
+
+
+class TestDefaults:
+    def test_table2_values(self):
+        tech = TechnologyConfig()
+        assert tech.technode == pytest.approx(100e-9)
+        assert tech.substrate_thickness == pytest.approx(500e-6)
+        assert tech.layer_thickness == pytest.approx(5.7e-6)
+        assert tech.interlayer_thickness == pytest.approx(0.7e-6)
+        assert tech.thermal_conductivity == pytest.approx(10.2)
+        assert tech.whitespace == pytest.approx(0.05)
+        assert tech.inter_row_space == pytest.approx(0.25)
+        assert tech.cap_per_wirelength == pytest.approx(73.8e-12)
+        assert tech.cap_per_via_length == pytest.approx(1480e-12)
+        assert tech.input_pin_cap == pytest.approx(0.35e-15)
+        assert tech.ambient_temperature == 0.0
+        assert tech.heat_sink_convection == pytest.approx(1e6)
+
+    def test_layer_pitch(self):
+        tech = TechnologyConfig()
+        assert tech.layer_pitch == pytest.approx(6.4e-6)
+
+    def test_cap_per_via_uses_interlayer_thickness(self):
+        tech = TechnologyConfig()
+        assert tech.cap_per_via == pytest.approx(1480e-12 * 0.7e-6)
+
+    def test_switching_energy_scale(self):
+        tech = TechnologyConfig(clock_frequency=1e9, vdd=1.0)
+        assert tech.switching_energy_scale == pytest.approx(0.5e9)
+
+    def test_effective_stack_conductivity_is_consistent(self):
+        """10.2 W/mK is the series-effective k of 5.7um Si + 0.7um oxide.
+
+        This sanity check documents why the substrate gets bulk
+        silicon's conductivity instead of the stack value.
+        """
+        si, ox = 150.0, 1.4
+        pitch = 5.7e-6 + 0.7e-6
+        k_eff = pitch / (5.7e-6 / si + 0.7e-6 / ox)
+        assert 9.0 < k_eff < 13.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("substrate_thickness", -1.0),
+        ("layer_thickness", 0.0),
+        ("thermal_conductivity", -5.0),
+        ("substrate_conductivity", 0.0),
+        ("heat_sink_convection", 0.0),
+        ("clock_frequency", -1.0),
+        ("vdd", 0.0),
+        ("whitespace", 1.0),
+        ("interlayer_thickness", -1e-9),
+    ])
+    def test_bad_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            TechnologyConfig(**{field: value})
+
+    def test_replace_keeps_validation(self):
+        tech = TechnologyConfig()
+        with pytest.raises(ValueError):
+            dataclasses.replace(tech, vdd=-1.0)

@@ -1,0 +1,101 @@
+"""Unit tests for text visualization."""
+
+import numpy as np
+import pytest
+
+from repro import viz
+from repro.netlist.placement import Placement
+from repro.thermal.power import PowerModel
+from repro.thermal.solver import ThermalSolver
+from repro.metrics.wirelength import compute_net_metrics
+from tests.conftest import make_chip
+
+
+@pytest.fixture
+def placement(small_netlist):
+    chip = make_chip(small_netlist)
+    return Placement.random(small_netlist, chip, seed=3)
+
+
+class TestDensityMap:
+    def test_renders_string(self, placement):
+        text = viz.density_map(placement, layer=0, nx=20)
+        assert isinstance(text, str)
+        assert "cell density" in text
+        assert "scale:" in text
+
+    def test_empty_layer_is_blank(self, placement):
+        placement.z[:] = 0
+        text = viz.density_map(placement, layer=3, nx=20)
+        body = [line for line in text.splitlines()
+                if line.startswith("|")]
+        assert all(set(line) <= {"|", " "} for line in body)
+
+    def test_populated_layer_has_marks(self, placement):
+        placement.z[:] = 1
+        text = viz.density_map(placement, layer=1, nx=20)
+        body = "".join(line for line in text.splitlines()
+                       if line.startswith("|"))
+        assert any(ch not in "| " for ch in body)
+
+    def test_layer_out_of_range(self, placement):
+        with pytest.raises(IndexError):
+            viz.density_map(placement, layer=99)
+
+
+class TestTemperatureMap:
+    def test_renders_hotspot(self, placement, tech):
+        solver = ThermalSolver(placement.chip, tech, nx=8, ny=8)
+        powers = np.zeros(placement.netlist.num_cells)
+        powers[0] = 1e-3
+        field = solver.solve_placement(placement, powers)
+        text = viz.temperature_map(field, layer=int(placement.z[0]))
+        assert "temperature" in text
+        assert "@" in text  # the hotspot is the scale max
+
+    def test_layer_out_of_range(self, placement, tech):
+        solver = ThermalSolver(placement.chip, tech, nx=4, ny=4)
+        field = solver.solve_placement(
+            placement, np.zeros(placement.netlist.num_cells))
+        with pytest.raises(IndexError):
+            viz.temperature_map(field, layer=99)
+
+
+class TestLayerSummary:
+    def test_without_power(self, placement):
+        text = viz.layer_summary(placement)
+        lines = text.splitlines()
+        assert len(lines) == placement.chip.num_layers + 1
+        assert "power" not in lines[0]
+
+    def test_with_power(self, placement, tech):
+        pm = PowerModel(placement.netlist, tech)
+        powers = pm.cell_powers(compute_net_metrics(placement))
+        text = viz.layer_summary(placement, powers)
+        assert "mW" in text
+
+    def test_utilization_sums_to_total(self, placement):
+        text = viz.layer_summary(placement)
+        utils = [float(line.split()[2].rstrip("%"))
+                 for line in text.splitlines()[1:]]
+        chip = placement.chip
+        capacity = (chip.rows_per_layer * chip.width * chip.row_height
+                    * chip.num_layers)
+        expected = placement.netlist.total_cell_area / capacity * 100
+        assert sum(utils) == pytest.approx(expected * chip.num_layers,
+                                           rel=0.02)
+
+
+class TestTradeoffAscii:
+    def test_plots_points(self):
+        points = [(1.0, 100.0), (2.0, 50.0), (3.0, 25.0)]
+        text = viz.tradeoff_ascii(points, width=30, height=8)
+        assert text.count("o") == 3
+
+    def test_degenerate_single_point(self):
+        text = viz.tradeoff_ascii([(1.0, 1.0)])
+        assert "o" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            viz.tradeoff_ascii([])
