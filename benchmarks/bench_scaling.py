@@ -1,0 +1,186 @@
+"""Scaling benchmark for the vectorized placement kernels.
+
+Unlike the figure/table reproductions, this benchmark gates the
+*implementation*, not the science: it times the full placement pipeline
+per stage across a ladder of instance sizes, plus the two kernel
+micro-benchmarks the vectorization targeted —
+
+- ``ObjectiveState.rebuild``: the CSR ``reduceat`` full recompute of
+  every net's extremes, wirelength, and via counts;
+- ``ThermalSolver.solve_powers``: repeated solves on a fixed geometry,
+  which hit the cached sparse-LU factorization after the first call
+  (the seed implementation ran a full ``spsolve`` per call).
+
+Results are written as machine-readable JSON so before/after runs can
+be compared; ``--baseline`` merges a previous run into a single
+``{"before": ..., "after": ..., "speedup": ...}`` document (the
+repo-root ``BENCH_scaling.json`` is such a merged document).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_scaling.py --json after.json
+    # ... check out the baseline tree, run again into before.json ...
+    PYTHONPATH=src python benchmarks/bench_scaling.py \
+        --json BENCH_scaling.json --baseline before.json
+
+Under pytest-benchmark it runs the default ladder and asserts nothing
+beyond completion, like the other benchmarks here.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from common import SeriesWriter
+from repro import Placer3D, PlacementConfig, load_benchmark
+
+#: instance-size ladder (fractions of published ibm01 cell count)
+SCALES = [0.025, 0.05, 0.1]
+CIRCUIT = "ibm01"
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    """Minimum wall-clock of several calls (noise-robust statistic)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_full_placement(scales: List[float]) -> Dict[str, dict]:
+    """Wall-clock and per-stage seconds of Placer3D per scale."""
+    out: Dict[str, dict] = {}
+    for scale in scales:
+        netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
+        start = time.perf_counter()
+        result = Placer3D(netlist, PlacementConfig()).run()
+        wall = time.perf_counter() - start
+        out[str(scale)] = {
+            "num_cells": len(netlist.cells),
+            "wall_seconds": wall,
+            "stage_seconds": dict(result.stage_seconds),
+        }
+    return out
+
+
+def bench_rebuild(scale: float = 0.05, repeats: int = 30) -> dict:
+    """Best-of-N time of one full ``ObjectiveState.rebuild``."""
+    from repro.core.objective import ObjectiveState
+    from repro.geometry.chip import ChipGeometry
+    from repro.netlist.placement import Placement
+
+    netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
+    config = PlacementConfig()
+    chip = ChipGeometry.for_cell_area(
+        netlist.total_cell_area * 1.2, config.num_layers,
+        netlist.average_cell_height)
+    placement = Placement.random(netlist, chip, seed=1)
+    objective = ObjectiveState(placement, config)
+    seconds = _best_of(objective.rebuild, repeats)
+    return {"num_nets": len(netlist.nets), "seconds": seconds}
+
+
+def bench_solve_powers(repeats: int = 10) -> dict:
+    """First vs repeated ``solve_powers`` on one geometry.
+
+    The first call pays matrix assembly plus factorization; repeats are
+    two triangular back-substitutions against the cached LU.  On the
+    seed implementation (fresh ``spsolve`` per call) first and repeat
+    cost the same, so the repeat/first ratio measures the caching win.
+    """
+    from repro.geometry.chip import ChipGeometry
+    from repro.thermal.solver import ThermalSolver
+
+    chip = ChipGeometry.for_cell_area(1e-4, 4, 1e-5)
+    solver = ThermalSolver(chip, nx=16, ny=16)
+    rng = np.random.default_rng(0)
+    power = rng.random((16, 16, 4)) * 1e6
+    start = time.perf_counter()
+    solver.solve_powers(power)
+    first = time.perf_counter() - start
+    repeat = _best_of(lambda: solver.solve_powers(power), repeats)
+    return {"first_seconds": first, "repeat_seconds": repeat}
+
+
+def run_bench(scales: Optional[List[float]] = None) -> dict:
+    writer = SeriesWriter("bench_scaling")
+    measurement = {
+        "circuit": CIRCUIT,
+        "placement": bench_full_placement(scales or SCALES),
+        "rebuild": bench_rebuild(),
+        "solve_powers": bench_solve_powers(),
+    }
+    writer.row(f"{'scale':>7} {'cells':>7} {'wall (s)':>9}  stages")
+    for scale, entry in measurement["placement"].items():
+        stages = " ".join(f"{k}={v:.3f}"
+                          for k, v in entry["stage_seconds"].items())
+        writer.row(f"{scale:>7} {entry['num_cells']:>7} "
+                   f"{entry['wall_seconds']:>9.3f}  {stages}")
+    rb = measurement["rebuild"]
+    sp = measurement["solve_powers"]
+    writer.row(f"rebuild ({rb['num_nets']} nets): "
+               f"{rb['seconds'] * 1e3:.3f} ms")
+    writer.row(f"solve_powers: first {sp['first_seconds'] * 1e3:.2f} ms, "
+               f"repeat {sp['repeat_seconds'] * 1e3:.3f} ms")
+    writer.save()
+    return measurement
+
+
+def merge(before: dict, after: dict) -> dict:
+    """Combine two measurements into a before/after/speedup document."""
+    speedup: Dict[str, object] = {}
+    walls = {}
+    for scale in after["placement"]:
+        if scale in before.get("placement", {}):
+            walls[scale] = (before["placement"][scale]["wall_seconds"]
+                            / after["placement"][scale]["wall_seconds"])
+    speedup["wall_clock"] = walls
+    if "rebuild" in before:
+        speedup["rebuild"] = (before["rebuild"]["seconds"]
+                              / after["rebuild"]["seconds"])
+    if "solve_powers" in before:
+        # the caching criterion: a warm solve vs the seed's per-call cost
+        speedup["solve_powers_repeat"] = (
+            before["solve_powers"]["repeat_seconds"]
+            / after["solve_powers"]["repeat_seconds"])
+    return {"before": before, "after": after, "speedup": speedup}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", help="write measurement JSON here")
+    parser.add_argument("--baseline",
+                        help="previous measurement JSON to merge as "
+                             "'before'")
+    parser.add_argument("--scales", type=float, nargs="*",
+                        help=f"instance-size ladder (default {SCALES})")
+    args = parser.parse_args()
+    baseline = None
+    if args.baseline:
+        # read up front so a bad path fails before the slow measurement
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    measurement = run_bench(args.scales)
+    document = measurement
+    if baseline is not None:
+        document = merge(baseline, measurement)
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(document, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+
+def test_bench_scaling(benchmark):
+    assert benchmark.pedantic(
+        lambda: bool(run_bench([0.025])), rounds=1, iterations=1)
+
+
+if __name__ == "__main__":
+    main()

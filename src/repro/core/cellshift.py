@@ -176,33 +176,67 @@ class CellShifter:
             if (x != xs[cid] or y != ys[cid] or z != zs[cid]):
                 moves.append((cid, float(xs[cid]), float(ys[cid]),
                               int(zs[cid])))
-        for move in moves:
-            self.objective.apply_moves([move])
+        if moves:
+            self.objective.apply_moves(moves)
 
     def _rebuild_mesh(self) -> None:
         placement = self.objective.placement
-        areas = placement.netlist.areas
-        self.mesh.build(
-            (cid, x, y, z, float(areas[cid]))
-            for cid, x, y, z in placement.iter_movable())
+        self.mesh.build_from_placement(placement,
+                                       placement.netlist.areas)
 
     # ------------------------------------------------------------------
     def _shift_axis(self, axis: str) -> None:
+        """Shift every row along one axis.
+
+        All rows' beta candidates are scored against the axis-entry
+        state in one batched objective call and the chosen moves are
+        committed as one joint apply — each cell belongs to exactly one
+        row, so the candidates are disjoint and the per-apply
+        bookkeeping runs once per axis instead of once per row.
+        """
         mesh = self.mesh
         if axis == "x":
-            for k in range(mesh.nz):
-                for j in range(mesh.ny):
-                    self._shift_row(axis, j, k)
+            rows = [(j, k) for k in range(mesh.nz)
+                    for j in range(mesh.ny)]
         elif axis == "y":
-            for k in range(mesh.nz):
-                for i in range(mesh.nx):
-                    self._shift_row(axis, i, k)
+            rows = [(i, k) for k in range(mesh.nz)
+                    for i in range(mesh.nx)]
         else:
             if mesh.nz < 2:
                 return
-            for j in range(mesh.ny):
-                for i in range(mesh.nx):
-                    self._shift_row(axis, i, j)
+            rows = [(i, j) for j in range(mesh.ny)
+                    for i in range(mesh.nx)]
+        lift_cost = self._lift_costs() if axis == "z" else None
+        spans: List[Tuple[int, int]] = []
+        moves: List[Tuple[int, float, float, int]] = []
+        for a, b in rows:
+            self._shift_row(axis, a, b, spans, moves, lift_cost)
+        if not moves:
+            return
+        deltas = self.objective.eval_moves_batch(
+            [m[0] for m in moves], [m[1] for m in moves],
+            [m[2] for m in moves], [m[3] for m in moves])
+        chosen = [moves[lo + int(np.argmin(deltas[lo:hi]))]
+                  for lo, hi in spans]
+        self.objective.apply_moves(chosen)
+
+    def _lift_costs(self) -> dict:
+        """Objective delta of lifting each movable cell one layer up,
+        for the z-axis virtual ordering — one batched call per pass."""
+        placement = self.objective.placement
+        chip = placement.chip
+        cells: List[int] = []
+        xs: List[float] = []
+        ys: List[float] = []
+        zs: List[int] = []
+        for cid, x, y, z in placement.iter_movable():
+            if int(z) + 1 < chip.num_layers:
+                cells.append(cid)
+                xs.append(float(x))
+                ys.append(float(y))
+                zs.append(int(z) + 1)
+        deltas = self.objective.eval_moves_batch(cells, xs, ys, zs)
+        return {cid: float(d) for cid, d in zip(cells, deltas)}
 
     def _row_geometry(self, axis: str) -> Tuple[int, float]:
         mesh = self.mesh
@@ -212,8 +246,15 @@ class CellShifter:
             return mesh.ny, mesh.bin_height
         return mesh.nz, 1.0  # z rows are measured in layer units
 
-    def _shift_row(self, axis: str, a: int, b: int) -> None:
-        """Shift one row of bins and remap its cells (Eqs. 16-17)."""
+    def _shift_row(self, axis: str, a: int, b: int,
+                   spans: List[Tuple[int, int]],
+                   moves: List[Tuple[int, float, float, int]],
+                   lift_cost) -> None:
+        """Collect one row's shifted-remap candidates (Eqs. 16-17).
+
+        Appends each cell's beta-candidate moves to the axis-wide batch
+        lists; :meth:`_shift_axis` scores and applies them jointly.
+        """
         mesh = self.mesh
         config = self.config
         n_bins, width = self._row_geometry(axis)
@@ -233,13 +274,17 @@ class CellShifter:
             members = mesh.members(index)
             if not members:
                 continue
-            coords = self._member_coords(axis, i, members)
+            coords = self._member_coords(axis, i, members, lift_cost)
             for cid, coord in zip(members, coords):
                 mapped = (new_widths[i] / width * (coord - old_bounds[i])
                           + new_bounds[i])
-                self._move_cell_along(axis, cid, coord, mapped)
+                cand = self._candidate_moves(axis, cid, coord, mapped)
+                if cand:
+                    spans.append((len(moves), len(moves) + len(cand)))
+                    moves.extend(cand)
 
-    def _member_coords(self, axis: str, bin_i: int, members) -> list:
+    def _member_coords(self, axis: str, bin_i: int, members,
+                       lift_cost) -> list:
         """Coordinates of a bin's cells along the shifting axis.
 
         For x and y these are the cells' true coordinates.  The z
@@ -250,21 +295,13 @@ class CellShifter:
         move upward (by the objective, i.e. low-power cells under
         thermal placement) occupy the top of the interval and are the
         first to spill into the next layer when the bin expands.
+        Top-layer cells cannot move up and sort as infinitely costly.
         """
         if axis != "z":
             return [self._cell_coord(axis, cid) for cid in members]
-        placement = self.objective.placement
-        chip = placement.chip
-
-        def up_cost(cid: int) -> float:
-            z = int(placement.z[cid])
-            if z + 1 >= chip.num_layers:
-                return float("inf")
-            return self.objective.eval_moves(
-                [(cid, float(placement.x[cid]), float(placement.y[cid]),
-                  z + 1)])
-
-        order = sorted(members, key=up_cost, reverse=True)
+        inf = float("inf")
+        order = sorted(members, key=lambda cid: lift_cost.get(cid, inf),
+                       reverse=True)
         n = len(order)
         rank_of = {cid: r for r, cid in enumerate(order)}
         return [bin_i + (rank_of[cid] + 0.5) / n for cid in members]
@@ -286,15 +323,19 @@ class CellShifter:
         return float(placement.z[cid]) + 0.5  # layer centre in layer units
 
     # ------------------------------------------------------------------
-    def _move_cell_along(self, axis: str, cid: int, old: float,
-                         target: float) -> None:
-        """Apply Eq. 17 with the best movement-retention beta."""
+    def _candidate_moves(self, axis: str, cid: int, old: float,
+                         target: float
+                         ) -> List[Tuple[int, float, float, int]]:
+        """Eq. 17's beta candidates for one cell, as move tuples.
+
+        The caller batches these across a whole row of bins; ties go to
+        the earliest (largest) beta via first-occurrence ``argmin``.
+        """
         placement = self.objective.placement
         chip = placement.chip
-        best_delta = None
-        best_move = None
         fixed = getattr(self, "_fixed_beta", None)
         candidates = BETA_CANDIDATES if fixed is None else (fixed,)
+        moves = []
         for beta in candidates:
             coord = beta * target + (1.0 - beta) * old
             if axis == "x":
@@ -311,9 +352,5 @@ class CellShifter:
                     continue
                 move = (cid, float(placement.x[cid]),
                         float(placement.y[cid]), layer)
-            delta = self.objective.eval_moves([move])
-            if best_delta is None or delta < best_delta:
-                best_delta = delta
-                best_move = move
-        if best_move is not None:
-            self.objective.apply_moves([best_move])
+            moves.append(move)
+        return moves

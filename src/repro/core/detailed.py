@@ -25,7 +25,7 @@ row, inside the die, with no overlaps.
 from __future__ import annotations
 
 import bisect as _bisect
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -51,11 +51,35 @@ class RowSegments:
         self._starts: Dict[RowKey, List[float]] = {}
         self._ends: Dict[RowKey, List[float]] = {}
         self._cids: Dict[RowKey, List[int]] = {}
+        # per (layer, row): cached (gap_lo, gap_hi) lists; invalidated
+        # on any mutation, rebuilt lazily by nearest_slot
+        self._gap_cache: Dict[RowKey, Tuple[List[float], List[float]]] = {}
 
     def _lists(self, key: RowKey):
         return (self._starts.setdefault(key, []),
                 self._ends.setdefault(key, []),
                 self._cids.setdefault(key, []))
+
+    def _gaps(self, key: RowKey) -> Tuple[List[float], List[float]]:
+        """Free-gap boundary lists of a row, cached between mutations.
+
+        Rows hold a few dozen intervals at most, so plain-list scans
+        beat NumPy's per-call overhead here by a wide margin.
+        """
+        cached = self._gap_cache.get(key)
+        if cached is None:
+            starts, ends, _ = self._lists(key)
+            lo = [0.0]
+            run = 0.0
+            for e in ends:
+                if e > run:
+                    run = e
+                lo.append(run)
+            hi = list(starts)
+            hi.append(self.chip.width)
+            cached = (lo, hi)
+            self._gap_cache[key] = cached
+        return cached
 
     def insert(self, layer: int, row: int, cid: int, x_center: float,
                width: float) -> None:
@@ -76,34 +100,45 @@ class RowSegments:
         starts.insert(i, lo)
         ends.insert(i, hi)
         cids.insert(i, cid)
+        self._gap_cache.pop((layer, row), None)
+
+    def remove(self, layer: int, row: int, cid: int) -> None:
+        """Vacate a cell's interval in a row."""
+        key = (layer, row)
+        starts, ends, cids = self._lists(key)
+        idx = cids.index(cid)
+        del starts[idx], ends[idx], cids[idx]
+        self._gap_cache.pop(key, None)
 
     def nearest_slot(self, layer: int, row: int, x_desired: float,
                      width: float) -> Optional[float]:
         """Centre x of the nearest free slot of ``width`` in a row.
 
-        Returns None if the row has no gap wide enough.
+        Returns None if the row has no gap wide enough.  The gap
+        boundaries come from the row's cached arrays, so repeated
+        queries between mutations cost a few array ops each.
         """
-        starts, ends, _ = self._lists((layer, row))
-        row_lo = 0.0
-        row_hi = self.chip.width
-        if width > row_hi - row_lo:
+        if width > self.chip.width:
             return None
-        # gap boundaries: [row_lo, s0], [e0, s1], ..., [e_last, row_hi]
+        gap_lo, gap_hi = self._gaps((layer, row))
+        need = width - 1e-15
+        half = 0.5 * width
         best = None
-        best_dist = None
-        gap_lo = row_lo
-        for i in range(len(starts) + 1):
-            gap_hi = starts[i] if i < len(starts) else row_hi
-            if gap_hi - gap_lo >= width - 1e-15:
-                lo_c = gap_lo + 0.5 * width
-                hi_c = gap_hi - 0.5 * width
-                cand = min(max(x_desired, lo_c), hi_c)
-                dist = abs(cand - x_desired)
-                if best_dist is None or dist < best_dist:
-                    best_dist = dist
-                    best = cand
-            if i < len(starts):
-                gap_lo = max(gap_lo, ends[i])
+        best_d = float("inf")
+        for lo, hi in zip(gap_lo, gap_hi):
+            if hi - lo < need:
+                continue
+            c = x_desired
+            if c < lo + half:
+                c = lo + half
+            elif c > hi - half:
+                c = hi - half
+            d = c - x_desired
+            if d < 0.0:
+                d = -d
+            if d < best_d:
+                best_d = d
+                best = c
         return best
 
     def occupants(self, layer: int, row: int) -> List[int]:
@@ -178,6 +213,7 @@ class RowSegments:
         self._starts[(layer, row)] = [e[0] for e in entries]
         self._ends[(layer, row)] = [e[1] for e in entries]
         self._cids[(layer, row)] = [e[2] for e in entries]
+        self._gap_cache.pop((layer, row), None)
 
 
 class DetailedLegalizer:
@@ -214,8 +250,7 @@ class DetailedLegalizer:
                                     netlist.average_cell_width,
                                     netlist.average_cell_height)
         areas = netlist.areas
-        mesh.build((cid, x, y, z, float(areas[cid]))
-                   for cid, x, y, z in placement.iter_movable())
+        mesh.build_from_placement(placement, areas)
         # exporters (overfull) first, most overfull first; acceptors after
         bin_rank: Dict[Tuple[int, int, int], float] = {}
         capacity = mesh.bin_capacity
@@ -333,13 +368,36 @@ class DetailedLegalizer:
                     rows.append(r)
             if radius == 0:
                 rows = rows[:1]
+            # Free-gap candidates across the whole shell are scored in
+            # one batched objective call; rows with no gap fall back to
+            # the scalar push-plan evaluation.  Candidates keep their
+            # (layer, row) scan order so ties resolve as the sequential
+            # version did.
+            shell = []
+            gap_idx = []
             for layer in layers:
                 for row in rows:
-                    cand = self._evaluate_slot(cid, width, x0, layer,
-                                               row, segments)
-                    if cand is not None and (best is None
-                                             or cand[0] < best[0]):
-                        best = cand
+                    slot = segments.nearest_slot(layer, row, x0, width)
+                    if slot is not None:
+                        y = row * chip.row_pitch + 0.5 * chip.row_height
+                        gap_idx.append(len(shell))
+                        shell.append([None, slot, y, layer, row, None])
+                    else:
+                        cand = self._evaluate_push(cid, width, x0,
+                                                   layer, row, segments)
+                        if cand is not None:
+                            shell.append(list(cand))
+            if gap_idx:
+                deltas = self.objective.eval_moves_batch(
+                    [cid] * len(gap_idx),
+                    [shell[k][1] for k in gap_idx],
+                    [shell[k][2] for k in gap_idx],
+                    [shell[k][3] for k in gap_idx])
+                for k, delta in zip(gap_idx, deltas):
+                    shell[k][0] = float(delta)
+            for cand in shell:
+                if best is None or cand[0] < best[0]:
+                    best = tuple(cand)
             if best is not None and found_radius is None:
                 found_radius = radius
             if found_radius is not None and radius >= found_radius + 1:
@@ -347,17 +405,16 @@ class DetailedLegalizer:
             radius += 1
         return best
 
-    def _evaluate_slot(self, cid: int, width: float, x0: float,
+    def _evaluate_push(self, cid: int, width: float, x0: float,
                        layer: int, row: int, segments: RowSegments):
-        """Cost the best insertion into one row (gap or push), or None."""
+        """Cost an insertion that shifts a full row's cells aside.
+
+        Only called when the row has no free gap.  The joint move (cell
+        plus displaced occupants) stays on the scalar objective path;
+        single-cell gap candidates are batched by :meth:`_search`.
+        """
         chip = self.chip
         y = row * chip.row_pitch + 0.5 * chip.row_height
-        slot = segments.nearest_slot(layer, row, x0, width)
-        if slot is not None:
-            delta = self.objective.eval_moves([(cid, slot, y, layer)])
-            return (delta, slot, y, layer, row, None)
-        # no gap: consider shifting already-placed cells aside, charging
-        # their displacement to the candidate's cost
         plan = segments.push_plan(layer, row, x0, width)
         if plan is None:
             return None

@@ -77,73 +77,274 @@ class MoveOptimizer:
 
     def _rebuild_mesh(self) -> None:
         placement = self.objective.placement
-        self.mesh.build(
-            (cid, x, y, z, float(self._areas[cid]))
-            for cid, x, y, z in placement.iter_movable())
+        self.mesh.build_from_placement(placement, self._areas)
+
+    def _targets(self, cid: int, cur_bin: BinIndex, local_only: bool,
+                 radius: int,
+                 center: Optional[Tuple[float, float, float]] = None
+                 ) -> List[BinIndex]:
+        """Target bins for one cell (optimal region or local shell).
+
+        ``center`` lets callers supply a precomputed optimal-region
+        centre (from the batched
+        :meth:`ObjectiveState.optimal_region_centers`); when omitted the
+        scalar query runs here.
+        """
+        mesh = self.mesh
+        placement = self.objective.placement
+        if local_only:
+            return mesh.bins_within(cur_bin, radius)
+        if center is None:
+            center = self.objective.optimal_region_center(cid)
+        ox, oy, oz = center
+        center = mesh.bin_of(ox, oy, placement.chip.clamp_layer(oz))
+        targets = mesh.bins_within(center, radius)
+        # The optimal-region z is the nets' median layer; with
+        # thermal placement on, the objective minimum may sit on
+        # a cooler layer instead, so the full vertical stack at
+        # the optimal lateral position joins the target region.
+        if self.config.alpha_temp > 0:
+            ci, cj, _ = center
+            for k in range(mesh.nz):
+                index = (ci, cj, k)
+                if index not in targets:
+                    targets.append(index)
+        return targets
 
     def _pass(self, local_only: bool, radius: int) -> int:
+        """One move/swap pass in two phases.
+
+        Phase 1 generates every cell's candidates against a snapshot of
+        the entering state and scores them in one batched move call and
+        one batched swap call.  Phase 2 walks the cells in permutation
+        order and greedily applies each cell's best candidate: while the
+        cell's (and a swap partner's) incident nets are untouched the
+        cached delta is exact and is used as-is; once the neighbourhood
+        has been dirtied by earlier applies, the chosen candidate is
+        re-checked with a scalar evaluation before committing.  Cells
+        displaced mid-pass by a swap partner fall back to the sequential
+        :meth:`_best_action` scan from their new position.
+        """
         self._rebuild_mesh()
         placement = self.objective.placement
+        obj = self.objective
         mesh = self.mesh
-        executed = 0
-        order = self._rng.permutation(self._movable)
+        order = [int(c) for c in self._rng.permutation(self._movable)]
+
+        # ---- phase 1: candidate generation + two giant batch scores --
+        cur_bin_of = {}
+        per_cell = {}
+        mv_xs: List[float] = []
+        mv_ys: List[float] = []
+        mv_zs: List[int] = []
+        mv_bins: List[BinIndex] = []
+        mv_cells: List[int] = []
+        sw_a: List[int] = []
+        sw_b: List[int] = []
+        sw_bins: List[BinIndex] = []
+        centers = None
+        if not local_only:
+            orc = obj.optimal_region_centers(order)
+            centers = {cid: (orc[0, i], orc[1, i], orc[2, i])
+                       for i, cid in enumerate(order)}
         for cid in order:
-            cid = int(cid)
             cur_bin = mesh.bin_of(float(placement.x[cid]),
                                   float(placement.y[cid]),
                                   int(placement.z[cid]))
-            if local_only:
-                center = cur_bin
-                targets = mesh.bins_within(center, radius)
+            cur_bin_of[cid] = cur_bin
+            targets = self._targets(
+                cid, cur_bin, local_only, radius,
+                centers[cid] if centers is not None else None)
+            entries = self._collect_candidates(
+                cid, cur_bin, targets, mv_cells, mv_xs, mv_ys, mv_zs,
+                mv_bins, sw_a, sw_b, sw_bins)
+            if entries:
+                per_cell[cid] = entries
+        move_deltas = obj.eval_moves_batch(mv_cells, mv_xs, mv_ys, mv_zs)
+        swap_deltas = obj.eval_swaps_batch(sw_a, sw_b)
+
+        # ---- phase 2: greedy apply with staleness tracking -----------
+        executed = 0
+        dirty: set = set()
+        moved_since: set = set()
+        areas = self._areas
+        limit = self.density_limit * mesh.bin_capacity
+        cell_nets = obj.cell_nets
+        for cid in order:
+            if cid in moved_since:
+                # displaced by an earlier swap: rescan from the new spot
+                cur_bin = mesh.bin_of(float(placement.x[cid]),
+                                      float(placement.y[cid]),
+                                      int(placement.z[cid]))
+                targets = self._targets(cid, cur_bin, local_only, radius)
+                action = self._best_action(cid, cur_bin, targets)
+                if action is not None:
+                    moves, target_bin, partner = action
+                    obj.apply_moves(moves)
+                    self._update_mesh(cid, cur_bin, target_bin, partner)
+                    executed += 1
+                    dirty.update(cell_nets(cid))
+                    if partner is not None:
+                        moved_since.add(partner)
+                        dirty.update(cell_nets(partner))
+                continue
+            entries = per_cell.get(cid)
+            if not entries:
+                continue
+            best = None
+            best_delta = -1e-18  # strictly improving only
+            for kind, k in entries:  # already in generation (seq) order
+                delta = (move_deltas[k] if kind == 0 else swap_deltas[k])
+                if delta < best_delta:
+                    best_delta = delta
+                    best = (kind, k)
+            if best is None:
+                continue
+            kind, k = best
+            stale = not dirty.isdisjoint(cell_nets(cid))
+            area = float(areas[cid])
+            if kind == 0:
+                t = mv_bins[k]
+                # the bin may have filled up since the snapshot
+                if mesh.area_in(t) + area > limit:
+                    continue
+                mv = [(cid, mv_xs[k], mv_ys[k], mv_zs[k])]
+                partner = None
             else:
-                ox, oy, oz = self.objective.optimal_region_center(cid)
-                center = mesh.bin_of(ox, oy,
-                                     placement.chip.clamp_layer(oz))
-                targets = mesh.bins_within(center, radius)
-                # The optimal-region z is the nets' median layer; with
-                # thermal placement on, the objective minimum may sit on
-                # a cooler layer instead, so the full vertical stack at
-                # the optimal lateral position joins the target region.
-                if self.config.alpha_temp > 0:
-                    ci, cj, _ = center
-                    for k in range(mesh.nz):
-                        index = (ci, cj, k)
-                        if index not in targets:
-                            targets.append(index)
-            action = self._best_action(cid, cur_bin, targets)
-            if action is not None:
-                moves, target_bin, swap_partner = action
-                self.objective.apply_moves(moves)
-                self._update_mesh(cid, cur_bin, target_bin, swap_partner)
-                executed += 1
+                other = sw_b[k]
+                if other in moved_since:
+                    continue
+                t = sw_bins[k]
+                other_area = float(areas[other])
+                if mesh.area_in(t) - other_area + area > limit:
+                    continue
+                if (mesh.area_in(cur_bin_of[cid]) - area + other_area
+                        > limit):
+                    continue
+                stale = stale or not dirty.isdisjoint(cell_nets(other))
+                mv = [(cid, float(placement.x[other]),
+                       float(placement.y[other]),
+                       int(placement.z[other])),
+                      (other, float(placement.x[cid]),
+                       float(placement.y[cid]),
+                       int(placement.z[cid]))]
+                partner = other
+            if stale and obj.eval_moves(mv) >= -1e-18:
+                continue
+            obj.apply_moves(mv)
+            self._update_mesh(cid, cur_bin_of[cid], t, partner)
+            executed += 1
+            moved_since.add(cid)
+            dirty.update(cell_nets(cid))
+            if partner is not None:
+                moved_since.add(partner)
+                dirty.update(cell_nets(partner))
         return executed
+
+    def _collect_candidates(self, cid: int, cur_bin: BinIndex,
+                            targets: List[BinIndex],
+                            mv_cells: List[int], mv_xs: List[float],
+                            mv_ys: List[float], mv_zs: List[int],
+                            mv_bins: List[BinIndex], sw_a: List[int],
+                            sw_b: List[int], sw_bins: List[BinIndex]
+                            ) -> List[Tuple[int, int]]:
+        """Append one cell's move/swap candidates to the shared batch
+        lists; returns ``(kind, index)`` entries in generation order
+        (kind 0 = move, 1 = swap)."""
+        mesh = self.mesh
+        areas = self._areas
+        area = float(areas[cid])
+        limit = self.density_limit * mesh.bin_capacity
+        bin_area = mesh._area
+        bin_members = mesh._members
+        bw = mesh.bin_width
+        bh = mesh.bin_height
+        cur_area = float(bin_area[cur_bin])
+        max_swaps = self.max_swap_candidates
+        entries: List[Tuple[int, int]] = []
+        jitter = self._rng.random(2 * len(targets)).tolist()
+        for ti, t in enumerate(targets):
+            if t == cur_bin:
+                continue
+            tx = (t[0] + jitter[2 * ti]) * bw
+            ty = (t[1] + jitter[2 * ti + 1]) * bh
+            tz = t[2]
+            area_t = float(bin_area[t])
+            if area_t + area <= limit:
+                entries.append((0, len(mv_cells)))
+                mv_cells.append(cid)
+                mv_xs.append(tx)
+                mv_ys.append(ty)
+                mv_zs.append(tz)
+                mv_bins.append(t)
+            members = bin_members.get(t)
+            if not members:
+                continue
+            if len(members) > max_swaps:
+                members = list(self._rng.choice(
+                    members, size=max_swaps, replace=False))
+            for other in members:
+                other = int(other)
+                if other == cid:
+                    continue
+                other_area = float(areas[other])
+                if area_t - other_area + area > limit:
+                    continue
+                if cur_area - area + other_area > limit:
+                    continue
+                entries.append((1, len(sw_a)))
+                sw_a.append(cid)
+                sw_b.append(other)
+                sw_bins.append(t)
+        return entries
 
     # ------------------------------------------------------------------
     def _best_action(self, cid: int, cur_bin: BinIndex,
                      targets: List[BinIndex]):
-        """Best objective-reducing move or swap for one cell, or None."""
+        """Best objective-reducing move or swap for one cell, or None.
+
+        All candidates for the cell — one jittered landing point per
+        roomy target bin plus the sampled swap partners — are generated
+        first and scored in two batched objective calls
+        (:meth:`ObjectiveState.eval_moves_batch` /
+        :meth:`~ObjectiveState.eval_swaps_batch`); ties resolve to the
+        earliest-generated candidate, matching the sequential scan.
+        """
         mesh = self.mesh
         placement = self.objective.placement
         area = float(self._areas[cid])
-        capacity = mesh.bin_capacity
-        best_delta = -1e-18  # strictly improving only
-        best = None
-        for t in targets:
+        limit = self.density_limit * mesh.bin_capacity
+        cur_area = mesh.area_in(cur_bin)
+        half_w = 0.5 * mesh.bin_width
+        half_h = 0.5 * mesh.bin_height
+
+        move_xs: List[float] = []
+        move_ys: List[float] = []
+        move_zs: List[int] = []
+        move_bins: List[BinIndex] = []
+        move_seq: List[int] = []
+        swap_others: List[int] = []
+        swap_bins: List[BinIndex] = []
+        swap_seq: List[int] = []
+        seq = 0
+        # jitter landing points inside each bin so successive movers do
+        # not pile up on the exact bin centre (drawn in one batch)
+        jitter = self._rng.random(2 * len(targets))
+        for ti, t in enumerate(targets):
             if t == cur_bin:
                 continue
             tx, ty, tz = mesh.bin_center(t)
-            # jitter the landing point inside the bin so successive
-            # movers do not pile up on the exact bin centre
-            tx += (self._rng.random() - 0.5) * mesh.bin_width
-            ty += (self._rng.random() - 0.5) * mesh.bin_height
+            tx += (jitter[2 * ti] - 0.5) * half_w * 2.0
+            ty += (jitter[2 * ti + 1] - 0.5) * half_h * 2.0
+            area_t = mesh.area_in(t)
             # plain move, if the bin has room
-            if (mesh.area_in(t) + area
-                    <= self.density_limit * capacity):
-                move = [(cid, tx, ty, tz)]
-                delta = self.objective.eval_moves(move)
-                if delta < best_delta:
-                    best_delta = delta
-                    best = (move, t, None)
+            if area_t + area <= limit:
+                move_xs.append(tx)
+                move_ys.append(ty)
+                move_zs.append(tz)
+                move_bins.append(t)
+                move_seq.append(seq)
+                seq += 1
             # swaps with cells in the target bin
             members = mesh.members(t)
             if len(members) > self.max_swap_candidates:
@@ -156,22 +357,45 @@ class MoveOptimizer:
                     continue
                 other_area = float(self._areas[other])
                 # exchanged areas must keep both bins within the limit
-                if (mesh.area_in(t) - other_area + area
-                        > self.density_limit * capacity):
+                if area_t - other_area + area > limit:
                     continue
-                if (mesh.area_in(cur_bin) - area + other_area
-                        > self.density_limit * capacity):
+                if cur_area - area + other_area > limit:
                     continue
-                moves = [
-                    (cid, float(placement.x[other]),
-                     float(placement.y[other]), int(placement.z[other])),
-                    (other, float(placement.x[cid]),
-                     float(placement.y[cid]), int(placement.z[cid])),
-                ]
-                delta = self.objective.eval_moves(moves)
-                if delta < best_delta:
-                    best_delta = delta
-                    best = (moves, t, other)
+                swap_others.append(other)
+                swap_bins.append(t)
+                swap_seq.append(seq)
+                seq += 1
+
+        move_deltas = self.objective.eval_moves_batch(
+            [cid] * len(move_xs), move_xs, move_ys, move_zs)
+        swap_deltas = self.objective.eval_swaps_batch(
+            [cid] * len(swap_others), swap_others)
+
+        best_delta = -1e-18  # strictly improving only
+        best = None
+        # scan candidates in generation order, strict improvement only
+        candidates = sorted(
+            [(s, float(d), ("move", k))
+             for k, (s, d) in enumerate(zip(move_seq, move_deltas))]
+            + [(s, float(d), ("swap", k))
+               for k, (s, d) in enumerate(zip(swap_seq, swap_deltas))])
+        for _, delta, (kind, k) in candidates:
+            if delta < best_delta:
+                best_delta = delta
+                if kind == "move":
+                    best = ([(cid, move_xs[k], move_ys[k],
+                              move_zs[k])], move_bins[k], None)
+                else:
+                    other = swap_others[k]
+                    moves = [
+                        (cid, float(placement.x[other]),
+                         float(placement.y[other]),
+                         int(placement.z[other])),
+                        (other, float(placement.x[cid]),
+                         float(placement.y[cid]),
+                         int(placement.z[cid])),
+                    ]
+                    best = (moves, swap_bins[k], other)
         return best
 
     def _update_mesh(self, cid: int, cur_bin: BinIndex,

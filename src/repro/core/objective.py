@@ -12,14 +12,27 @@ out, so the PEKO floors of global placement are no longer needed.
 TRR nets never appear here: they are the partitioning-side *mechanism*
 for the thermal term, which this class evaluates directly.
 
-Every candidate cell movement in coarse and detailed legalization is
-scored through :meth:`ObjectiveState.eval_moves`, so the hot paths use
-plain Python lists and touch only the nets incident to moved cells.
+Data layout (the "kernel layer", see DESIGN.md):
+
+- The static net/pin structure is a CSR-style pair of flat int arrays:
+  ``_net_ptr`` (length ``num_signal_nets + 1``) and ``_pin_cell`` (one
+  entry per unique net pin), so full recomputation (`rebuild`) is a
+  handful of ``np.minimum.reduceat``/``np.maximum.reduceat`` segment
+  reductions instead of a Python loop over per-net lists.  Drivers and
+  the cell->net incidence have CSR mirrors of their own.
+- Candidate scoring has two paths: :meth:`eval_moves` handles an
+  arbitrary joint move set with O(local pins) scalar work, while
+  :meth:`eval_moves_batch` / :meth:`eval_swaps_batch` score many
+  *independent* candidates in one vectorized call, using per-net
+  first/second-extreme caches ("what is the net's bounding box without
+  this one pin").  The extreme caches are refreshed lazily: every
+  :meth:`apply_moves` / :meth:`rebuild` marks them dirty and the next
+  batched call rebuilds them with segment reductions.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -49,28 +62,82 @@ class ObjectiveState:
         self.alpha_temp = config.alpha_temp
         netlist = placement.netlist
         self.power_model = power_model or PowerModel(netlist, config.tech)
+        n_cells = netlist.num_cells
 
         # --- static per-net structure (signal nets only) ---------------
+        # List mirrors are kept for the scalar (joint-move) path, where
+        # tiny-net Python loops still beat per-array overhead; the flat
+        # CSR arrays drive every vectorized kernel.
         self._net_ids: List[int] = []
         self._pins: List[List[int]] = []
         self._drivers: List[List[int]] = []
-        self._s_wl: List[float] = []
-        self._s_ilv: List[float] = []
-        index_of_net: Dict[int, int] = {}
+        s_wl: List[float] = []
+        s_ilv: List[float] = []
+        pin_term: List[float] = []
         for net in netlist.nets:
-            if net.is_trr:
+            if net.is_trr or not net.pins:
                 continue
-            index_of_net[net.id] = len(self._net_ids)
             self._net_ids.append(net.id)
             self._pins.append(net.unique_cell_ids)
             self._drivers.append(net.driver_ids)
-            self._s_wl.append(float(self.power_model.s_wl[net.id]))
-            self._s_ilv.append(float(self.power_model.s_ilv[net.id]))
-        self._cell_nets: List[List[int]] = [[] for _ in
-                                            range(netlist.num_cells)]
+            s_wl.append(float(self.power_model.s_wl[net.id]))
+            s_ilv.append(float(self.power_model.s_ilv[net.id]))
+            pin_term.append(float(self.power_model.s_input_pins[net.id]))
+        m = len(self._pins)
+        self._s_wl = np.asarray(s_wl, dtype=float)
+        self._s_ilv = np.asarray(s_ilv, dtype=float)
+        self._pin_term = np.asarray(pin_term, dtype=float)
+
+        # net -> pin CSR
+        deg = np.fromiter((len(p) for p in self._pins), dtype=np.int64,
+                          count=m)
+        self._net_deg = deg
+        self._net_ptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(deg, out=self._net_ptr[1:])
+        self._pin_cell = (np.concatenate(
+            [np.asarray(p, dtype=np.int64) for p in self._pins])
+            if m else np.zeros(0, dtype=np.int64))
+        self._pin_net = np.repeat(np.arange(m, dtype=np.int64), deg)
+        # globally sorted membership keys: pins sorted within each net,
+        # encoded as net * num_cells + cell (for vectorized searchsorted)
+        order = np.argsort(self._pin_net * np.int64(max(n_cells, 1))
+                           + self._pin_cell, kind="stable")
+        self._pin_key = (self._pin_net[order] * np.int64(max(n_cells, 1))
+                         + self._pin_cell[order])
+
+        # net -> driver CSR (with multiplicity, as the power model uses)
+        drv_deg = np.fromiter((len(d) for d in self._drivers),
+                              dtype=np.int64, count=m)
+        self._drv_deg = drv_deg
+        self._drv_ptr = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(drv_deg, out=self._drv_ptr[1:])
+        self._drv_cell = (np.concatenate(
+            [np.asarray(d, dtype=np.int64) for d in self._drivers])
+            if m else np.zeros(0, dtype=np.int64))
+        self._drv_net = np.repeat(np.arange(m, dtype=np.int64), drv_deg)
+
+        # cell -> net CSR (+ the cell's driver-pin multiplicity per net)
+        self._cell_nets: List[List[int]] = [[] for _ in range(n_cells)]
         for local, pins in enumerate(self._pins):
             for c in pins:
                 self._cell_nets[c].append(local)
+        cdeg = np.fromiter((len(e) for e in self._cell_nets),
+                           dtype=np.int64, count=n_cells)
+        self._cell_deg = cdeg
+        self._cell_net_ptr = np.zeros(n_cells + 1, dtype=np.int64)
+        np.cumsum(cdeg, out=self._cell_net_ptr[1:])
+        self._cell_net_idx = (np.concatenate(
+            [np.asarray(e, dtype=np.int64) for e in self._cell_nets])
+            if n_cells and cdeg.sum() else np.zeros(0, dtype=np.int64))
+        drvmult: Dict[Tuple[int, int], int] = {}
+        for local, drivers in enumerate(self._drivers):
+            for d in drivers:
+                drvmult[(d, local)] = drvmult.get((d, local), 0) + 1
+        owner = np.repeat(np.arange(n_cells, dtype=np.int64), cdeg)
+        self._cell_net_drvmult = np.fromiter(
+            (drvmult.get((int(c), int(e)), 0)
+             for c, e in zip(owner, self._cell_net_idx)),
+            dtype=float, count=len(self._cell_net_idx))
 
         # --- thermal resistance per (layer, cell) -----------------------
         # Lateral paths barely matter (the secondary film coefficient is
@@ -82,52 +149,364 @@ class ObjectiveState:
         areas = np.maximum(netlist.areas, 1e-18)
         cx = 0.5 * placement.chip.width
         cy = 0.5 * placement.chip.height
-        self._r_by_layer: List[List[float]] = []
-        for layer in range(placement.chip.num_layers):
-            row = [rm.cell_resistance(cx, cy, layer, float(a))
-                   for a in areas]
-            self._r_by_layer.append(row)
+        self._r_by_layer = np.array(
+            [[rm.cell_resistance(cx, cy, layer, float(a)) for a in areas]
+             for layer in range(placement.chip.num_layers)], dtype=float)
 
+        self._extremes_dirty = True
+        self._ext = None
+        self._ext_stack = None
+        self._drv_rsum = None
         self.rebuild()
 
     # ------------------------------------------------------------------
     def rebuild(self) -> None:
         """Recompute every cache from the placement's current state."""
-        xs = self.placement.x.tolist()
-        ys = self.placement.y.tolist()
-        zs = self.placement.z.tolist()
-        self._xs = xs
-        self._ys = ys
-        self._zs = [int(z) for z in zs]
-        self._wl: List[float] = []
-        self._ilv: List[int] = []
+        x = self.placement.x
+        y = self.placement.y
+        z = self.placement.z
+        # scalar mirrors for the joint-move path
+        self._xs = x.tolist()
+        self._ys = y.tolist()
+        self._zs = [int(v) for v in z.tolist()]
+        m = len(self._pins)
+        if m:
+            starts = self._net_ptr[:-1]
+            px = x[self._pin_cell]
+            py = y[self._pin_cell]
+            pz = z[self._pin_cell].astype(float)
+            wl = (np.maximum.reduceat(px, starts)
+                  - np.minimum.reduceat(px, starts)
+                  + np.maximum.reduceat(py, starts)
+                  - np.minimum.reduceat(py, starts))
+            ilv = (np.maximum.reduceat(pz, starts)
+                   - np.minimum.reduceat(pz, starts)).astype(np.int64)
+        else:
+            wl = np.zeros(0)
+            ilv = np.zeros(0, dtype=np.int64)
+        self._wl = wl
+        self._ilv = ilv
         # leakage is position-independent but heats the cell, so it
         # belongs in the R_j * P_j term (zero by default)
-        self._power: List[float] = self.power_model.leakage_powers(
-            ).tolist()
-        pin_term = self.power_model.s_input_pins
-        for local, net_id in enumerate(self._net_ids):
-            pins = self._pins[local]
-            nx = [xs[c] for c in pins]
-            ny = [ys[c] for c in pins]
-            nz = [self._zs[c] for c in pins]
-            wl = (max(nx) - min(nx)) + (max(ny) - min(ny))
-            ilv = max(nz) - min(nz)
-            self._wl.append(wl)
-            self._ilv.append(ilv)
-            share = (self._s_wl[local] * wl + self._s_ilv[local] * ilv
-                     + float(pin_term[net_id]))
-            for d in self._drivers[local]:
-                self._power[d] += share
+        power = self.power_model.leakage_powers().astype(float, copy=True)
+        if m:
+            share = self._s_wl * wl + self._s_ilv * ilv + self._pin_term
+            np.add.at(power, self._drv_cell, share[self._drv_net])
+        self._power = power
+        self._extremes_dirty = True
         self._total = self._compute_total()
 
     def _compute_total(self) -> float:
-        net_term = sum(self._wl) + self.alpha_ilv * sum(self._ilv)
+        net_term = float(self._wl.sum()) \
+            + self.alpha_ilv * float(self._ilv.sum())
         thermal = 0.0
         if self.alpha_temp > 0:
-            for c in range(len(self._power)):
-                thermal += self._r_by_layer[self._zs[c]][c] * self._power[c]
+            r = self._r_by_layer[self.placement.z,
+                                 np.arange(len(self._power))]
+            thermal = float((r * self._power).sum())
         return net_term + self.alpha_temp * thermal
+
+    # ------------------------------------------------------------------
+    def _refresh_extremes(self) -> None:
+        """Per-net first/second extremes per axis, for exclusion queries.
+
+        For each signal net and axis this caches the extreme value, how
+        many pins attain it, and the runner-up value — enough to answer
+        "what is the net's span if one given pin moves" without touching
+        the other pins.  Invalidated by :meth:`apply_moves` and
+        :meth:`rebuild`, rebuilt here with segment reductions.
+        """
+        if not self._extremes_dirty:
+            return
+        m = len(self._pins)
+        starts = self._net_ptr[:-1]
+        deg = self._net_deg
+        pl = self.placement
+        # primary storage is stacked (3, m) per component — axis order
+        # x, y, z — so batch queries can fuse all three axes into one
+        # fancy-indexed gather; self._ext holds per-axis row *views* of
+        # the same memory, which the incremental updaters write through
+        stack = [np.empty((3, m)), np.empty((3, m), dtype=np.int64),
+                 np.empty((3, m)), np.empty((3, m)),
+                 np.empty((3, m), dtype=np.int64), np.empty((3, m))]
+        for ax, (axis, coords) in enumerate(
+                (("x", pl.x), ("y", pl.y), ("z", pl.z.astype(float)))):
+            if m:
+                v = coords[self._pin_cell]
+                hi1 = np.maximum.reduceat(v, starts)
+                lo1 = np.minimum.reduceat(v, starts)
+                at_hi = v == np.repeat(hi1, deg)
+                at_lo = v == np.repeat(lo1, deg)
+                stack[0][ax] = hi1
+                stack[1][ax] = np.add.reduceat(at_hi.astype(np.int64),
+                                               starts)
+                stack[2][ax] = np.maximum.reduceat(
+                    np.where(at_hi, -np.inf, v), starts)
+                stack[3][ax] = lo1
+                stack[4][ax] = np.add.reduceat(at_lo.astype(np.int64),
+                                               starts)
+                stack[5][ax] = np.minimum.reduceat(
+                    np.where(at_lo, np.inf, v), starts)
+        self._ext_stack = tuple(stack)
+        self._ext = {axis: tuple(comp[ax] for comp in stack)
+                     for ax, axis in enumerate(("x", "y", "z"))}
+        if self.alpha_temp > 0:
+            rsum = np.zeros(m)
+            if m and len(self._drv_cell):
+                r = self._r_by_layer[pl.z[self._drv_cell], self._drv_cell]
+                np.add.at(rsum, self._drv_net, r)
+            self._drv_rsum = rsum
+        self._extremes_dirty = False
+
+    def _update_net_extremes(self, local: int) -> None:
+        """Incrementally refresh one net's extreme cache (all axes).
+
+        Nets are tiny (2-4 pins), so a scalar scan per net beats
+        re-running the global segment reductions by orders of magnitude
+        when only a handful of nets changed.
+        """
+        pins = self._pins[local]
+        for axis, coords in (("x", self._xs), ("y", self._ys),
+                             ("z", self._zs)):
+            vals = [coords[c] for c in pins]
+            hi1 = max(vals)
+            lo1 = min(vals)
+            hi2 = float("-inf")
+            lo2 = float("inf")
+            cnt_hi = 0
+            cnt_lo = 0
+            for v in vals:
+                if v == hi1:
+                    cnt_hi += 1
+                elif v > hi2:
+                    hi2 = v
+                if v == lo1:
+                    cnt_lo += 1
+                elif v < lo2:
+                    lo2 = v
+            e = self._ext[axis]
+            e[0][local] = hi1
+            e[1][local] = cnt_hi
+            e[2][local] = hi2
+            e[3][local] = lo1
+            e[4][local] = cnt_lo
+            e[5][local] = lo2
+
+    def _update_nets_batch(self, nets: np.ndarray) -> None:
+        """Refresh span caches, power attribution, and (when valid) the
+        extreme caches of many nets with segment reductions.
+
+        The vectorized counterpart of the per-net scalar bookkeeping in
+        :meth:`apply_moves`; pays off once a joint move set touches a
+        few dozen nets (whole-row cell shifting, snapshot restores).
+        """
+        deg = self._net_deg[nets]
+        cum = np.cumsum(deg)
+        starts = cum - deg
+        total = int(cum[-1])
+        offs = np.repeat(starts, deg)
+        within = np.arange(total, dtype=np.int64) - offs
+        pins = self._pin_cell[np.repeat(self._net_ptr[nets], deg)
+                              + within]
+        pl = self.placement
+        ext = None if self._extremes_dirty else self._ext
+        spans = {}
+        for axis, coords in (("x", pl.x), ("y", pl.y),
+                             ("z", pl.z.astype(float))):
+            v = coords[pins]
+            hi1 = np.maximum.reduceat(v, starts)
+            lo1 = np.minimum.reduceat(v, starts)
+            spans[axis] = (hi1, lo1)
+            if ext is not None:
+                at_hi = v == np.repeat(hi1, deg)
+                at_lo = v == np.repeat(lo1, deg)
+                e = ext[axis]
+                e[0][nets] = hi1
+                e[1][nets] = np.add.reduceat(at_hi.astype(np.int64),
+                                             starts)
+                e[2][nets] = np.maximum.reduceat(
+                    np.where(at_hi, -np.inf, v), starts)
+                e[3][nets] = lo1
+                e[4][nets] = np.add.reduceat(at_lo.astype(np.int64),
+                                             starts)
+                e[5][nets] = np.minimum.reduceat(
+                    np.where(at_lo, np.inf, v), starts)
+        new_wl = (spans["x"][0] - spans["x"][1]
+                  + spans["y"][0] - spans["y"][1])
+        new_ilv = (spans["z"][0] - spans["z"][1]).astype(np.int64)
+        d_wl = new_wl - self._wl[nets]
+        d_ilv = new_ilv - self._ilv[nets]
+        self._wl[nets] = new_wl
+        self._ilv[nets] = new_ilv
+        share = self._s_wl[nets] * d_wl + self._s_ilv[nets] * d_ilv
+        ddeg = self._drv_deg[nets]
+        dtotal = int(ddeg.sum())
+        if dtotal:
+            doffs = np.repeat(np.cumsum(ddeg) - ddeg, ddeg)
+            dwithin = np.arange(dtotal, dtype=np.int64) - doffs
+            drv = self._drv_cell[np.repeat(self._drv_ptr[nets], ddeg)
+                                 + dwithin]
+            np.add.at(self._power, drv, np.repeat(share, ddeg))
+
+    def _excl_span3(self, nets: np.ndarray, old: np.ndarray,
+                    new: np.ndarray) -> np.ndarray:
+        """New spans of ``nets`` on all axes when one pin per entry
+        moves from ``old`` to ``new`` (all other pins unchanged).
+
+        ``old`` and ``new`` are ``(3, n)`` stacks (x, y, z rows); the
+        result has the same shape.  One fused query over the stacked
+        extreme caches replaces three per-axis calls.
+        """
+        hi1, cnt_hi, hi2, lo1, cnt_lo, lo2 = self._ext_stack
+        h1 = hi1[:, nets]
+        l1 = lo1[:, nets]
+        other_hi = np.where((old == h1) & (cnt_hi[:, nets] == 1),
+                            hi2[:, nets], h1)
+        other_lo = np.where((old == l1) & (cnt_lo[:, nets] == 1),
+                            lo2[:, nets], l1)
+        return np.maximum(new, other_hi) - np.minimum(new, other_lo)
+
+    def _pair_expansion(self, cells: np.ndarray):
+        """Expand candidates into (candidate, incident-net) pair rows."""
+        deg = self._cell_deg[cells]
+        total = int(deg.sum())
+        pair_cand = np.repeat(np.arange(len(cells), dtype=np.int64), deg)
+        if total:
+            offs = np.repeat(np.cumsum(deg) - deg, deg)
+            within = np.arange(total, dtype=np.int64) - offs
+            flat = np.repeat(self._cell_net_ptr[cells], deg) + within
+        else:
+            flat = np.zeros(0, dtype=np.int64)
+        return (pair_cand, self._cell_net_idx[flat],
+                self._cell_net_drvmult[flat], deg)
+
+    def _pair_deltas(self, nets: np.ndarray, cells_rep: np.ndarray,
+                     new_x: np.ndarray, new_y: np.ndarray,
+                     new_z: np.ndarray):
+        """Per (candidate, net) pair: d_wl, d_ilv for one moved pin."""
+        pl = self.placement
+        n = len(nets)
+        old = np.empty((3, n))
+        new = np.empty((3, n))
+        old[0] = pl.x[cells_rep]
+        old[1] = pl.y[cells_rep]
+        old[2] = pl.z[cells_rep]
+        new[0] = new_x
+        new[1] = new_y
+        new[2] = new_z
+        spans = self._excl_span3(nets, old, new)
+        d_wl = spans[0] + spans[1] - self._wl[nets]
+        d_ilv = spans[2] - self._ilv[nets]
+        return d_wl, d_ilv
+
+    # ------------------------------------------------------------------
+    def eval_moves_batch(self, cells: Sequence[int],
+                         xs: Sequence[float], ys: Sequence[float],
+                         zs: Sequence[int]) -> np.ndarray:
+        """Objective deltas of many *independent* single-cell moves.
+
+        Each candidate ``(cells[b], xs[b], ys[b], zs[b])`` is scored as
+        if it were applied alone to the current state (exactly
+        ``eval_moves([move_b])``), in one vectorized call.  A cell may
+        appear in any number of candidates.  No state is changed.
+
+        Returns:
+            Array of ``new_objective - old_objective`` per candidate.
+        """
+        cells = np.asarray(cells, dtype=np.int64)
+        if cells.size == 0:
+            return np.zeros(0)
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        zs = np.asarray(zs, dtype=np.int64)
+        self._refresh_extremes()
+        alpha_temp = self.alpha_temp
+        out = np.zeros(len(cells))
+
+        pair_cand, nets, drvmult, deg = self._pair_expansion(cells)
+        if len(nets):
+            cells_rep = np.repeat(cells, deg)
+            d_wl, d_ilv = self._pair_deltas(
+                nets, cells_rep, np.repeat(xs, deg), np.repeat(ys, deg),
+                np.repeat(zs, deg))
+            np.add.at(out, pair_cand, d_wl + self.alpha_ilv * d_ilv)
+        if alpha_temp > 0:
+            p_delta = np.zeros(len(cells))
+            if len(nets):
+                share = self._s_wl[nets] * d_wl + self._s_ilv[nets] * d_ilv
+                np.add.at(out, pair_cand,
+                          alpha_temp * share * self._drv_rsum[nets])
+                np.add.at(p_delta, pair_cand, share * drvmult)
+            r_old = self._r_by_layer[self.placement.z[cells], cells]
+            r_new = self._r_by_layer[zs, cells]
+            out += alpha_temp * (r_new - r_old) \
+                * (self._power[cells] + p_delta)
+        return out
+
+    def eval_swaps_batch(self, cells_a: Sequence[int],
+                         cells_b: Sequence[int]) -> np.ndarray:
+        """Objective deltas of many independent full-position swaps.
+
+        Candidate ``b`` exchanges the complete ``(x, y, layer)``
+        positions of ``cells_a[b]`` and ``cells_b[b]`` (exactly the
+        two-move joint set :meth:`eval_moves` scores).  Nets containing
+        both cells are unchanged by a full exchange — their coordinate
+        multiset is preserved — so each side reduces to single-pin
+        exclusion queries over its non-shared nets.
+
+        Returns:
+            Array of objective deltas per swap candidate.
+        """
+        a = np.asarray(cells_a, dtype=np.int64)
+        b = np.asarray(cells_b, dtype=np.int64)
+        if a.size == 0:
+            return np.zeros(0)
+        self._refresh_extremes()
+        pl = self.placement
+        alpha_temp = self.alpha_temp
+        out = np.zeros(len(a))
+        n_cells = max(len(self._power), 1)
+        p_delta_a = np.zeros(len(a))
+        p_delta_b = np.zeros(len(a))
+
+        for moved, other, p_delta in ((a, b, p_delta_a),
+                                      (b, a, p_delta_b)):
+            pair_cand, nets, drvmult, deg = self._pair_expansion(moved)
+            if not len(nets):
+                continue
+            # drop nets shared with the swap partner (delta is zero)
+            other_rep = np.repeat(other, deg)
+            key = nets * np.int64(n_cells) + other_rep
+            pos = np.searchsorted(self._pin_key, key)
+            pos = np.minimum(pos, max(len(self._pin_key) - 1, 0))
+            shared = (self._pin_key[pos] == key) if len(self._pin_key) \
+                else np.zeros(len(key), dtype=bool)
+            keep = ~shared
+            if not keep.any():
+                continue
+            pair_cand = pair_cand[keep]
+            nets = nets[keep]
+            drvmult = drvmult[keep]
+            moved_rep = np.repeat(moved, deg)[keep]
+            other_rep = other_rep[keep]
+            d_wl, d_ilv = self._pair_deltas(
+                nets, moved_rep, pl.x[other_rep], pl.y[other_rep],
+                pl.z[other_rep])
+            np.add.at(out, pair_cand, d_wl + self.alpha_ilv * d_ilv)
+            if alpha_temp > 0:
+                share = self._s_wl[nets] * d_wl + self._s_ilv[nets] * d_ilv
+                np.add.at(out, pair_cand,
+                          alpha_temp * share * self._drv_rsum[nets])
+                np.add.at(p_delta, pair_cand, share * drvmult)
+
+        if alpha_temp > 0:
+            for moved, other, p_delta in ((a, b, p_delta_a),
+                                          (b, a, p_delta_b)):
+                r_old = self._r_by_layer[pl.z[moved], moved]
+                r_new = self._r_by_layer[pl.z[other], moved]
+                out += alpha_temp * (r_new - r_old) \
+                    * (self._power[moved] + p_delta)
+        return out
 
     # ------------------------------------------------------------------
     @property
@@ -137,22 +516,31 @@ class ObjectiveState:
 
     def wirelength(self) -> float:
         """Current total lateral HPWL, metres."""
-        return sum(self._wl)
+        return float(self._wl.sum())
 
     def total_ilv(self) -> int:
         """Current total interlayer-via count."""
-        return int(sum(self._ilv))
+        return int(self._ilv.sum())
 
     def cell_power(self, cell_id: int) -> float:
         """Current attributed dynamic power of one cell, watts."""
-        return self._power[cell_id]
+        return float(self._power[cell_id])
+
+    def cell_nets(self, cell_id: int) -> List[int]:
+        """Internal indices of the nets incident to a cell.
+
+        Batch consumers use these for staleness tracking: a cached
+        candidate delta for a cell is exact as long as none of the
+        cell's incident nets has been touched since it was scored.
+        """
+        return self._cell_nets[cell_id]
 
     def cell_resistance(self, cell_id: int, layer: Optional[int] = None
                         ) -> float:
         """Move-time thermal resistance of a cell on a layer, K/W."""
         if layer is None:
             layer = self._zs[cell_id]
-        return self._r_by_layer[layer][cell_id]
+        return float(self._r_by_layer[layer, cell_id])
 
     # ------------------------------------------------------------------
     def eval_moves(self, moves: Sequence[Move]) -> float:
@@ -207,29 +595,31 @@ class ObjectiveState:
                         hi_z = pz
             new_wl = (hi_x - lo_x) + (hi_y - lo_y)
             new_ilv = hi_z - lo_z
-            d_wl = new_wl - self._wl[local]
-            d_ilv = new_ilv - self._ilv[local]
+            d_wl = new_wl - float(self._wl[local])
+            d_ilv = new_ilv - int(self._ilv[local])
             if d_wl == 0.0 and d_ilv == 0:
                 continue
             delta += d_wl + self.alpha_ilv * d_ilv
             if alpha_temp > 0:
-                share = (self._s_wl[local] * d_wl
-                         + self._s_ilv[local] * d_ilv)
+                share = (float(self._s_wl[local]) * d_wl
+                         + float(self._s_ilv[local]) * d_ilv)
                 if share != 0.0:
                     for d in self._drivers[local]:
                         p_delta[d] = p_delta.get(d, 0.0) + share
 
         if alpha_temp > 0:
+            r = self._r_by_layer
+            power = self._power
             thermal_cells = set(moved)
             thermal_cells.update(p_delta)
             for c in thermal_cells:
-                old_r = self._r_by_layer[zs[c]][c]
+                old_r = float(r[zs[c], c])
                 pos = moved.get(c)
-                new_r = (self._r_by_layer[pos[2]][c] if pos is not None
+                new_r = (float(r[pos[2], c]) if pos is not None
                          else old_r)
-                new_p = self._power[c] + p_delta.get(c, 0.0)
+                new_p = float(power[c]) + p_delta.get(c, 0.0)
                 delta += alpha_temp * (new_r * new_p
-                                       - old_r * self._power[c])
+                                       - old_r * float(power[c]))
         return delta
 
     def apply_moves(self, moves: Sequence[Move]) -> float:
@@ -245,6 +635,7 @@ class ObjectiveState:
         for cid in moved:
             for local in self._cell_nets[cid]:
                 affected[local] = None
+        old_z = {cid: self._zs[cid] for cid in moved}
         for cid, (x, y, z) in moved.items():
             self._xs[cid] = x
             self._ys[cid] = y
@@ -253,24 +644,50 @@ class ObjectiveState:
             self.placement.y[cid] = y
             self.placement.z[cid] = int(z)
         xs, ys, zs = self._xs, self._ys, self._zs
-        for local in affected:
-            pins = self._pins[local]
-            nx = [xs[c] for c in pins]
-            ny = [ys[c] for c in pins]
-            nz = [zs[c] for c in pins]
-            new_wl = (max(nx) - min(nx)) + (max(ny) - min(ny))
-            new_ilv = max(nz) - min(nz)
-            d_wl = new_wl - self._wl[local]
-            d_ilv = new_ilv - self._ilv[local]
-            if d_wl == 0.0 and d_ilv == 0:
-                continue
-            self._wl[local] = new_wl
-            self._ilv[local] = new_ilv
-            share = (self._s_wl[local] * d_wl + self._s_ilv[local] * d_ilv)
-            if share != 0.0:
-                for d in self._drivers[local]:
-                    self._power[d] += share
+        if len(affected) >= 32:
+            self._update_nets_batch(np.fromiter(
+                affected.keys(), dtype=np.int64, count=len(affected)))
+        else:
+            for local in affected:
+                pins = self._pins[local]
+                nx = [xs[c] for c in pins]
+                ny = [ys[c] for c in pins]
+                nz = [zs[c] for c in pins]
+                new_wl = (max(nx) - min(nx)) + (max(ny) - min(ny))
+                new_ilv = max(nz) - min(nz)
+                d_wl = new_wl - float(self._wl[local])
+                d_ilv = new_ilv - int(self._ilv[local])
+                if not self._extremes_dirty:
+                    # incremental maintenance: a pin moving inside the
+                    # bbox can still shift runner-ups/counts, so every
+                    # affected net is re-scanned, not just
+                    # span-changing ones
+                    self._update_net_extremes(local)
+                if d_wl == 0.0 and d_ilv == 0:
+                    continue
+                self._wl[local] = new_wl
+                self._ilv[local] = new_ilv
+                share = (float(self._s_wl[local]) * d_wl
+                         + float(self._s_ilv[local]) * d_ilv)
+                if share != 0.0:
+                    for d in self._drivers[local]:
+                        self._power[d] += share
         self._total += delta
+        if not self._extremes_dirty:
+            if self.alpha_temp > 0 and self._drv_rsum is not None:
+                r = self._r_by_layer
+                for cid, z0 in old_z.items():
+                    z1 = self._zs[cid]
+                    if z1 == z0:
+                        continue
+                    dr = float(r[z1, cid]) - float(r[z0, cid])
+                    lo = int(self._cell_net_ptr[cid])
+                    hi = int(self._cell_net_ptr[cid + 1])
+                    for k in range(lo, hi):
+                        mult = self._cell_net_drvmult[k]
+                        if mult:
+                            self._drv_rsum[self._cell_net_idx[k]] += \
+                                mult * dr
         return delta
 
     # ------------------------------------------------------------------
@@ -284,39 +701,97 @@ class ObjectiveState:
         the weighted median per axis (weights: 1 for x/y; the z medians
         use the same unweighted rule — the alpha_ilv scaling affects the
         *extent* of the target region, applied by the caller).
+
+        The other-pin boxes are exclusion queries against the cached
+        per-net extremes, and the median interval's midpoint of ``m``
+        intervals is the median of their ``2m`` endpoints.
         """
-        xs_lo: List[float] = []
-        xs_hi: List[float] = []
-        ys_lo: List[float] = []
-        ys_hi: List[float] = []
-        zs_lo: List[float] = []
-        zs_hi: List[float] = []
-        xs, ys, zs = self._xs, self._ys, self._zs
-        for local in self._cell_nets[cell_id]:
-            others = [c for c in self._pins[local] if c != cell_id]
-            if not others:
-                continue
-            ox = [xs[c] for c in others]
-            oy = [ys[c] for c in others]
-            oz = [zs[c] for c in others]
-            xs_lo.append(min(ox))
-            xs_hi.append(max(ox))
-            ys_lo.append(min(oy))
-            ys_hi.append(max(oy))
-            zs_lo.append(min(oz))
-            zs_hi.append(max(oz))
-        if not xs_lo:
-            return (xs[cell_id], ys[cell_id], float(zs[cell_id]))
-        return (_median_interval_point(xs_lo, xs_hi),
-                _median_interval_point(ys_lo, ys_hi),
-                _median_interval_point(zs_lo, zs_hi))
+        self._refresh_extremes()
+        lo = self._cell_net_ptr[cell_id]
+        hi = self._cell_net_ptr[cell_id + 1]
+        nets = self._cell_net_idx[lo:hi]
+        here = (self._xs[cell_id], self._ys[cell_id],
+                float(self._zs[cell_id]))
+        if not len(nets):
+            return here
+        # nets where the cell is the only pin have no "other" box
+        nets = nets[self._net_deg[nets] > 1]
+        if not len(nets):
+            return here
+        out = []
+        for axis, coord in zip(("x", "y", "z"), here):
+            hi1, cnt_hi, hi2, lo1, cnt_lo, lo2 = self._ext[axis]
+            other_hi = np.where((coord == hi1[nets]) & (cnt_hi[nets] == 1),
+                                hi2[nets], hi1[nets])
+            other_lo = np.where((coord == lo1[nets]) & (cnt_lo[nets] == 1),
+                                lo2[nets], lo1[nets])
+            # median of the 2k interval endpoints, without np.median's
+            # dispatch overhead (this is called once per cell per pass)
+            ends = np.sort(np.concatenate((other_lo, other_hi)))
+            n = len(ends)
+            out.append(0.5 * (float(ends[(n - 1) // 2])
+                              + float(ends[n // 2])))
+        return (out[0], out[1], out[2])
+
+    def optimal_region_centers(self, cells: Sequence[int]) -> np.ndarray:
+        """Optimal-region centres of many cells in one batched call.
+
+        Returns:
+            ``(3, n)`` array of per-axis centres (x, y, z rows), each
+            column equal to :meth:`optimal_region_center` of that cell.
+        """
+        self._refresh_extremes()
+        cells = np.asarray(cells, dtype=np.int64)
+        n = len(cells)
+        out = np.empty((3, n))
+        pl = self.placement
+        out[0] = pl.x[cells]
+        out[1] = pl.y[cells]
+        out[2] = pl.z[cells]
+        if not n:
+            return out
+        pair_cand, nets, _, _ = self._pair_expansion(cells)
+        if not len(nets):
+            return out
+        # nets where the cell is the only pin have no "other" box
+        keep = self._net_deg[nets] > 1
+        pair_cand = pair_cand[keep]
+        nets = nets[keep]
+        if not len(nets):
+            return out
+        cells_rep = cells[pair_cand]
+        old = np.empty((3, len(nets)))
+        old[0] = pl.x[cells_rep]
+        old[1] = pl.y[cells_rep]
+        old[2] = pl.z[cells_rep]
+        hi1, cnt_hi, hi2, lo1, cnt_lo, lo2 = self._ext_stack
+        h1 = hi1[:, nets]
+        l1 = lo1[:, nets]
+        other_hi = np.where((old == h1) & (cnt_hi[:, nets] == 1),
+                            hi2[:, nets], h1)
+        other_lo = np.where((old == l1) & (cnt_lo[:, nets] == 1),
+                            lo2[:, nets], l1)
+        # per cell and axis: median of the 2k interval endpoints, via a
+        # segmented sort of (owner, value) pairs
+        owners = np.concatenate((pair_cand, pair_cand))
+        cnt = 2 * np.bincount(pair_cand, minlength=n)
+        ptr = np.concatenate(([0], np.cumsum(cnt)))[:-1]
+        has = cnt > 0
+        mid_lo = ptr + (cnt - 1) // 2
+        mid_hi = ptr + cnt // 2
+        for ax in range(3):
+            ends = np.concatenate((other_lo[ax], other_hi[ax]))
+            order = np.lexsort((ends, owners))
+            ends = ends[order]
+            out[ax][has] = 0.5 * (ends[mid_lo[has]] + ends[mid_hi[has]])
+        return out
 
     def check_consistency(self, tol: float = 1e-9) -> None:
         """Verify caches against a from-scratch recomputation (tests)."""
         cached = self._total
-        wl = list(self._wl)
-        ilv = list(self._ilv)
-        power = list(self._power)
+        wl = self._wl.copy()
+        ilv = self._ilv.copy()
+        power = self._power.copy()
         self.rebuild()
         if abs(self._total - cached) > tol * max(1.0, abs(cached)):
             raise AssertionError(
@@ -326,13 +801,14 @@ class ObjectiveState:
                 raise AssertionError("per-item caches drifted")
 
 
-def _median_interval_point(los: List[float], his: List[float]) -> float:
+def _median_interval_point(los: Sequence[float],
+                           his: Sequence[float]) -> float:
     """Midpoint of the median interval of a set of 1D intervals.
 
     This is the minimizer set of the sum of distances to the intervals
     (the 1D optimal region); its midpoint is returned.
     """
-    ends = sorted(los) + sorted(his)
+    ends = list(los) + list(his)
     ends.sort()
     n = len(ends)
     lo = ends[(n - 1) // 2]

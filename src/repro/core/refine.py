@@ -23,14 +23,13 @@ improving operations are committed.
 
 from __future__ import annotations
 
-import bisect as _bisect
 from collections import defaultdict
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from repro.core.config import PlacementConfig
-from repro.core.detailed import RowSegments, check_legal
+from repro.core.detailed import RowSegments
 from repro.core.objective import ObjectiveState
 
 RowKey = Tuple[int, int]
@@ -90,33 +89,99 @@ class LegalRefiner:
 
     # ------------------------------------------------------------------
     def _adjacent_swap_pass(self) -> int:
-        """Swap neighbouring cells within rows when it helps."""
+        """Swap neighbouring cells within rows when it helps.
+
+        Two-phase batching: every adjacent pair of the snapshot rows is
+        scored as two single-cell move candidates in one
+        :meth:`ObjectiveState.eval_moves_batch` call.  The summed pair
+        delta is the exact joint delta while the two cells share no net
+        and neither's neighbourhood has been dirtied by earlier commits;
+        otherwise the pair is re-evaluated scalar at its turn (with
+        coordinates recomputed from the current row order).
+        """
         improved = 0
         widths = self.netlist.widths
-        placement = self.placement
-        for (layer, row), members in self._rows().items():
+        rows = self._rows()
+        cell_nets = self.objective.cell_nets
+
+        # ---- phase 1: pair generation + one batched score ------------
+        mv_cells: List[int] = []
+        mv_xs: List[float] = []
+        mv_ys: List[float] = []
+        mv_zs: List[int] = []
+        exact: List[bool] = []  # pair's cells share no net
+        for (layer, row), members in rows.items():
             y = self._row_y(row)
-            i = 0
-            while i + 1 < len(members):
+            for i in range(len(members) - 1):
                 (xa, a), (xb, b) = members[i], members[i + 1]
                 wa = float(widths[a])
                 wb = float(widths[b])
                 lo = xa - 0.5 * wa
                 gap = (xb - 0.5 * wb) - (xa + 0.5 * wa)
-                new_b = lo + 0.5 * wb
-                new_a = lo + wb + gap + 0.5 * wa
-                moves = [(a, new_a, y, layer), (b, new_b, y, layer)]
-                if self.objective.eval_moves(moves) < -1e-18:
-                    self.objective.apply_moves(moves)
-                    members[i] = (new_b, b)
-                    members[i + 1] = (new_a, a)
-                    improved += 1
+                mv_cells.append(a)
+                mv_xs.append(lo + wb + gap + 0.5 * wa)
+                mv_ys.append(y)
+                mv_zs.append(layer)
+                mv_cells.append(b)
+                mv_xs.append(lo + 0.5 * wb)
+                mv_ys.append(y)
+                mv_zs.append(layer)
+                exact.append(set(cell_nets(a)).isdisjoint(cell_nets(b)))
+        if not mv_cells:
+            return 0
+        deltas = self.objective.eval_moves_batch(mv_cells, mv_xs, mv_ys,
+                                                 mv_zs)
+
+        # ---- phase 2: sequential apply with staleness tracking -------
+        dirty: set = set()
+        moved: set = set()
+        p = 0
+        for (layer, row), members in rows.items():
+            y = self._row_y(row)
+            i = 0
+            while i + 1 < len(members):
+                k = 2 * p
+                p += 1
+                (xa, a), (xb, b) = members[i], members[i + 1]
                 i += 1
+                clean = (exact[p - 1] and a not in moved
+                         and b not in moved
+                         and dirty.isdisjoint(cell_nets(a))
+                         and dirty.isdisjoint(cell_nets(b)))
+                if clean:
+                    if deltas[k] + deltas[k + 1] >= -1e-18:
+                        continue
+                    moves = [(a, mv_xs[k], y, layer),
+                             (b, mv_xs[k + 1], y, layer)]
+                else:
+                    wa = float(widths[a])
+                    wb = float(widths[b])
+                    lo = xa - 0.5 * wa
+                    gap = (xb - 0.5 * wb) - (xa + 0.5 * wa)
+                    moves = [(a, lo + wb + gap + 0.5 * wa, y, layer),
+                             (b, lo + 0.5 * wb, y, layer)]
+                    if self.objective.eval_moves(moves) >= -1e-18:
+                        continue
+                self.objective.apply_moves(moves)
+                members[i - 1] = (moves[1][1], b)
+                members[i] = (moves[0][1], a)
+                moved.add(a)
+                moved.add(b)
+                dirty.update(cell_nets(a))
+                dirty.update(cell_nets(b))
+                improved += 1
         return improved
 
     # ------------------------------------------------------------------
     def _equal_width_swap_pass(self, candidates_per_cell: int = 6) -> int:
-        """Swap same-width cells across the whole chip."""
+        """Swap same-width cells across the whole chip.
+
+        Two-phase batching: every cell's nearest same-width peers are
+        collected against a snapshot of the placement and scored in one
+        :meth:`ObjectiveState.eval_swaps_batch` call; promising swaps
+        are then re-evaluated scalar (the state has moved on by the
+        time their turn comes) and committed only if still improving.
+        """
         improved = 0
         widths = self.netlist.widths
         placement = self.placement
@@ -130,39 +195,79 @@ class LegalRefiner:
         movable = [c.id for c in self.netlist.cells if c.movable]
         for cid in movable:
             buckets[bucket_of(float(widths[cid]))].append(cid)
+        peer_arrays = {b: np.asarray(m, dtype=np.int64)
+                       for b, m in buckets.items()}
 
-        for cid in self._rng.permutation(movable):
-            cid = int(cid)
-            peers = buckets[bucket_of(float(widths[cid]))]
+        order = [int(c) for c in self._rng.permutation(movable)]
+        centers = self.objective.optimal_region_centers(order)
+        cand_a: List[int] = []
+        cand_b: List[int] = []
+        spans: Dict[int, Tuple[int, int]] = {}
+        for idx, cid in enumerate(order):
+            b = bucket_of(float(widths[cid]))
+            peers = peer_arrays[b]
             if len(peers) < 2:
                 continue
-            ox, oy, oz = self.objective.optimal_region_center(cid)
-            # the few peers nearest the optimal spot
-            scored = sorted(
-                (abs(float(placement.x[p]) - ox)
-                 + abs(float(placement.y[p]) - oy), p)
-                for p in peers if p != cid)[:candidates_per_cell]
-            best = None
-            for _, other in scored:
-                if abs(widths[other] - widths[cid]) > quantum:
-                    continue
-                moves = [
-                    (cid, float(placement.x[other]),
-                     float(placement.y[other]), int(placement.z[other])),
-                    (other, float(placement.x[cid]),
-                     float(placement.y[cid]), int(placement.z[cid])),
-                ]
-                delta = self.objective.eval_moves(moves)
-                if delta < -1e-18 and (best is None or delta < best[0]):
-                    best = (delta, moves)
-            if best is not None:
-                self.objective.apply_moves(best[1])
-                improved += 1
+            ox, oy = centers[0, idx], centers[1, idx]
+            dist = (np.abs(placement.x[peers] - ox)
+                    + np.abs(placement.y[peers] - oy))
+            dist = np.where(peers == cid, np.inf, dist)
+            k = min(candidates_per_cell, len(peers) - 1)
+            near = peers[np.argsort(dist, kind="stable")[:k]]
+            others = [int(p) for p in near
+                      if abs(widths[p] - widths[cid]) <= quantum]
+            if not others:
+                continue
+            spans[cid] = (len(cand_a), len(cand_a) + len(others))
+            cand_a.extend([cid] * len(others))
+            cand_b.extend(others)
+        if not cand_a:
+            return 0
+        deltas = self.objective.eval_swaps_batch(cand_a, cand_b)
+        dirty: set = set()
+        moved: set = set()
+        cell_nets = self.objective.cell_nets
+        for cid in order:
+            span = spans.get(cid)
+            if span is None:
+                continue
+            lo, hi = span
+            k = lo + int(np.argmin(deltas[lo:hi]))
+            if deltas[k] >= -1e-18:
+                continue
+            other = cand_b[k]
+            moves = [
+                (cid, float(placement.x[other]),
+                 float(placement.y[other]), int(placement.z[other])),
+                (other, float(placement.x[cid]),
+                 float(placement.y[cid]), int(placement.z[cid])),
+            ]
+            # the batched delta is exact while both cells' spots and
+            # incident nets are untouched; otherwise re-check scalar
+            # against the current state
+            clean = (cid not in moved and other not in moved
+                     and dirty.isdisjoint(cell_nets(cid))
+                     and dirty.isdisjoint(cell_nets(other)))
+            if not clean and self.objective.eval_moves(moves) >= -1e-18:
+                continue
+            self.objective.apply_moves(moves)
+            moved.add(cid)
+            moved.add(other)
+            dirty.update(cell_nets(cid))
+            dirty.update(cell_nets(other))
+            improved += 1
         return improved
 
     # ------------------------------------------------------------------
     def _gap_move_pass(self, row_radius: int = 2) -> int:
-        """Move cells into nearby free row intervals when it helps."""
+        """Move cells into nearby free row intervals when it helps.
+
+        Two-phase batching like :meth:`_equal_width_swap_pass`: slot
+        candidates for every cell are collected against the starting
+        row occupancy and scored in one batched call; a winning
+        candidate's row is re-queried and the move re-evaluated scalar
+        at its turn, since earlier commits may have claimed the gap.
+        """
         improved = 0
         widths = self.netlist.widths
         placement = self.placement
@@ -175,12 +280,15 @@ class LegalRefiner:
                 locations[cid] = (layer, row)
 
         movable = [c.id for c in self.netlist.cells if c.movable]
-        for cid in self._rng.permutation(movable):
-            cid = int(cid)
+        order = [int(c) for c in self._rng.permutation(movable)]
+        cand_cells: List[int] = []
+        cand_slots: List[Tuple[float, float, int, int]] = []
+        spans: Dict[int, Tuple[int, int]] = {}
+        for cid in order:
             w = float(widths[cid])
             layer0, row0 = locations[cid]
             x0 = float(placement.x[cid])
-            best = None
+            start = len(cand_slots)
             for layer in range(chip.num_layers):
                 for row in range(max(0, row0 - row_radius),
                                  min(chip.rows_per_layer,
@@ -190,23 +298,51 @@ class LegalRefiner:
                     slot = segments.nearest_slot(layer, row, x0, w)
                     if slot is None:
                         continue
-                    y = self._row_y(row)
-                    move = [(cid, slot, y, layer)]
-                    delta = self.objective.eval_moves(move)
-                    if delta < -1e-18 and (best is None
-                                           or delta < best[0]):
-                        best = (delta, move, layer, row, slot)
-            if best is not None:
-                _, move, layer, row, slot = best
-                # vacate the old interval, claim the new one
-                key = (layer0, row0)
-                starts = segments._starts[key]
-                ends = segments._ends[key]
-                cids = segments._cids[key]
-                idx = cids.index(cid)
-                del starts[idx], ends[idx], cids[idx]
-                self.objective.apply_moves(move)
-                segments.insert(layer, row, cid, slot, w)
-                locations[cid] = (layer, row)
-                improved += 1
+                    cand_slots.append((slot, self._row_y(row), layer,
+                                       row))
+                    cand_cells.append(cid)
+            if len(cand_slots) > start:
+                spans[cid] = (start, len(cand_slots))
+        if not cand_slots:
+            return 0
+        deltas = self.objective.eval_moves_batch(
+            cand_cells, [c[0] for c in cand_slots],
+            [c[1] for c in cand_slots], [c[2] for c in cand_slots])
+
+        dirty: set = set()
+        rows_touched: set = set()
+        cell_nets = self.objective.cell_nets
+        for cid in order:
+            span = spans.get(cid)
+            if span is None:
+                continue
+            lo, hi = span
+            k = lo + int(np.argmin(deltas[lo:hi]))
+            if deltas[k] >= -1e-18:
+                continue
+            slot, y, layer, row = cand_slots[k]
+            w = float(widths[cid])
+            if (layer, row) in rows_touched:
+                # the gap may have been taken by an earlier commit:
+                # re-query the row
+                slot = segments.nearest_slot(layer, row,
+                                             float(placement.x[cid]), w)
+                if slot is None:
+                    continue
+            move = [(cid, slot, y, layer)]
+            # the batched delta stays exact while the cell's nets and
+            # the target row are untouched; otherwise re-check scalar
+            clean = ((layer, row) not in rows_touched
+                     and dirty.isdisjoint(cell_nets(cid)))
+            if not clean and self.objective.eval_moves(move) >= -1e-18:
+                continue
+            layer0, row0 = locations[cid]
+            segments.remove(layer0, row0, cid)
+            self.objective.apply_moves(move)
+            segments.insert(layer, row, cid, slot, w)
+            locations[cid] = (layer, row)
+            rows_touched.add((layer0, row0))
+            rows_touched.add((layer, row))
+            dirty.update(cell_nets(cid))
+            improved += 1
         return improved

@@ -13,7 +13,6 @@ shifted bin boundaries.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
@@ -171,6 +170,42 @@ class DensityMesh:
         self.clear()
         for cell_id, x, y, z, area in positions:
             self.add_cell(cell_id, x, y, z, area)
+
+    def build_from_placement(self, placement, areas: np.ndarray) -> None:
+        """Vectorized :meth:`build` over a placement's movable cells.
+
+        Bin indices for every movable cell come from three clipped
+        array ops and the per-bin area from one ``np.add.at``; member
+        lists are grouped with a stable argsort, so they keep the same
+        (netlist) order the scalar build produced.
+        """
+        self.clear()
+        ids = getattr(placement.netlist, "_movable_ids_cache", None)
+        if ids is None:
+            ids = np.fromiter(
+                (c.id for c in placement.netlist.cells if c.movable),
+                dtype=np.int64)
+            placement.netlist._movable_ids_cache = ids
+        if not len(ids):
+            return
+        i = np.clip((placement.x[ids] / self.bin_width).astype(np.int64),
+                    0, self.nx - 1)
+        j = np.clip((placement.y[ids] / self.bin_height).astype(np.int64),
+                    0, self.ny - 1)
+        k = np.clip(placement.z[ids].astype(np.int64), 0, self.nz - 1)
+        np.add.at(self._area, (i, j, k), areas[ids])
+        flat = (i * self.ny + j) * self.nz + k
+        order = np.argsort(flat, kind="stable")
+        flat_sorted = flat[order]
+        ids_sorted = ids[order]
+        bounds = np.flatnonzero(np.diff(flat_sorted)) + 1
+        starts = np.concatenate(([0], bounds))
+        ends = np.concatenate((bounds, [len(flat_sorted)]))
+        for s, e in zip(starts, ends):
+            f = int(flat_sorted[s])
+            index = (f // (self.ny * self.nz),
+                     (f // self.nz) % self.ny, f % self.nz)
+            self._members[index] = ids_sorted[s:e].tolist()
 
     def members(self, index: BinIndex) -> List[int]:
         """Ids of cells currently assigned to a bin."""

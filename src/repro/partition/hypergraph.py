@@ -62,12 +62,38 @@ class Hypergraph:
         if self.fixed.shape != (self.num_vertices,):
             raise ValueError("fixed length mismatch")
         self._vertex_nets: Optional[List[List[int]]] = None
+        self._csr: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = \
+            None
 
     # ------------------------------------------------------------------
     @property
     def num_nets(self) -> int:
         """Number of nets."""
         return len(self.nets)
+
+    def net_csr(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Flat CSR view of the net/pin structure, cached.
+
+        Returns:
+            ``(net_ptr, pin_vertex, pin_net)`` int64 arrays:
+            ``pin_vertex[net_ptr[e]:net_ptr[e+1]]`` are net ``e``'s pins
+            and ``pin_net`` maps each flat pin back to its net.  Nets
+            are immutable after construction, so the view never goes
+            stale.  This is the structure the vectorized FM gain and
+            cut-cost kernels reduce over.
+        """
+        if self._csr is None:
+            m = len(self.nets)
+            deg = np.fromiter((len(p) for p in self.nets),
+                              dtype=np.int64, count=m)
+            ptr = np.zeros(m + 1, dtype=np.int64)
+            np.cumsum(deg, out=ptr[1:])
+            pins = (np.concatenate(
+                [np.asarray(p, dtype=np.int64) for p in self.nets])
+                if m and deg.sum() else np.zeros(0, dtype=np.int64))
+            net_of = np.repeat(np.arange(m, dtype=np.int64), deg)
+            self._csr = (ptr, pins, net_of)
+        return self._csr
 
     @property
     def free_weight(self) -> float:

@@ -11,22 +11,44 @@ every boundary face to ambient.  On a regular hexahedral mesh with
 piecewise-constant material properties this is the same discrete system
 first-order FEA produces (DESIGN.md substitution #3).
 
-Temperatures are solved from ``G T = P`` with a sparse direct solve and
-reported relative to ambient.
+Temperatures are solved from ``G T = P``.  The conductance matrix
+depends only on the geometry, so its sparse LU factorization is
+computed once and cached: every solve after the first is a pair of
+cheap triangular back-substitutions (the placer calls
+:meth:`ThermalSolver.solve_powers` once per evaluation, and sweeps call
+it hundreds of times on the same geometry).  Assembly itself is
+vectorized — face couplings are generated from index grids, not a
+triple Python loop.  Temperatures are reported relative to ambient.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 from scipy.sparse import coo_matrix, csr_matrix
-from scipy.sparse.linalg import spsolve
+from scipy.sparse.linalg import splu
 
 from repro.geometry.chip import ChipGeometry
 from repro.netlist.placement import Placement
 from repro.technology import TechnologyConfig
+
+
+def grid_bin_indices(chip: ChipGeometry, nx: int, ny: int,
+                     x: np.ndarray, y: np.ndarray
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Lateral grid bin of each ``(x, y)`` position, clamped to the die.
+
+    Shared by power-map accumulation (:meth:`ThermalSolver.
+    solve_placement`) and temperature lookups (:meth:`TemperatureField.
+    cell_temperatures`), so both bin positions identically.
+    """
+    i = np.clip((np.asarray(x, dtype=float) / chip.width
+                 * nx).astype(np.int64), 0, nx - 1)
+    j = np.clip((np.asarray(y, dtype=float) / chip.height
+                 * ny).astype(np.int64), 0, ny - 1)
+    return i, j
 
 
 @dataclass
@@ -57,13 +79,9 @@ class TemperatureField:
 
     def cell_temperatures(self, placement: Placement) -> np.ndarray:
         """Temperature above ambient at each cell's position."""
-        n = placement.netlist.num_cells
-        out = np.zeros(n)
-        for cid in range(n):
-            out[cid] = self.at(float(placement.x[cid]),
-                               float(placement.y[cid]),
-                               int(placement.z[cid]))
-        return out
+        i, j = grid_bin_indices(self.chip, self.nx, self.ny,
+                                placement.x, placement.y)
+        return self.active[i, j, placement.z.astype(np.int64)]
 
     @property
     def max_temperature(self) -> float:
@@ -103,6 +121,7 @@ class ThermalSolver:
         self.n_substrate = (n_substrate
                             if self.tech.substrate_in_thermal_path else 0)
         self._matrix: Optional[csr_matrix] = None
+        self._factor = None  # cached sparse LU of the conductance matrix
 
     # ------------------------------------------------------------------
     @property
@@ -139,67 +158,84 @@ class ThermalSolver:
         return (kz * self.ny + j) * self.nx + i
 
     def _assemble(self) -> csr_matrix:
-        """Build the conductance matrix once; it depends only on geometry."""
+        """Build the conductance matrix once; it depends only on geometry.
+
+        Couplings are generated per face direction from index grids:
+        every x-face pairs ``node[kz, j, i]`` with ``node[kz, j, i+1]``
+        and so on, with per-plane conductances broadcast across the
+        plane — no Python loop over volumes.
+        """
         if self._matrix is not None:
             return self._matrix
         nx, ny, nz = self.nx, self.ny, self._nz
         dx = self.chip.width / nx
         dy = self.chip.height / ny
-        rows, cols, vals = [], [], []
-        diag = np.zeros(nx * ny * nz)
+        n = nx * ny * nz
+        # node ids laid out as [kz, j, i] (matches _node's linearization)
+        idx = np.arange(n, dtype=np.int64).reshape(nz, ny, nx)
+        diag = np.zeros(n)
 
-        def couple(a: int, b: int, g: float) -> None:
-            rows.append(a)
-            cols.append(b)
-            vals.append(-g)
-            rows.append(b)
-            cols.append(a)
-            vals.append(-g)
-            diag[a] += g
-            diag[b] += g
+        t = np.array([self._plane_thickness(kz) for kz in range(nz)])
+        k_plane = np.array([self._plane_conductivity(kz)
+                            for kz in range(nz)])
+        g_x = k_plane * (dy * t) / dx
+        g_y = k_plane * (dx * t) / dy
+        g_z = np.array([(dx * dy) / self._vertical_resistance_per_area(kz)
+                        for kz in range(nz - 1)])
 
+        couples = []
+        if nx > 1:
+            couples.append((idx[:, :, :-1].ravel(), idx[:, :, 1:].ravel(),
+                            np.repeat(g_x, ny * (nx - 1))))
+        if ny > 1:
+            couples.append((idx[:, :-1, :].ravel(), idx[:, 1:, :].ravel(),
+                            np.repeat(g_y, (ny - 1) * nx)))
+        if nz > 1:
+            couples.append((idx[:-1, :, :].ravel(), idx[1:, :, :].ravel(),
+                            np.repeat(g_z, ny * nx)))
+        for a, b, g in couples:
+            np.add.at(diag, a, g)
+            np.add.at(diag, b, g)
+
+        # boundary films to ambient (accumulated on the diagonal)
+        diag3 = diag.reshape(nz, ny, nx)
         h_sink = self.tech.heat_sink_convection
         h2 = self.tech.secondary_convection
-        for kz in range(nz):
-            t = self._plane_thickness(kz)
-            k_plane = self._plane_conductivity(kz)
-            g_x = k_plane * (dy * t) / dx
-            g_y = k_plane * (dx * t) / dy
-            if kz + 1 < nz:
-                g_z = (dx * dy) / self._vertical_resistance_per_area(kz)
-            for j in range(ny):
-                for i in range(nx):
-                    node = self._node(i, j, kz)
-                    if i + 1 < nx:
-                        couple(node, self._node(i + 1, j, kz), g_x)
-                    if j + 1 < ny:
-                        couple(node, self._node(i, j + 1, kz), g_y)
-                    if kz + 1 < nz:
-                        couple(node, self._node(i, j, kz + 1), g_z)
-                    # boundary films to ambient
-                    g_amb = 0.0
-                    if kz == 0:
-                        # heat-sink face, in series with conduction
-                        # through the half-thickness of the bottom plane
-                        r_film = 1.0 / (h_sink * dx * dy)
-                        r_half = (0.5 * t) / (k_plane * dx * dy)
-                        g_amb += 1.0 / (r_film + r_half)
-                    if kz == nz - 1 and h2 > 0:
-                        g_amb += h2 * dx * dy
-                    if h2 > 0:
-                        if i == 0 or i == nx - 1:
-                            g_amb += h2 * dy * t
-                        if j == 0 or j == ny - 1:
-                            g_amb += h2 * dx * t
-                    diag[node] += g_amb
+        # heat-sink face, in series with conduction through the
+        # half-thickness of the bottom plane
+        r_film = 1.0 / (h_sink * dx * dy)
+        r_half = (0.5 * t[0]) / (k_plane[0] * dx * dy)
+        diag3[0] += 1.0 / (r_film + r_half)
+        if h2 > 0:
+            diag3[nz - 1] += h2 * dx * dy
+            mask_i = np.zeros(nx, dtype=bool)
+            mask_i[0] = mask_i[nx - 1] = True
+            mask_j = np.zeros(ny, dtype=bool)
+            mask_j[0] = mask_j[ny - 1] = True
+            diag3[:, :, mask_i] += (h2 * dy * t)[:, None, None]
+            diag3[:, mask_j, :] += (h2 * dx * t)[:, None, None]
 
-        n = nx * ny * nz
-        rows.extend(range(n))
-        cols.extend(range(n))
-        vals.extend(diag.tolist())
+        rows = np.concatenate([np.concatenate([a for a, _, _ in couples]),
+                               np.concatenate([b for _, b, _ in couples]),
+                               np.arange(n, dtype=np.int64)]) \
+            if couples else np.arange(n, dtype=np.int64)
+        cols = np.concatenate([np.concatenate([b for _, b, _ in couples]),
+                               np.concatenate([a for a, _, _ in couples]),
+                               np.arange(n, dtype=np.int64)]) \
+            if couples else np.arange(n, dtype=np.int64)
+        neg = (np.concatenate([-g for _, _, g in couples])
+               if couples else np.zeros(0))
+        vals = np.concatenate([neg, neg, diag])
         self._matrix = coo_matrix((vals, (rows, cols)),
                                   shape=(n, n)).tocsr()
         return self._matrix
+
+    def _factorize(self):
+        """Sparse LU of the conductance matrix, computed once per
+        geometry and reused by every subsequent solve."""
+        if self._factor is None:
+            self._factor = splu(self._assemble().tocsc())
+        return self._factor
 
     # ------------------------------------------------------------------
     def solve_powers(self, power_density: np.ndarray) -> TemperatureField:
@@ -216,14 +252,10 @@ class ThermalSolver:
         if power_density.shape != expected:
             raise ValueError(f"power map shape {power_density.shape}, "
                              f"expected {expected}")
-        matrix = self._assemble()
-        rhs = np.zeros(self.nx * self.ny * self._nz)
-        for layer in range(self.chip.num_layers):
-            kz = self.n_substrate + layer
-            for j in range(self.ny):
-                for i in range(self.nx):
-                    rhs[self._node(i, j, kz)] = power_density[i, j, layer]
-        temps = spsolve(matrix, rhs)
+        factor = self._factorize()
+        rhs = np.zeros((self._nz, self.ny, self.nx))
+        rhs[self.n_substrate:] = power_density.transpose(2, 1, 0)
+        temps = factor.solve(rhs.ravel())
         grid = temps.reshape(self._nz, self.ny, self.nx).transpose(2, 1, 0)
         return TemperatureField(
             chip=self.chip, nx=self.nx, ny=self.ny,
@@ -245,13 +277,8 @@ class ThermalSolver:
         if cell_powers.shape != (placement.netlist.num_cells,):
             raise ValueError("cell_powers must be indexed by cell id")
         pmap = np.zeros((self.nx, self.ny, self.chip.num_layers))
-        for cid in range(placement.netlist.num_cells):
-            p = float(cell_powers[cid])
-            if p == 0.0:
-                continue
-            i = min(max(int(placement.x[cid] / self.chip.width * self.nx),
-                        0), self.nx - 1)
-            j = min(max(int(placement.y[cid] / self.chip.height * self.ny),
-                        0), self.ny - 1)
-            pmap[i, j, int(placement.z[cid])] += p
+        i, j = grid_bin_indices(self.chip, self.nx, self.ny,
+                                placement.x, placement.y)
+        np.add.at(pmap, (i, j, placement.z.astype(np.int64)),
+                  cell_powers)
         return self.solve_powers(pmap)
