@@ -98,7 +98,7 @@ class AnnealingPlacer:
 
     def __init__(self, netlist: Netlist, config: PlacementConfig,
                  chip: Optional[ChipGeometry] = None,
-                 schedule: Optional[AnnealingSchedule] = None):
+                 schedule: Optional[AnnealingSchedule] = None) -> None:
         self.netlist = netlist
         self.config = config
         self.chip = chip or _auto_chip(netlist, config)

@@ -28,10 +28,11 @@ objective degradation (never zero, so spreading always progresses).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis import FloatArray, IntArray
 from repro.core.config import PlacementConfig
 from repro.core.objective import ObjectiveState
 from repro.geometry.density import DensityMesh
@@ -42,7 +43,7 @@ BETA_CANDIDATES = (1.0, 0.5, 0.25)
 
 def shifted_widths(densities: Sequence[float], width: float,
                    a_lower: float, a_upper: float, b: float,
-                   min_width_factor: float = 0.1) -> np.ndarray:
+                   min_width_factor: float = 0.1) -> FloatArray:
     """New widths of one row of bins (the core of Eq. 16).
 
     Expansion demanded by congested bins is matched exactly by
@@ -61,11 +62,11 @@ def shifted_widths(densities: Sequence[float], width: float,
     Returns:
         Array of new bin widths summing to ``len(densities) * width``.
     """
-    d = np.asarray(densities, dtype=float)
+    d = np.asarray(densities, dtype=np.float64)
     n = len(d)
     congested = d > 1.0
     if not congested.any():
-        return np.full(n, width)
+        return np.full(n, width, dtype=np.float64)
     factor = np.where(congested,
                       a_upper * (1.0 - 1.0 / np.maximum(d, 1e-12)) + b,
                       a_lower * (d - 1.0) + b)
@@ -77,9 +78,9 @@ def shifted_widths(densities: Sequence[float], width: float,
     need = float(expansion.sum())
     available = float(contraction.sum())
     if need <= 0.0 or available <= 0.0:
-        return np.full(n, width)
+        return np.full(n, width, dtype=np.float64)
     matched = min(need, available)
-    new = np.full(n, width)
+    new = np.full(n, width, dtype=np.float64)
     new += expansion * (matched / need)
     new -= contraction * (matched / available)
     return new
@@ -97,9 +98,11 @@ class CellShifter:
     """
 
     def __init__(self, objective: ObjectiveState, config: PlacementConfig,
-                 mesh: Optional[DensityMesh] = None):
+                 mesh: Optional[DensityMesh] = None) -> None:
         self.objective = objective
         self.config = config
+        # movement-retention override; None = per-cell greedy candidates
+        self._fixed_beta: Optional[float] = None
         placement = objective.placement
         netlist = placement.netlist
         self.mesh = mesh or DensityMesh.coarse_for(
@@ -119,8 +122,9 @@ class CellShifter:
         iterations = 0
         self._fixed_beta = None
         placement = self.objective.placement
-        best_overflow = None
-        best_state = None
+        best_overflow: Optional[float] = None
+        best_state: Optional[Tuple[FloatArray, FloatArray,
+                                   IntArray]] = None
         stalled = 0
         for _ in range(limit):
             self._rebuild_mesh()
@@ -162,16 +166,18 @@ class CellShifter:
             # less
             self._rebuild_mesh()
             final = self.mesh.overflow(config.shift_max_density)
+            assert best_overflow is not None
             if final > best_overflow:
                 self._restore(best_state)
         return iterations
 
-    def _restore(self, state) -> None:
+    def _restore(self, state: Tuple[FloatArray, FloatArray, IntArray]
+                 ) -> None:
         """Move cells back to a snapshotted (better) configuration,
         keeping the objective caches in sync."""
         xs, ys, zs = state
         placement = self.objective.placement
-        moves = []
+        moves: List[Tuple[int, float, float, int]] = []
         for cid, x, y, z in placement.iter_movable():
             if (x != xs[cid] or y != ys[cid] or z != zs[cid]):
                 moves.append((cid, float(xs[cid]), float(ys[cid]),
@@ -220,7 +226,7 @@ class CellShifter:
                   for lo, hi in spans]
         self.objective.apply_moves(chosen)
 
-    def _lift_costs(self) -> dict:
+    def _lift_costs(self) -> Dict[int, float]:
         """Objective delta of lifting each movable cell one layer up,
         for the z-axis virtual ordering — one batched call per pass."""
         placement = self.objective.placement
@@ -249,7 +255,7 @@ class CellShifter:
     def _shift_row(self, axis: str, a: int, b: int,
                    spans: List[Tuple[int, int]],
                    moves: List[Tuple[int, float, float, int]],
-                   lift_cost) -> None:
+                   lift_cost: Optional[Dict[int, float]]) -> None:
         """Collect one row's shifted-remap candidates (Eqs. 16-17).
 
         Appends each cell's beta-candidate moves to the axis-wide batch
@@ -266,7 +272,7 @@ class CellShifter:
             config.shift_upper_slope, config.shift_intercept)
         if np.allclose(new_widths, width):
             return
-        old_bounds = np.arange(n_bins + 1) * width
+        old_bounds = np.arange(n_bins + 1, dtype=np.float64) * width
         new_bounds = np.concatenate(([0.0], np.cumsum(new_widths)))
 
         for i in range(n_bins):
@@ -283,8 +289,10 @@ class CellShifter:
                     spans.append((len(moves), len(moves) + len(cand)))
                     moves.extend(cand)
 
-    def _member_coords(self, axis: str, bin_i: int, members,
-                       lift_cost) -> list:
+    def _member_coords(self, axis: str, bin_i: int,
+                       members: Sequence[int],
+                       lift_cost: Optional[Dict[int, float]]
+                       ) -> List[float]:
         """Coordinates of a bin's cells along the shifting axis.
 
         For x and y these are the cells' true coordinates.  The z
@@ -299,15 +307,18 @@ class CellShifter:
         """
         if axis != "z":
             return [self._cell_coord(axis, cid) for cid in members]
+        assert lift_cost is not None, "z shifting requires lift costs"
+        costs = lift_cost
         inf = float("inf")
-        order = sorted(members, key=lambda cid: lift_cost.get(cid, inf),
+        order = sorted(members, key=lambda cid: costs.get(cid, inf),
                        reverse=True)
         n = len(order)
         rank_of = {cid: r for r, cid in enumerate(order)}
         return [bin_i + (rank_of[cid] + 0.5) / n for cid in members]
 
     @staticmethod
-    def _bin_index(axis: str, i: int, a: int, b: int):
+    def _bin_index(axis: str, i: int, a: int, b: int
+                   ) -> Tuple[int, int, int]:
         if axis == "x":
             return (i, a, b)
         if axis == "y":
@@ -333,9 +344,9 @@ class CellShifter:
         """
         placement = self.objective.placement
         chip = placement.chip
-        fixed = getattr(self, "_fixed_beta", None)
+        fixed = self._fixed_beta
         candidates = BETA_CANDIDATES if fixed is None else (fixed,)
-        moves = []
+        moves: List[Tuple[int, float, float, int]] = []
         for beta in candidates:
             coord = beta * target + (1.0 - beta) * old
             if axis == "x":

@@ -25,10 +25,11 @@ row, inside the die, with no overlaps.
 from __future__ import annotations
 
 import bisect as _bisect
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis import FloatArray
 from repro.core.config import PlacementConfig
 from repro.core.objective import ObjectiveState
 from repro.geometry.density import DensityMesh
@@ -45,7 +46,7 @@ class RowSegments:
     a cell.
     """
 
-    def __init__(self, placement: Placement):
+    def __init__(self, placement: Placement) -> None:
         self.chip = placement.chip
         # per (layer, row): parallel sorted lists of starts and ends
         self._starts: Dict[RowKey, List[float]] = {}
@@ -55,7 +56,8 @@ class RowSegments:
         # on any mutation, rebuilt lazily by nearest_slot
         self._gap_cache: Dict[RowKey, Tuple[List[float], List[float]]] = {}
 
-    def _lists(self, key: RowKey):
+    def _lists(self, key: RowKey
+               ) -> Tuple[List[float], List[float], List[int]]:
         return (self._starts.setdefault(key, []),
                 self._ends.setdefault(key, []),
                 self._cids.setdefault(key, []))
@@ -152,7 +154,8 @@ class RowSegments:
         return self.chip.width - used
 
     def push_plan(self, layer: int, row: int, x_desired: float,
-                  width: float):
+                  width: float
+                  ) -> Optional[Tuple[float, List[Tuple[int, float]]]]:
         """Plan an insertion that shifts already-placed cells aside.
 
         Keeps the x-order of the row's occupants, inserts the new cell
@@ -187,7 +190,7 @@ class RowSegments:
         if pos and pos[0] < -1e-12:
             return None
         new_center = pos[insert_at] + 0.5 * width
-        displaced = []
+        displaced: List[Tuple[int, float]] = []
         for i, p in enumerate(pos):
             if i == insert_at:
                 continue
@@ -197,12 +200,13 @@ class RowSegments:
         return new_center, displaced
 
     def apply_push(self, layer: int, row: int, cid: int,
-                   new_center: float, width: float, displaced,
-                   cell_widths) -> None:
+                   new_center: float, width: float,
+                   displaced: Sequence[Tuple[int, float]],
+                   cell_widths: FloatArray) -> None:
         """Commit a :meth:`push_plan`: rewrite the row's intervals."""
         starts, ends, cids = self._lists((layer, row))
         moved = {c: x for c, x in displaced}
-        entries = []
+        entries: List[Tuple[float, float, int]] = []
         for s, e, c in zip(starts, ends, cids):
             w = e - s
             center = moved.get(c, s + 0.5 * w)
@@ -225,7 +229,7 @@ class DetailedLegalizer:
     """
 
     def __init__(self, objective: ObjectiveState,
-                 config: PlacementConfig):
+                 config: PlacementConfig) -> None:
         self.objective = objective
         self.config = config
         self.placement = objective.placement
@@ -254,9 +258,9 @@ class DetailedLegalizer:
         # exporters (overfull) first, most overfull first; acceptors after
         bin_rank: Dict[Tuple[int, int, int], float] = {}
         capacity = mesh.bin_capacity
-        overfull = []
-        underfull = []
-        for index, members in mesh._members.items():
+        overfull: List[Tuple[float, Tuple[int, int, int]]] = []
+        underfull: List[Tuple[float, Tuple[int, int, int]]] = []
+        for index, members in mesh.iter_members():
             if not members:
                 continue
             excess = mesh.area_in(index) - capacity
@@ -282,7 +286,7 @@ class DetailedLegalizer:
                       key=lambda c: -float(widths[c]))
         rest = [c for c in cells if widths[c] <= wide_cutoff]
 
-        def key(cid: int):
+        def key(cid: int) -> Tuple[int, float]:
             index = mesh.bin_of(float(placement.x[cid]),
                                 float(placement.y[cid]),
                                 int(placement.z[cid]))
@@ -291,7 +295,7 @@ class DetailedLegalizer:
 
         return wide + sorted(rest, key=key)
 
-    def _sensitivities(self) -> np.ndarray:
+    def _sensitivities(self) -> FloatArray:
         """Estimated objective sensitivity to moving each cell.
 
         Connectivity (incident signal-net count) scaled by footprint:
@@ -301,7 +305,7 @@ class DetailedLegalizer:
         """
         netlist = self.netlist
         n = netlist.num_cells
-        degree = np.zeros(n)
+        degree = np.zeros(n, dtype=np.float64)
         for net in netlist.nets:
             if net.is_trr:
                 continue
@@ -343,7 +347,8 @@ class DetailedLegalizer:
                                 self.netlist.widths)
 
     def _search(self, cid: int, width: float, x0: float,
-                z0: int, row0: int, segments: RowSegments):
+                z0: int, row0: int, segments: RowSegments
+                ) -> Optional[Tuple[Any, ...]]:
         """Best slot near the cell, expanding the search shell until
         one is found.
 
@@ -358,11 +363,11 @@ class DetailedLegalizer:
         chip = self.chip
         n_rows = chip.rows_per_layer
         layers = sorted(range(chip.num_layers), key=lambda z: abs(z - z0))
-        best = None
-        found_radius = None
+        best: Optional[Tuple[Any, ...]] = None
+        found_radius: Optional[int] = None
         radius = 0
         while radius < n_rows:
-            rows = []
+            rows: List[int] = []
             for r in (row0 - radius, row0 + radius):
                 if 0 <= r < n_rows:
                     rows.append(r)
@@ -373,8 +378,8 @@ class DetailedLegalizer:
             # the scalar push-plan evaluation.  Candidates keep their
             # (layer, row) scan order so ties resolve as the sequential
             # version did.
-            shell = []
-            gap_idx = []
+            shell: List[List[Any]] = []
+            gap_idx: List[int] = []
             for layer in layers:
                 for row in rows:
                     slot = segments.nearest_slot(layer, row, x0, width)
@@ -406,7 +411,9 @@ class DetailedLegalizer:
         return best
 
     def _evaluate_push(self, cid: int, width: float, x0: float,
-                       layer: int, row: int, segments: RowSegments):
+                       layer: int, row: int, segments: RowSegments
+                       ) -> Optional[Tuple[float, float, float, int, int,
+                                           List[Tuple[int, float]]]]:
         """Cost an insertion that shifts a full row's cells aside.
 
         Only called when the row has no free gap.  The joint move (cell

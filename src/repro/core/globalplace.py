@@ -90,7 +90,7 @@ class GlobalPlacer:
     """
 
     def __init__(self, placement: Placement, config: PlacementConfig,
-                 power_model: Optional[PowerModel] = None):
+                 power_model: Optional[PowerModel] = None) -> None:
         self.placement = placement
         self.config = config
         self.netlist = placement.netlist

@@ -20,7 +20,7 @@ bounds); swaps must keep both bins within the limit.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -38,12 +38,16 @@ class MoveOptimizer:
         mesh: coarse mesh; built internally if omitted.
         density_limit: bins are not filled beyond this density by moves.
         max_swap_candidates: swap partners examined per target bin.
+        rng: seeded generator for tie-breaking jitter; derived from
+            ``config.seed`` if omitted, so runs are reproducible either
+            way.
     """
 
     def __init__(self, objective: ObjectiveState, config: PlacementConfig,
                  mesh: Optional[DensityMesh] = None,
                  density_limit: float = 1.5,
-                 max_swap_candidates: int = 4):
+                 max_swap_candidates: int = 4,
+                 rng: Optional[np.random.Generator] = None) -> None:
         self.objective = objective
         self.config = config
         placement = objective.placement
@@ -53,7 +57,8 @@ class MoveOptimizer:
             netlist.average_cell_height)
         self.density_limit = density_limit
         self.max_swap_candidates = max_swap_candidates
-        self._rng = np.random.default_rng(config.seed + 101)
+        self._rng = (rng if rng is not None
+                     else np.random.default_rng(config.seed + 101))
         self._areas = netlist.areas
         self._movable = [c.id for c in netlist.cells if c.movable]
 
@@ -132,8 +137,8 @@ class MoveOptimizer:
         order = [int(c) for c in self._rng.permutation(self._movable)]
 
         # ---- phase 1: candidate generation + two giant batch scores --
-        cur_bin_of = {}
-        per_cell = {}
+        cur_bin_of: Dict[int, BinIndex] = {}
+        per_cell: Dict[int, List[Tuple[int, int]]] = {}
         mv_xs: List[float] = []
         mv_ys: List[float] = []
         mv_zs: List[int] = []
@@ -142,7 +147,7 @@ class MoveOptimizer:
         sw_a: List[int] = []
         sw_b: List[int] = []
         sw_bins: List[BinIndex] = []
-        centers = None
+        centers: Optional[Dict[int, Tuple[float, float, float]]] = None
         if not local_only:
             orc = obj.optimal_region_centers(order)
             centers = {cid: (orc[0, i], orc[1, i], orc[2, i])
@@ -165,8 +170,8 @@ class MoveOptimizer:
 
         # ---- phase 2: greedy apply with staleness tracking -----------
         executed = 0
-        dirty: set = set()
-        moved_since: set = set()
+        dirty: Set[int] = set()
+        moved_since: Set[int] = set()
         areas = self._areas
         limit = self.density_limit * mesh.bin_capacity
         cell_nets = obj.cell_nets
@@ -191,7 +196,7 @@ class MoveOptimizer:
             entries = per_cell.get(cid)
             if not entries:
                 continue
-            best = None
+            best: Optional[Tuple[int, int]] = None
             best_delta = -1e-18  # strictly improving only
             for kind, k in entries:  # already in generation (seq) order
                 delta = (move_deltas[k] if kind == 0 else swap_deltas[k])
@@ -300,7 +305,10 @@ class MoveOptimizer:
 
     # ------------------------------------------------------------------
     def _best_action(self, cid: int, cur_bin: BinIndex,
-                     targets: List[BinIndex]):
+                     targets: List[BinIndex]
+                     ) -> Optional[Tuple[
+                         List[Tuple[int, float, float, int]],
+                         BinIndex, Optional[int]]]:
         """Best objective-reducing move or swap for one cell, or None.
 
         All candidates for the cell — one jittered landing point per
@@ -372,7 +380,8 @@ class MoveOptimizer:
             [cid] * len(swap_others), swap_others)
 
         best_delta = -1e-18  # strictly improving only
-        best = None
+        best: Optional[Tuple[List[Tuple[int, float, float, int]],
+                             BinIndex, Optional[int]]] = None
         # scan candidates in generation order, strict improvement only
         candidates = sorted(
             [(s, float(d), ("move", k))
@@ -399,7 +408,8 @@ class MoveOptimizer:
         return best
 
     def _update_mesh(self, cid: int, cur_bin: BinIndex,
-                     target_bin: BinIndex, swap_partner) -> None:
+                     target_bin: BinIndex,
+                     swap_partner: Optional[int]) -> None:
         area = float(self._areas[cid])
         self.mesh.remove_cell(cid, cur_bin, area)
         if swap_partner is None:

@@ -32,16 +32,23 @@ Data layout (the "kernel layer", see DESIGN.md):
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+from numpy.typing import NDArray
 
+from repro.analysis import (FloatArray, IntArray, contract, exact_nonzero,
+                            exact_zero, hot_path, validate_arrays)
 from repro.core.config import PlacementConfig
 from repro.netlist.placement import Placement
 from repro.thermal.power import PowerModel
 from repro.thermal.resistance import ResistanceModel
 
 Move = Tuple[int, float, float, int]  # (cell_id, x, y, layer)
+
+#: Per-axis extreme cache: (hi1, cnt_hi, hi2, lo1, cnt_lo, lo2) — the
+#: count components are int64 rows, the rest float64.
+ExtComponents = Tuple[NDArray[Any], ...]
 
 
 class ObjectiveState:
@@ -55,7 +62,7 @@ class ObjectiveState:
     """
 
     def __init__(self, placement: Placement, config: PlacementConfig,
-                 power_model: Optional[PowerModel] = None):
+                 power_model: Optional[PowerModel] = None) -> None:
         self.placement = placement
         self.config = config
         self.alpha_ilv = config.alpha_ilv
@@ -84,9 +91,10 @@ class ObjectiveState:
             s_ilv.append(float(self.power_model.s_ilv[net.id]))
             pin_term.append(float(self.power_model.s_input_pins[net.id]))
         m = len(self._pins)
-        self._s_wl = np.asarray(s_wl, dtype=float)
-        self._s_ilv = np.asarray(s_ilv, dtype=float)
-        self._pin_term = np.asarray(pin_term, dtype=float)
+        self._s_wl: FloatArray = np.asarray(s_wl, dtype=np.float64)
+        self._s_ilv: FloatArray = np.asarray(s_ilv, dtype=np.float64)
+        self._pin_term: FloatArray = np.asarray(pin_term,
+                                                dtype=np.float64)
 
         # net -> pin CSR
         deg = np.fromiter((len(p) for p in self._pins), dtype=np.int64,
@@ -134,10 +142,10 @@ class ObjectiveState:
             for d in drivers:
                 drvmult[(d, local)] = drvmult.get((d, local), 0) + 1
         owner = np.repeat(np.arange(n_cells, dtype=np.int64), cdeg)
-        self._cell_net_drvmult = np.fromiter(
+        self._cell_net_drvmult: FloatArray = np.fromiter(
             (drvmult.get((int(c), int(e)), 0)
              for c, e in zip(owner, self._cell_net_idx)),
-            dtype=float, count=len(self._cell_net_idx))
+            dtype=np.float64, count=len(self._cell_net_idx))
 
         # --- thermal resistance per (layer, cell) -----------------------
         # Lateral paths barely matter (the secondary film coefficient is
@@ -149,32 +157,34 @@ class ObjectiveState:
         areas = np.maximum(netlist.areas, 1e-18)
         cx = 0.5 * placement.chip.width
         cy = 0.5 * placement.chip.height
-        self._r_by_layer = np.array(
+        self._r_by_layer: FloatArray = np.array(
             [[rm.cell_resistance(cx, cy, layer, float(a)) for a in areas]
-             for layer in range(placement.chip.num_layers)], dtype=float)
+             for layer in range(placement.chip.num_layers)],
+            dtype=np.float64)
 
         self._extremes_dirty = True
-        self._ext = None
-        self._ext_stack = None
-        self._drv_rsum = None
+        self._ext: Optional[Dict[str, ExtComponents]] = None
+        self._ext_stack: Optional[ExtComponents] = None
+        self._drv_rsum: Optional[FloatArray] = None
         self.rebuild()
 
     # ------------------------------------------------------------------
+    @hot_path
     def rebuild(self) -> None:
         """Recompute every cache from the placement's current state."""
         x = self.placement.x
         y = self.placement.y
         z = self.placement.z
         # scalar mirrors for the joint-move path
-        self._xs = x.tolist()
-        self._ys = y.tolist()
-        self._zs = [int(v) for v in z.tolist()]
+        self._xs: List[float] = x.tolist()
+        self._ys: List[float] = y.tolist()
+        self._zs: List[int] = [int(v) for v in z.tolist()]
         m = len(self._pins)
         if m:
             starts = self._net_ptr[:-1]
             px = x[self._pin_cell]
             py = y[self._pin_cell]
-            pz = z[self._pin_cell].astype(float)
+            pz = z[self._pin_cell].astype(np.float64)
             wl = (np.maximum.reduceat(px, starts)
                   - np.minimum.reduceat(px, starts)
                   + np.maximum.reduceat(py, starts)
@@ -182,17 +192,18 @@ class ObjectiveState:
             ilv = (np.maximum.reduceat(pz, starts)
                    - np.minimum.reduceat(pz, starts)).astype(np.int64)
         else:
-            wl = np.zeros(0)
+            wl = np.zeros(0, dtype=np.float64)
             ilv = np.zeros(0, dtype=np.int64)
-        self._wl = wl
-        self._ilv = ilv
+        self._wl: FloatArray = wl
+        self._ilv: IntArray = ilv
         # leakage is position-independent but heats the cell, so it
         # belongs in the R_j * P_j term (zero by default)
-        power = self.power_model.leakage_powers().astype(float, copy=True)
+        power = self.power_model.leakage_powers().astype(np.float64,
+                                                         copy=True)
         if m:
             share = self._s_wl * wl + self._s_ilv * ilv + self._pin_term
             np.add.at(power, self._drv_cell, share[self._drv_net])
-        self._power = power
+        self._power: FloatArray = power
         self._extremes_dirty = True
         self._total = self._compute_total()
 
@@ -202,11 +213,13 @@ class ObjectiveState:
         thermal = 0.0
         if self.alpha_temp > 0:
             r = self._r_by_layer[self.placement.z,
-                                 np.arange(len(self._power))]
+                                 np.arange(len(self._power),
+                                           dtype=np.int64)]
             thermal = float((r * self._power).sum())
         return net_term + self.alpha_temp * thermal
 
     # ------------------------------------------------------------------
+    @hot_path
     def _refresh_extremes(self) -> None:
         """Per-net first/second extremes per axis, for exclusion queries.
 
@@ -226,11 +239,16 @@ class ObjectiveState:
         # x, y, z — so batch queries can fuse all three axes into one
         # fancy-indexed gather; self._ext holds per-axis row *views* of
         # the same memory, which the incremental updaters write through
-        stack = [np.empty((3, m)), np.empty((3, m), dtype=np.int64),
-                 np.empty((3, m)), np.empty((3, m)),
-                 np.empty((3, m), dtype=np.int64), np.empty((3, m))]
+        stack = [np.empty((3, m), dtype=np.float64),
+                 np.empty((3, m), dtype=np.int64),
+                 np.empty((3, m), dtype=np.float64),
+                 np.empty((3, m), dtype=np.float64),
+                 np.empty((3, m), dtype=np.int64),
+                 np.empty((3, m), dtype=np.float64)]
+        # lint: ok[RPL005] constant three-axis unrolling, not a per-net loop
         for ax, (axis, coords) in enumerate(
-                (("x", pl.x), ("y", pl.y), ("z", pl.z.astype(float)))):
+                (("x", pl.x), ("y", pl.y),
+                 ("z", pl.z.astype(np.float64)))):
             if m:
                 v = coords[self._pin_cell]
                 hi1 = np.maximum.reduceat(v, starts)
@@ -251,7 +269,7 @@ class ObjectiveState:
         self._ext = {axis: tuple(comp[ax] for comp in stack)
                      for ax, axis in enumerate(("x", "y", "z"))}
         if self.alpha_temp > 0:
-            rsum = np.zeros(m)
+            rsum = np.zeros(m, dtype=np.float64)
             if m and len(self._drv_cell):
                 r = self._r_by_layer[pl.z[self._drv_cell], self._drv_cell]
                 np.add.at(rsum, self._drv_net, r)
@@ -266,6 +284,8 @@ class ObjectiveState:
         when only a handful of nets changed.
         """
         pins = self._pins[local]
+        ext = self._ext
+        assert ext is not None, "extreme caches queried while dirty"
         for axis, coords in (("x", self._xs), ("y", self._ys),
                              ("z", self._zs)):
             vals = [coords[c] for c in pins]
@@ -284,7 +304,7 @@ class ObjectiveState:
                     cnt_lo += 1
                 elif v < lo2:
                     lo2 = v
-            e = self._ext[axis]
+            e = ext[axis]
             e[0][local] = hi1
             e[1][local] = cnt_hi
             e[2][local] = hi2
@@ -292,7 +312,8 @@ class ObjectiveState:
             e[4][local] = cnt_lo
             e[5][local] = lo2
 
-    def _update_nets_batch(self, nets: np.ndarray) -> None:
+    @hot_path
+    def _update_nets_batch(self, nets: IntArray) -> None:
         """Refresh span caches, power attribution, and (when valid) the
         extreme caches of many nets with segment reductions.
 
@@ -310,9 +331,10 @@ class ObjectiveState:
                               + within]
         pl = self.placement
         ext = None if self._extremes_dirty else self._ext
-        spans = {}
+        spans: Dict[str, Tuple[FloatArray, FloatArray]] = {}
+        # lint: ok[RPL005] constant three-axis unrolling, not a per-net loop
         for axis, coords in (("x", pl.x), ("y", pl.y),
-                             ("z", pl.z.astype(float))):
+                             ("z", pl.z.astype(np.float64))):
             v = coords[pins]
             hi1 = np.maximum.reduceat(v, starts)
             lo1 = np.minimum.reduceat(v, starts)
@@ -348,8 +370,9 @@ class ObjectiveState:
                                  + dwithin]
             np.add.at(self._power, drv, np.repeat(share, ddeg))
 
-    def _excl_span3(self, nets: np.ndarray, old: np.ndarray,
-                    new: np.ndarray) -> np.ndarray:
+    @hot_path
+    def _excl_span3(self, nets: IntArray, old: FloatArray,
+                    new: FloatArray) -> FloatArray:
         """New spans of ``nets`` on all axes when one pin per entry
         moves from ``old`` to ``new`` (all other pins unchanged).
 
@@ -357,6 +380,8 @@ class ObjectiveState:
         result has the same shape.  One fused query over the stacked
         extreme caches replaces three per-axis calls.
         """
+        assert self._ext_stack is not None, \
+            "extreme caches queried while dirty"
         hi1, cnt_hi, hi2, lo1, cnt_lo, lo2 = self._ext_stack
         h1 = hi1[:, nets]
         l1 = lo1[:, nets]
@@ -366,7 +391,10 @@ class ObjectiveState:
                             lo2[:, nets], l1)
         return np.maximum(new, other_hi) - np.minimum(new, other_lo)
 
-    def _pair_expansion(self, cells: np.ndarray):
+    @hot_path
+    def _pair_expansion(self, cells: IntArray
+                        ) -> Tuple[IntArray, IntArray, FloatArray,
+                                   IntArray]:
         """Expand candidates into (candidate, incident-net) pair rows."""
         deg = self._cell_deg[cells]
         total = int(deg.sum())
@@ -380,14 +408,16 @@ class ObjectiveState:
         return (pair_cand, self._cell_net_idx[flat],
                 self._cell_net_drvmult[flat], deg)
 
-    def _pair_deltas(self, nets: np.ndarray, cells_rep: np.ndarray,
-                     new_x: np.ndarray, new_y: np.ndarray,
-                     new_z: np.ndarray):
+    @hot_path
+    def _pair_deltas(self, nets: IntArray, cells_rep: IntArray,
+                     new_x: FloatArray, new_y: FloatArray,
+                     new_z: IntArray
+                     ) -> Tuple[FloatArray, FloatArray]:
         """Per (candidate, net) pair: d_wl, d_ilv for one moved pin."""
         pl = self.placement
         n = len(nets)
-        old = np.empty((3, n))
-        new = np.empty((3, n))
+        old = np.empty((3, n), dtype=np.float64)
+        new = np.empty((3, n), dtype=np.float64)
         old[0] = pl.x[cells_rep]
         old[1] = pl.y[cells_rep]
         old[2] = pl.z[cells_rep]
@@ -400,9 +430,14 @@ class ObjectiveState:
         return d_wl, d_ilv
 
     # ------------------------------------------------------------------
+    @contract(shapes={"cells": ("n",), "xs": ("n",), "ys": ("n",),
+                      "zs": ("n",)},
+              dtypes={"cells": np.integer, "xs": np.floating,
+                      "ys": np.floating, "zs": np.integer})
+    @hot_path
     def eval_moves_batch(self, cells: Sequence[int],
                          xs: Sequence[float], ys: Sequence[float],
-                         zs: Sequence[int]) -> np.ndarray:
+                         zs: Sequence[int]) -> FloatArray:
         """Objective deltas of many *independent* single-cell moves.
 
         Each candidate ``(cells[b], xs[b], ys[b], zs[b])`` is scored as
@@ -415,13 +450,13 @@ class ObjectiveState:
         """
         cells = np.asarray(cells, dtype=np.int64)
         if cells.size == 0:
-            return np.zeros(0)
-        xs = np.asarray(xs, dtype=float)
-        ys = np.asarray(ys, dtype=float)
+            return np.zeros(0, dtype=np.float64)
+        xs = np.asarray(xs, dtype=np.float64)
+        ys = np.asarray(ys, dtype=np.float64)
         zs = np.asarray(zs, dtype=np.int64)
         self._refresh_extremes()
         alpha_temp = self.alpha_temp
-        out = np.zeros(len(cells))
+        out = np.zeros(len(cells), dtype=np.float64)
 
         pair_cand, nets, drvmult, deg = self._pair_expansion(cells)
         if len(nets):
@@ -431,7 +466,7 @@ class ObjectiveState:
                 np.repeat(zs, deg))
             np.add.at(out, pair_cand, d_wl + self.alpha_ilv * d_ilv)
         if alpha_temp > 0:
-            p_delta = np.zeros(len(cells))
+            p_delta = np.zeros(len(cells), dtype=np.float64)
             if len(nets):
                 share = self._s_wl[nets] * d_wl + self._s_ilv[nets] * d_ilv
                 np.add.at(out, pair_cand,
@@ -443,8 +478,11 @@ class ObjectiveState:
                 * (self._power[cells] + p_delta)
         return out
 
+    @contract(shapes={"cells_a": ("n",), "cells_b": ("n",)},
+              dtypes={"cells_a": np.integer, "cells_b": np.integer})
+    @hot_path
     def eval_swaps_batch(self, cells_a: Sequence[int],
-                         cells_b: Sequence[int]) -> np.ndarray:
+                         cells_b: Sequence[int]) -> FloatArray:
         """Objective deltas of many independent full-position swaps.
 
         Candidate ``b`` exchanges the complete ``(x, y, layer)``
@@ -460,15 +498,16 @@ class ObjectiveState:
         a = np.asarray(cells_a, dtype=np.int64)
         b = np.asarray(cells_b, dtype=np.int64)
         if a.size == 0:
-            return np.zeros(0)
+            return np.zeros(0, dtype=np.float64)
         self._refresh_extremes()
         pl = self.placement
         alpha_temp = self.alpha_temp
-        out = np.zeros(len(a))
+        out = np.zeros(len(a), dtype=np.float64)
         n_cells = max(len(self._power), 1)
-        p_delta_a = np.zeros(len(a))
-        p_delta_b = np.zeros(len(a))
+        p_delta_a = np.zeros(len(a), dtype=np.float64)
+        p_delta_b = np.zeros(len(a), dtype=np.float64)
 
+        # lint: ok[RPL005] constant two-sided unrolling, not a per-net loop
         for moved, other, p_delta in ((a, b, p_delta_a),
                                       (b, a, p_delta_b)):
             pair_cand, nets, drvmult, deg = self._pair_expansion(moved)
@@ -500,6 +539,7 @@ class ObjectiveState:
                 np.add.at(p_delta, pair_cand, share * drvmult)
 
         if alpha_temp > 0:
+            # lint: ok[RPL005] constant two-sided unrolling, not a per-net loop
             for moved, other, p_delta in ((a, b, p_delta_a),
                                           (b, a, p_delta_b)):
                 r_old = self._r_by_layer[pl.z[moved], moved]
@@ -597,13 +637,15 @@ class ObjectiveState:
             new_ilv = hi_z - lo_z
             d_wl = new_wl - float(self._wl[local])
             d_ilv = new_ilv - int(self._ilv[local])
-            if d_wl == 0.0 and d_ilv == 0:
+            # bit-exact on purpose: skip-if-unchanged must match the
+            # incremental cache update in apply_moves exactly
+            if exact_zero(d_wl) and d_ilv == 0:
                 continue
             delta += d_wl + self.alpha_ilv * d_ilv
             if alpha_temp > 0:
                 share = (float(self._s_wl[local]) * d_wl
                          + float(self._s_ilv[local]) * d_ilv)
-                if share != 0.0:
+                if exact_nonzero(share):
                     for d in self._drivers[local]:
                         p_delta[d] = p_delta.get(d, 0.0) + share
 
@@ -663,13 +705,13 @@ class ObjectiveState:
                     # affected net is re-scanned, not just
                     # span-changing ones
                     self._update_net_extremes(local)
-                if d_wl == 0.0 and d_ilv == 0:
+                if exact_zero(d_wl) and d_ilv == 0:
                     continue
                 self._wl[local] = new_wl
                 self._ilv[local] = new_ilv
                 share = (float(self._s_wl[local]) * d_wl
                          + float(self._s_ilv[local]) * d_ilv)
-                if share != 0.0:
+                if exact_nonzero(share):
                     for d in self._drivers[local]:
                         self._power[d] += share
         self._total += delta
@@ -718,9 +760,11 @@ class ObjectiveState:
         nets = nets[self._net_deg[nets] > 1]
         if not len(nets):
             return here
+        ext = self._ext
+        assert ext is not None, "extreme caches queried while dirty"
         out = []
         for axis, coord in zip(("x", "y", "z"), here):
-            hi1, cnt_hi, hi2, lo1, cnt_lo, lo2 = self._ext[axis]
+            hi1, cnt_hi, hi2, lo1, cnt_lo, lo2 = ext[axis]
             other_hi = np.where((coord == hi1[nets]) & (cnt_hi[nets] == 1),
                                 hi2[nets], hi1[nets])
             other_lo = np.where((coord == lo1[nets]) & (cnt_lo[nets] == 1),
@@ -733,7 +777,9 @@ class ObjectiveState:
                               + float(ends[n // 2])))
         return (out[0], out[1], out[2])
 
-    def optimal_region_centers(self, cells: Sequence[int]) -> np.ndarray:
+    @contract(shapes={"cells": ("n",)}, dtypes={"cells": np.integer})
+    @hot_path
+    def optimal_region_centers(self, cells: Sequence[int]) -> FloatArray:
         """Optimal-region centres of many cells in one batched call.
 
         Returns:
@@ -743,7 +789,7 @@ class ObjectiveState:
         self._refresh_extremes()
         cells = np.asarray(cells, dtype=np.int64)
         n = len(cells)
-        out = np.empty((3, n))
+        out = np.empty((3, n), dtype=np.float64)
         pl = self.placement
         out[0] = pl.x[cells]
         out[1] = pl.y[cells]
@@ -760,10 +806,12 @@ class ObjectiveState:
         if not len(nets):
             return out
         cells_rep = cells[pair_cand]
-        old = np.empty((3, len(nets)))
+        old = np.empty((3, len(nets)), dtype=np.float64)
         old[0] = pl.x[cells_rep]
         old[1] = pl.y[cells_rep]
         old[2] = pl.z[cells_rep]
+        assert self._ext_stack is not None, \
+            "extreme caches queried while dirty"
         hi1, cnt_hi, hi2, lo1, cnt_lo, lo2 = self._ext_stack
         h1 = hi1[:, nets]
         l1 = lo1[:, nets]
@@ -779,6 +827,7 @@ class ObjectiveState:
         has = cnt > 0
         mid_lo = ptr + (cnt - 1) // 2
         mid_hi = ptr + cnt // 2
+        # lint: ok[RPL005] constant three-axis unrolling, not a per-net loop
         for ax in range(3):
             ends = np.concatenate((other_lo[ax], other_hi[ax]))
             order = np.lexsort((ends, owners))
@@ -788,6 +837,18 @@ class ObjectiveState:
 
     def check_consistency(self, tol: float = 1e-9) -> None:
         """Verify caches against a from-scratch recomputation (tests)."""
+        n_nets = len(self._wl)
+        n_cells = len(self._power)
+        validate_arrays(
+            "ObjectiveState",
+            _wl=(self._wl, np.float64, (n_nets,)),
+            _ilv=(self._ilv, np.int64, (n_nets,)),
+            _power=(self._power, np.float64, (n_cells,)),
+            _s_wl=(self._s_wl, np.float64, (n_nets,)),
+            _s_ilv=(self._s_ilv, np.float64, (n_nets,)),
+            _cell_net_idx=(self._cell_net_idx, np.int64, None),
+            _cell_net_ptr=(self._cell_net_ptr, np.int64, (n_cells + 1,)),
+        )
         cached = self._total
         wl = self._wl.copy()
         ilv = self._ilv.copy()

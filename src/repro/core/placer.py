@@ -74,7 +74,7 @@ class Placer3D:
     """
 
     def __init__(self, netlist: Netlist, config: PlacementConfig,
-                 chip: Optional[ChipGeometry] = None):
+                 chip: Optional[ChipGeometry] = None) -> None:
         self.netlist = netlist
         self.config = config
         if chip is None:

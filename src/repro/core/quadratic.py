@@ -54,7 +54,7 @@ class QuadraticPlacer:
 
     def __init__(self, netlist: Netlist, config: PlacementConfig,
                  chip: Optional[ChipGeometry] = None,
-                 iterations: int = 3, tether: float = 1e-3):
+                 iterations: int = 3, tether: float = 1e-3) -> None:
         from repro.core.baseline import _auto_chip
         self.netlist = netlist
         self.config = config
@@ -100,7 +100,9 @@ class QuadraticPlacer:
 
     # ------------------------------------------------------------------
     def _solve_all(self, index: Dict[int, int], placement: Placement,
-                   anchors=None):
+                   anchors: Optional[Tuple[np.ndarray, np.ndarray,
+                                           np.ndarray]] = None
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         chip = self.chip
         x = self._solve_axis(index, placement.x, placement,
                              0.5 * chip.width, "lateral",

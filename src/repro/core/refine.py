@@ -24,7 +24,7 @@ improving operations are committed.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -49,14 +49,16 @@ class LegalRefiner:
 
     def __init__(self, objective: ObjectiveState,
                  config: PlacementConfig,
-                 width_tolerance: float = 1e-9):
+                 width_tolerance: float = 1e-9,
+                 rng: Optional[np.random.Generator] = None) -> None:
         self.objective = objective
         self.config = config
         self.placement = objective.placement
         self.netlist = self.placement.netlist
         self.chip = self.placement.chip
         self.width_tolerance = width_tolerance
-        self._rng = np.random.default_rng(config.seed + 7919)
+        self._rng = (rng if rng is not None
+                     else np.random.default_rng(config.seed + 7919))
 
     # ------------------------------------------------------------------
     def run(self, passes: int = 2) -> int:
@@ -133,8 +135,8 @@ class LegalRefiner:
                                                  mv_zs)
 
         # ---- phase 2: sequential apply with staleness tracking -------
-        dirty: set = set()
-        moved: set = set()
+        dirty: Set[int] = set()
+        moved: Set[int] = set()
         p = 0
         for (layer, row), members in rows.items():
             y = self._row_y(row)
@@ -224,8 +226,8 @@ class LegalRefiner:
         if not cand_a:
             return 0
         deltas = self.objective.eval_swaps_batch(cand_a, cand_b)
-        dirty: set = set()
-        moved: set = set()
+        dirty: Set[int] = set()
+        moved: Set[int] = set()
         cell_nets = self.objective.cell_nets
         for cid in order:
             span = spans.get(cid)
@@ -309,8 +311,8 @@ class LegalRefiner:
             cand_cells, [c[0] for c in cand_slots],
             [c[1] for c in cand_slots], [c[2] for c in cand_slots])
 
-        dirty: set = set()
-        rows_touched: set = set()
+        dirty: Set[int] = set()
+        rows_touched: Set[Tuple[int, int]] = set()
         cell_nets = self.objective.cell_nets
         for cid in order:
             span = spans.get(cid)

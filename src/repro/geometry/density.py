@@ -13,13 +13,34 @@ shifted bin boundaries.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+import math
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Tuple
 
 import numpy as np
 
+from repro.analysis import FloatArray, IntArray, contract
 from repro.geometry.chip import ChipGeometry
 
+if TYPE_CHECKING:
+    from repro.netlist.placement import Placement
+
 BinIndex = Tuple[int, int, int]
+
+
+def axis_bin(coord: float, size: float, count: int) -> int:
+    """Floor-based bin index of a coordinate, clamped to the axis.
+
+    Shared by the scalar and vectorized binning paths so both use the
+    same convention (``floor``, not int() truncation — the two differ
+    for coordinates that stray below zero before clamping).
+    """
+    return min(max(int(math.floor(coord / size)), 0), count - 1)
+
+
+def axis_bins(coords: FloatArray, size: float, count: int) -> IntArray:
+    """Vectorized :func:`axis_bin` over an array of coordinates."""
+    raw = np.floor(coords / size).astype(np.int64)
+    return np.clip(raw, 0, count - 1)
 
 
 class DensityMesh:
@@ -32,7 +53,7 @@ class DensityMesh:
         bin_width, bin_height: lateral bin dimensions, metres.
     """
 
-    def __init__(self, chip: ChipGeometry, nx: int, ny: int):
+    def __init__(self, chip: ChipGeometry, nx: int, ny: int) -> None:
         if nx < 1 or ny < 1:
             raise ValueError("mesh must have at least one bin per axis")
         self.chip = chip
@@ -42,7 +63,8 @@ class DensityMesh:
         self.bin_width = chip.width / nx
         self.bin_height = chip.height / ny
         # cell area accumulated per bin
-        self._area = np.zeros((nx, ny, self.nz), dtype=float)
+        self._area: FloatArray = np.zeros((nx, ny, self.nz),
+                                          dtype=np.float64)
         # ids of cells whose centre lies in each bin
         self._members: Dict[BinIndex, List[int]] = {}
 
@@ -77,8 +99,8 @@ class DensityMesh:
 
     def bin_of(self, x: float, y: float, z: int) -> BinIndex:
         """Bin index containing the point (clamped to the mesh)."""
-        i = min(max(int(x / self.bin_width), 0), self.nx - 1)
-        j = min(max(int(y / self.bin_height), 0), self.ny - 1)
+        i = axis_bin(x, self.bin_width, self.nx)
+        j = axis_bin(y, self.bin_height, self.ny)
         k = min(max(int(z), 0), self.nz - 1)
         return (i, j, k)
 
@@ -100,7 +122,7 @@ class DensityMesh:
         """Face-adjacent bins (up to 6)."""
         i, j, k = index
         self._check_index(index)
-        out = []
+        out: List[BinIndex] = []
         if i > 0:
             out.append((i - 1, j, k))
         if i < self.nx - 1:
@@ -125,7 +147,7 @@ class DensityMesh:
         ci, cj, ck = center
         self._check_index(center)
         zr = radius if include_vertical else 0
-        out = []
+        out: List[BinIndex] = []
         for i in range(max(0, ci - radius), min(self.nx, ci + radius + 1)):
             for j in range(max(0, cj - radius), min(self.ny, cj + radius + 1)):
                 for k in range(max(0, ck - zr), min(self.nz, ck + zr + 1)):
@@ -171,7 +193,9 @@ class DensityMesh:
         for cell_id, x, y, z, area in positions:
             self.add_cell(cell_id, x, y, z, area)
 
-    def build_from_placement(self, placement, areas: np.ndarray) -> None:
+    @contract(dtypes={"areas": np.floating})
+    def build_from_placement(self, placement: "Placement",
+                             areas: FloatArray) -> None:
         """Vectorized :meth:`build` over a placement's movable cells.
 
         Bin indices for every movable cell come from three clipped
@@ -180,18 +204,11 @@ class DensityMesh:
         (netlist) order the scalar build produced.
         """
         self.clear()
-        ids = getattr(placement.netlist, "_movable_ids_cache", None)
-        if ids is None:
-            ids = np.fromiter(
-                (c.id for c in placement.netlist.cells if c.movable),
-                dtype=np.int64)
-            placement.netlist._movable_ids_cache = ids
+        ids = placement.netlist.movable_ids
         if not len(ids):
             return
-        i = np.clip((placement.x[ids] / self.bin_width).astype(np.int64),
-                    0, self.nx - 1)
-        j = np.clip((placement.y[ids] / self.bin_height).astype(np.int64),
-                    0, self.ny - 1)
+        i = axis_bins(placement.x[ids], self.bin_width, self.nx)
+        j = axis_bins(placement.y[ids], self.bin_height, self.ny)
         k = np.clip(placement.z[ids].astype(np.int64), 0, self.nz - 1)
         np.add.at(self._area, (i, j, k), areas[ids])
         flat = (i * self.ny + j) * self.nz + k
@@ -212,6 +229,14 @@ class DensityMesh:
         self._check_index(index)
         return list(self._members.get(index, ()))
 
+    def iter_members(self) -> Iterator[Tuple[BinIndex, List[int]]]:
+        """(index, member ids) pairs for every recorded bin.
+
+        The lists are the live internals — callers must not mutate
+        them.
+        """
+        return iter(self._members.items())
+
     def area_in(self, index: BinIndex) -> float:
         """Cell area currently assigned to a bin, square metres."""
         self._check_index(index)
@@ -221,7 +246,7 @@ class DensityMesh:
     # densities
     # ------------------------------------------------------------------
     @property
-    def densities(self) -> np.ndarray:
+    def densities(self) -> FloatArray:
         """Array of bin densities, shape ``(nx, ny, nz)``.
 
         Density is cell area divided by bin capacity; 1.0 means exactly
@@ -244,7 +269,7 @@ class DensityMesh:
         excess = self._area - limit * self.bin_capacity
         return float(np.clip(excess, 0.0, None).sum())
 
-    def row_densities(self, axis: str, j: int, k: int) -> np.ndarray:
+    def row_densities(self, axis: str, j: int, k: int) -> FloatArray:
         """Densities of one row of bins along ``axis`` ('x', 'y' or 'z').
 
         For axis 'x' the row is all bins with y-index ``j`` on layer ``k``;

@@ -23,10 +23,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro.analysis import FloatArray, IntArray
 from repro.netlist.net import PinRole
 from repro.netlist.netlist import Netlist
 
@@ -76,7 +77,7 @@ class GeneratorSpec:
         default_factory=lambda: dict(DEFAULT_DEGREE_WEIGHTS))
     width_weights: Dict[float, float] = field(
         default_factory=lambda: dict(DEFAULT_WIDTH_WEIGHTS))
-    activity_range: tuple = (0.05, 0.45)
+    activity_range: Tuple[float, float] = (0.05, 0.45)
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -90,15 +91,19 @@ class GeneratorSpec:
             raise ValueError("global_fraction must be in [0, 1]")
 
 
-def _sample_discrete(rng: np.random.Generator, weights: Dict, size: int
-                     ) -> np.ndarray:
-    keys = np.array(list(weights.keys()), dtype=float)
-    probs = np.array(list(weights.values()), dtype=float)
+def _sample_discrete(rng: np.random.Generator,
+                     weights: Dict[float, float] | Dict[int, float],
+                     size: int) -> FloatArray:
+    keys = np.array(list(weights.keys()), dtype=np.float64)
+    probs = np.array(list(weights.values()), dtype=np.float64)
     probs = probs / probs.sum()
-    return rng.choice(keys, size=size, p=probs)
+    out: FloatArray = rng.choice(keys, size=size, p=probs)
+    return out
 
 
-def generate_netlist(spec: GeneratorSpec) -> Netlist:
+def generate_netlist(spec: GeneratorSpec,
+                     rng: Optional[np.random.Generator] = None
+                     ) -> Netlist:
     """Generate a synthetic netlist from a spec.
 
     Returns a validated :class:`Netlist` with driver/sink pin roles and
@@ -106,8 +111,15 @@ def generate_netlist(spec: GeneratorSpec) -> Netlist:
     the mean cell has aspect ratio ~1.75 (typical of standard-cell rows),
     and all widths are scaled so total area matches ``spec.total_area``
     exactly.
+
+    Args:
+        spec: the benchmark parameters.
+        rng: generator to draw from; a fresh ``default_rng(spec.seed)``
+            when omitted, so the same spec always yields the same
+            netlist.
     """
-    rng = np.random.default_rng(spec.seed)
+    if rng is None:
+        rng = np.random.default_rng(spec.seed)
     n = spec.num_cells
 
     # --- cells -------------------------------------------------------
@@ -126,8 +138,8 @@ def generate_netlist(spec: GeneratorSpec) -> Netlist:
 
     # --- virtual home coordinates for locality ------------------------
     side = int(math.ceil(math.sqrt(n)))
-    home_x = np.empty(n)
-    home_y = np.empty(n)
+    home_x = np.empty(n, dtype=np.float64)
+    home_y = np.empty(n, dtype=np.float64)
     perm = rng.permutation(n)
     for rank, cid in enumerate(perm):
         home_x[cid] = rank % side
@@ -146,7 +158,7 @@ def generate_netlist(spec: GeneratorSpec) -> Netlist:
     # invert the home assignment: virtual grid slot -> occupying cell
     slot_table = np.full(side * side, -1, dtype=np.int64)
     slots = home_y.astype(np.int64) * side + home_x.astype(np.int64)
-    slot_table[slots] = np.arange(n)
+    slot_table[slots] = np.arange(n, dtype=np.int64)
 
     for i in range(num_nets):
         driver = int(drivers[i])
@@ -163,9 +175,9 @@ def generate_netlist(spec: GeneratorSpec) -> Netlist:
 
 
 def _pick_sinks(rng: np.random.Generator, driver: int, count: int, n: int,
-                side: int, home_x: np.ndarray, home_y: np.ndarray,
+                side: int, home_x: FloatArray, home_y: FloatArray,
                 decay: float, global_fraction: float,
-                slot_table: np.ndarray):
+                slot_table: IntArray) -> List[int]:
     """Pick ``count`` distinct sink cells around a driver's home location.
 
     Sinks are sampled at exponentially-decaying grid distance from the
@@ -173,9 +185,9 @@ def _pick_sinks(rng: np.random.Generator, driver: int, count: int, n: int,
     whole grid.  Candidates are mapped back to cells by rounding the
     sampled coordinate to the nearest occupied grid point.
     """
-    chosen = set()
-    dx0 = home_x[driver]
-    dy0 = home_y[driver]
+    chosen: Set[int] = set()
+    dx0 = float(home_x[driver])
+    dy0 = float(home_y[driver])
     attempts = 0
     max_attempts = 40 * (count + 1)
     while len(chosen) < count and attempts < max_attempts:

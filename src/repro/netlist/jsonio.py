@@ -10,7 +10,7 @@ bit-exactly.
 from __future__ import annotations
 
 import json
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -112,7 +112,8 @@ def save_checkpoint(path: str, netlist: Netlist,
         json.dump(payload, f)
 
 
-def load_checkpoint(path: str):
+def load_checkpoint(path: str
+                    ) -> Tuple["Netlist", Optional["Placement"]]:
     """Read a checkpoint; returns ``(netlist, placement_or_None)``."""
     with open(path) as f:
         payload = json.load(f)

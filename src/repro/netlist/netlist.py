@@ -6,6 +6,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis import FloatArray, IntArray
 from repro.netlist.cell import Cell
 from repro.netlist.net import Net, PinRole
 
@@ -22,7 +23,7 @@ class Netlist:
     model skip them via :meth:`signal_nets`.
     """
 
-    def __init__(self, name: str = "netlist"):
+    def __init__(self, name: str = "netlist") -> None:
         self.name = name
         self.cells: List[Cell] = []
         self.nets: List[Net] = []
@@ -31,8 +32,9 @@ class Netlist:
         # nets incident to each cell, built lazily
         self._cell_nets: Optional[List[List[int]]] = None
         self._arrays_dirty = True
-        self._widths: Optional[np.ndarray] = None
-        self._heights: Optional[np.ndarray] = None
+        self._widths: Optional[FloatArray] = None
+        self._heights: Optional[FloatArray] = None
+        self._movable_ids: Optional[IntArray] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -88,6 +90,7 @@ class Netlist:
     def _invalidate(self) -> None:
         self._cell_nets = None
         self._arrays_dirty = True
+        self._movable_ids = None
 
     # ------------------------------------------------------------------
     # lookups
@@ -119,6 +122,17 @@ class Netlist:
         """All movable cells."""
         return [c for c in self.cells if c.movable]
 
+    @property
+    def movable_ids(self) -> IntArray:
+        """Ids of movable cells as an int64 array, cached until the
+        netlist changes.  Treat as read-only."""
+        ids = self._movable_ids
+        if ids is None:
+            ids = np.fromiter((c.id for c in self.cells if c.movable),
+                              dtype=np.int64)
+            self._movable_ids = ids
+        return ids
+
     def fixed_cells(self) -> List[Cell]:
         """All fixed cells (terminals / pads)."""
         return [c for c in self.cells if c.fixed]
@@ -135,11 +149,12 @@ class Netlist:
         """Ids of nets incident to a cell."""
         if self._cell_nets is None:
             self._build_incidence()
+        assert self._cell_nets is not None
         return self._cell_nets[cell_id]
 
     def driven_nets_of_cell(self, cell_id: int) -> List[int]:
         """Ids of non-TRR nets the cell drives (has a DRIVER pin on)."""
-        out = []
+        out: List[int] = []
         for nid in self.nets_of_cell(cell_id):
             net = self.nets[nid]
             if net.is_trr:
@@ -162,24 +177,28 @@ class Netlist:
     def _refresh_arrays(self) -> None:
         if not self._arrays_dirty:
             return
-        self._widths = np.array([c.width for c in self.cells], dtype=float)
-        self._heights = np.array([c.height for c in self.cells], dtype=float)
+        self._widths = np.array([c.width for c in self.cells],
+                                dtype=np.float64)
+        self._heights = np.array([c.height for c in self.cells],
+                                 dtype=np.float64)
         self._arrays_dirty = False
 
     @property
-    def widths(self) -> np.ndarray:
+    def widths(self) -> FloatArray:
         """Cell widths (metres) indexed by cell id."""
         self._refresh_arrays()
+        assert self._widths is not None
         return self._widths
 
     @property
-    def heights(self) -> np.ndarray:
+    def heights(self) -> FloatArray:
         """Cell heights (metres) indexed by cell id."""
         self._refresh_arrays()
+        assert self._heights is not None
         return self._heights
 
     @property
-    def areas(self) -> np.ndarray:
+    def areas(self) -> FloatArray:
         """Cell areas (square metres) indexed by cell id."""
         return self.widths * self.heights
 

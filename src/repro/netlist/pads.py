@@ -11,7 +11,7 @@ boundary of a given chip, each wired to a sample of internal cells.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -74,7 +74,8 @@ def add_peripheral_pads(netlist: Netlist, chip: ChipGeometry,
     return pad_ids
 
 
-def _point_on_perimeter(chip: ChipGeometry, distance: float):
+def _point_on_perimeter(chip: ChipGeometry, distance: float
+                        ) -> Tuple[float, float]:
     """Point at a clockwise perimeter distance from the origin corner."""
     w, h = chip.width, chip.height
     d = distance % (2 * (w + h))

@@ -27,7 +27,7 @@ class Placement:
     def __init__(self, netlist: Netlist, chip: ChipGeometry,
                  x: Optional[np.ndarray] = None,
                  y: Optional[np.ndarray] = None,
-                 z: Optional[np.ndarray] = None):
+                 z: Optional[np.ndarray] = None) -> None:
         self.netlist = netlist
         self.chip = chip
         n = netlist.num_cells

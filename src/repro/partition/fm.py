@@ -24,10 +24,11 @@ keep the scalar path, where per-array overhead would dominate.
 from __future__ import annotations
 
 import heapq
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.analysis import IntArray, contract
 from repro.partition.hypergraph import FREE, Hypergraph
 
 #: Below this many total pins the scalar setup path is used: NumPy's
@@ -35,8 +36,8 @@ from repro.partition.hypergraph import FREE, Hypergraph
 VECTOR_MIN_PINS = 256
 
 
-def _side_counts(graph: Hypergraph, side: np.ndarray
-                 ) -> Tuple[np.ndarray, np.ndarray]:
+def _side_counts(graph: Hypergraph, side: IntArray
+                 ) -> Tuple[IntArray, IntArray]:
     """Pins of each net on side 0 / side 1, via CSR reductions."""
     ptr, pins, pin_net = graph.net_csr()
     c1 = np.zeros(graph.num_nets, dtype=np.int64)
@@ -45,16 +46,17 @@ def _side_counts(graph: Hypergraph, side: np.ndarray
     return c0, c1
 
 
-def cut_cost(graph: Hypergraph, parts) -> float:
+def cut_cost(graph: Hypergraph,
+             parts: Union[Sequence[int], IntArray]) -> float:
     """Weighted cut of a bisection: sum of weights of nets with pins on
     both sides."""
     total_pins = sum(len(p) for p in graph.nets)
     if total_pins >= VECTOR_MIN_PINS:
-        side = np.asarray(parts, dtype=np.int64)
-        c0, c1 = _side_counts(graph, side)
-        w = np.asarray(graph.net_weights, dtype=float)
+        side_arr = np.asarray(parts, dtype=np.int64)
+        c0, c1 = _side_counts(graph, side_arr)
+        w = np.asarray(graph.net_weights, dtype=np.float64)
         return float(w[(c0 > 0) & (c1 > 0)].sum())
-    side = list(parts)
+    side = [int(p) for p in parts]
     total = 0.0
     for pins, w in zip(graph.nets, graph.net_weights):
         if not pins:
@@ -79,7 +81,7 @@ class FMRefiner:
 
     def __init__(self, graph: Hypergraph, target: float = 0.5,
                  tolerance: float = 0.05,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None) -> None:
         if not 0.0 < target < 1.0:
             raise ValueError("target must be in (0, 1)")
         if tolerance < 0:
@@ -105,7 +107,8 @@ class FMRefiner:
         self._free: List[bool] = (graph.fixed == FREE).tolist()
 
     # ------------------------------------------------------------------
-    def refine(self, parts: np.ndarray, max_passes: int = 8) -> float:
+    @contract(shapes={"parts": ("v",)}, dtypes={"parts": np.integer})
+    def refine(self, parts: IntArray, max_passes: int = 8) -> float:
         """Run FM passes in place until no pass improves the cut.
 
         Args:
@@ -208,7 +211,7 @@ class FMRefiner:
             # ---- apply the move with FM critical-net gain updates ----
             frm = side[v]
             to = 1 - frm
-            delta = {}
+            delta: Dict[int, float] = {}
             dget = delta.get
             for e in vnets[v]:
                 pins = nets[e]
@@ -283,9 +286,9 @@ class FMRefiner:
         if len(pins_arr) >= VECTOR_MIN_PINS:
             side_arr = np.asarray(side, dtype=np.int64)
             c0, c1 = _side_counts(g, side_arr)
-            w = np.asarray(net_w, dtype=float)
+            w = np.asarray(net_w, dtype=np.float64)
             uncut = (c0 == 0) | (c1 == 0)
-            gains_arr = np.zeros(n)
+            gains_arr = np.zeros(n, dtype=np.float64)
             pin_w = w[pin_net]
             pin_side = side_arr[pins_arr]
             m_uncut = uncut[pin_net]
@@ -302,35 +305,35 @@ class FMRefiner:
                 free_arr & (side_arr == 0)].sum())
             return counts, gains, weight0
 
-        counts = []
+        counts_l: List[List[int]] = []
         for pins in nets:
-            c1 = 0
+            on1 = 0
             for p in pins:
-                c1 += side[p]
-            counts.append([len(pins) - c1, c1])
-        gains = [0.0] * n
+                on1 += side[p]
+            counts_l.append([len(pins) - on1, on1])
+        gains_l = [0.0] * n
         for e, pins in enumerate(nets):
-            w = net_w[e]
-            c0, c1 = counts[e]
-            if c0 == 0 or c1 == 0:
+            we = net_w[e]
+            n0, n1 = counts_l[e]
+            if n0 == 0 or n1 == 0:
                 for p in pins:
-                    gains[p] -= w
+                    gains_l[p] -= we
             else:
-                if c0 == 1:
+                if n0 == 1:
                     for p in pins:
                         if side[p] == 0:
-                            gains[p] += w
+                            gains_l[p] += we
                             break
-                if c1 == 1:
+                if n1 == 1:
                     for p in pins:
                         if side[p] == 1:
-                            gains[p] += w
+                            gains_l[p] += we
                             break
         weight0 = 0.0
         for v in range(n):
             if free[v] and side[v] == 0:
                 weight0 += vw[v]
-        return counts, gains, weight0
+        return counts_l, gains_l, weight0
 
     # ------------------------------------------------------------------
     @staticmethod

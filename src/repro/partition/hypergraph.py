@@ -35,7 +35,7 @@ class Hypergraph:
                  nets: Sequence[Sequence[int]],
                  net_weights: Optional[Sequence[float]] = None,
                  vertex_weights: Optional[Sequence[float]] = None,
-                 fixed: Optional[Sequence[int]] = None):
+                 fixed: Optional[Sequence[int]] = None) -> None:
         self.num_vertices = int(num_vertices)
         self.nets: List[List[int]] = []
         for pins in nets:

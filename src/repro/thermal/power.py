@@ -23,6 +23,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis import FloatArray, exact_nonzero
 from repro.metrics.wirelength import NetMetrics, compute_net_metrics
 from repro.netlist.netlist import Netlist
 from repro.netlist.placement import Placement
@@ -38,9 +39,9 @@ class PekoOptimal:
         ilv: optimal interlayer-via counts (floats, clipped at >= 0).
     """
 
-    wl_x: np.ndarray
-    wl_y: np.ndarray
-    ilv: np.ndarray
+    wl_x: FloatArray
+    wl_y: FloatArray
+    ilv: FloatArray
 
 
 class PowerModel:
@@ -51,13 +52,13 @@ class PowerModel:
     """
 
     def __init__(self, netlist: Netlist, tech: Optional[TechnologyConfig]
-                 = None):
+                 = None) -> None:
         self.netlist = netlist
         self.tech = tech or TechnologyConfig()
         m = netlist.num_nets
-        self._activity = np.zeros(m)
-        self._n_input = np.zeros(m)
-        self._n_output = np.zeros(m)
+        self._activity = np.zeros(m, dtype=np.float64)
+        self._n_input = np.zeros(m, dtype=np.float64)
+        self._n_output = np.zeros(m, dtype=np.float64)
         self._is_signal = np.zeros(m, dtype=bool)
         for net in netlist.nets:
             if net.is_trr:
@@ -80,13 +81,13 @@ class PowerModel:
             act * self.tech.input_pin_cap * self._n_input
             / self._n_output_safe(), 0.0)
 
-    def _n_output_safe(self) -> np.ndarray:
+    def _n_output_safe(self) -> FloatArray:
         return np.where(self._n_output > 0, self._n_output, 1.0)
 
     # ------------------------------------------------------------------
     # net-level power (Eqs. 4-5)
     # ------------------------------------------------------------------
-    def net_capacitances(self, metrics: NetMetrics) -> np.ndarray:
+    def net_capacitances(self, metrics: NetMetrics) -> FloatArray:
         """Total capacitance per net (Eq. 5), farads."""
         tech = self.tech
         caps = (tech.cap_per_wirelength * (metrics.wl_x + metrics.wl_y)
@@ -94,7 +95,7 @@ class PowerModel:
                 + tech.input_pin_cap * self._n_input)
         return np.where(self._is_signal, caps, 0.0)
 
-    def net_powers(self, metrics: NetMetrics) -> np.ndarray:
+    def net_powers(self, metrics: NetMetrics) -> FloatArray:
         """Dynamic power per net (Eq. 4), watts."""
         return (self.tech.switching_energy_scale * self._activity
                 * self.net_capacitances(metrics))
@@ -107,7 +108,7 @@ class PowerModel:
         return float(self.net_powers(metrics).sum()
                      + self.leakage_powers().sum())
 
-    def leakage_powers(self) -> np.ndarray:
+    def leakage_powers(self) -> FloatArray:
         """Static power per cell, watts (Section 3.2's extension).
 
         Proportional to cell area; zero by default (the paper's
@@ -120,7 +121,7 @@ class PowerModel:
     # cell-level power (Eqs. 10-11)
     # ------------------------------------------------------------------
     def cell_powers(self, metrics: NetMetrics,
-                    floors: Optional[PekoOptimal] = None) -> np.ndarray:
+                    floors: Optional[PekoOptimal] = None) -> FloatArray:
         """Per-cell dissipated power (Eq. 10), watts, indexed by cell id.
 
         Args:
@@ -130,7 +131,7 @@ class PowerModel:
                 weights while cells still sit on top of each other).
         """
         wl = metrics.wl_x + metrics.wl_y
-        ilv = metrics.ilv.astype(float)
+        ilv = metrics.ilv.astype(np.float64)
         if floors is not None:
             wl = np.maximum(wl, floors.wl_x + floors.wl_y)
             ilv = np.maximum(ilv, floors.ilv)
@@ -139,8 +140,8 @@ class PowerModel:
         for net in self.netlist.nets:
             if net.is_trr:
                 continue
-            share = per_net_share[net.id]
-            if share == 0.0:
+            share = float(per_net_share[net.id])
+            if not exact_nonzero(share):
                 continue
             for driver in net.driver_ids:
                 powers[driver] += share

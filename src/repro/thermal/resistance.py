@@ -55,7 +55,7 @@ class ResistanceModel:
     """
 
     def __init__(self, chip: ChipGeometry,
-                 tech: Optional[TechnologyConfig] = None):
+                 tech: Optional[TechnologyConfig] = None) -> None:
         self.chip = chip
         self.tech = tech or TechnologyConfig()
 

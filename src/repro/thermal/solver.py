@@ -24,29 +24,32 @@ triple Python loop.  Temperatures are reported relative to ambient.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 import numpy as np
 from scipy.sparse import coo_matrix, csr_matrix
 from scipy.sparse.linalg import splu
 
+from repro.analysis import FloatArray, IntArray, contract
 from repro.geometry.chip import ChipGeometry
 from repro.netlist.placement import Placement
 from repro.technology import TechnologyConfig
 
 
+@contract(shapes={"x": ("n",), "y": ("n",)},
+          dtypes={"x": np.floating, "y": np.floating})
 def grid_bin_indices(chip: ChipGeometry, nx: int, ny: int,
-                     x: np.ndarray, y: np.ndarray
-                     ) -> Tuple[np.ndarray, np.ndarray]:
+                     x: FloatArray, y: FloatArray
+                     ) -> Tuple[IntArray, IntArray]:
     """Lateral grid bin of each ``(x, y)`` position, clamped to the die.
 
     Shared by power-map accumulation (:meth:`ThermalSolver.
     solve_placement`) and temperature lookups (:meth:`TemperatureField.
     cell_temperatures`), so both bin positions identically.
     """
-    i = np.clip((np.asarray(x, dtype=float) / chip.width
+    i = np.clip((np.asarray(x, dtype=np.float64) / chip.width
                  * nx).astype(np.int64), 0, nx - 1)
-    j = np.clip((np.asarray(y, dtype=float) / chip.height
+    j = np.clip((np.asarray(y, dtype=np.float64) / chip.height
                  * ny).astype(np.int64), 0, ny - 1)
     return i, j
 
@@ -68,8 +71,8 @@ class TemperatureField:
     chip: ChipGeometry
     nx: int
     ny: int
-    active: np.ndarray
-    substrate: np.ndarray
+    active: FloatArray
+    substrate: FloatArray
 
     def at(self, x: float, y: float, layer: int) -> float:
         """Temperature above ambient at a point on an active layer."""
@@ -77,7 +80,7 @@ class TemperatureField:
         j = min(max(int(y / self.chip.height * self.ny), 0), self.ny - 1)
         return float(self.active[i, j, layer])
 
-    def cell_temperatures(self, placement: Placement) -> np.ndarray:
+    def cell_temperatures(self, placement: Placement) -> FloatArray:
         """Temperature above ambient at each cell's position."""
         i, j = grid_bin_indices(self.chip, self.nx, self.ny,
                                 placement.x, placement.y)
@@ -111,7 +114,8 @@ class ThermalSolver:
 
     def __init__(self, chip: ChipGeometry,
                  tech: Optional[TechnologyConfig] = None,
-                 nx: int = 16, ny: int = 16, n_substrate: int = 4):
+                 nx: int = 16, ny: int = 16,
+                 n_substrate: int = 4) -> None:
         if nx < 1 or ny < 1 or n_substrate < 0:
             raise ValueError("grid resolutions must be positive")
         self.chip = chip
@@ -121,7 +125,9 @@ class ThermalSolver:
         self.n_substrate = (n_substrate
                             if self.tech.substrate_in_thermal_path else 0)
         self._matrix: Optional[csr_matrix] = None
-        self._factor = None  # cached sparse LU of the conductance matrix
+        # cached sparse LU of the conductance matrix (scipy SuperLU,
+        # which ships no type stubs)
+        self._factor: Optional[Any] = None
 
     # ------------------------------------------------------------------
     @property
@@ -173,17 +179,18 @@ class ThermalSolver:
         n = nx * ny * nz
         # node ids laid out as [kz, j, i] (matches _node's linearization)
         idx = np.arange(n, dtype=np.int64).reshape(nz, ny, nx)
-        diag = np.zeros(n)
+        diag = np.zeros(n, dtype=np.float64)
 
-        t = np.array([self._plane_thickness(kz) for kz in range(nz)])
+        t = np.array([self._plane_thickness(kz) for kz in range(nz)],
+                     dtype=np.float64)
         k_plane = np.array([self._plane_conductivity(kz)
-                            for kz in range(nz)])
+                            for kz in range(nz)], dtype=np.float64)
         g_x = k_plane * (dy * t) / dx
         g_y = k_plane * (dx * t) / dy
         g_z = np.array([(dx * dy) / self._vertical_resistance_per_area(kz)
-                        for kz in range(nz - 1)])
+                        for kz in range(nz - 1)], dtype=np.float64)
 
-        couples = []
+        couples: List[Tuple[IntArray, IntArray, FloatArray]] = []
         if nx > 1:
             couples.append((idx[:, :, :-1].ravel(), idx[:, :, 1:].ravel(),
                             np.repeat(g_x, ny * (nx - 1))))
@@ -224,13 +231,13 @@ class ThermalSolver:
                                np.arange(n, dtype=np.int64)]) \
             if couples else np.arange(n, dtype=np.int64)
         neg = (np.concatenate([-g for _, _, g in couples])
-               if couples else np.zeros(0))
+               if couples else np.zeros(0, dtype=np.float64))
         vals = np.concatenate([neg, neg, diag])
         self._matrix = coo_matrix((vals, (rows, cols)),
                                   shape=(n, n)).tocsr()
         return self._matrix
 
-    def _factorize(self):
+    def _factorize(self) -> Any:
         """Sparse LU of the conductance matrix, computed once per
         geometry and reused by every subsequent solve."""
         if self._factor is None:
@@ -238,7 +245,9 @@ class ThermalSolver:
         return self._factor
 
     # ------------------------------------------------------------------
-    def solve_powers(self, power_density: np.ndarray) -> TemperatureField:
+    @contract(dtypes={"power_density": np.floating})
+    def solve_powers(self, power_density: FloatArray
+                     ) -> TemperatureField:
         """Solve for a given active-layer power map.
 
         Args:
@@ -253,7 +262,7 @@ class ThermalSolver:
             raise ValueError(f"power map shape {power_density.shape}, "
                              f"expected {expected}")
         factor = self._factorize()
-        rhs = np.zeros((self._nz, self.ny, self.nx))
+        rhs = np.zeros((self._nz, self.ny, self.nx), dtype=np.float64)
         rhs[self.n_substrate:] = power_density.transpose(2, 1, 0)
         temps = factor.solve(rhs.ravel())
         grid = temps.reshape(self._nz, self.ny, self.nx).transpose(2, 1, 0)
@@ -262,8 +271,10 @@ class ThermalSolver:
             active=grid[:, :, self.n_substrate:].copy(),
             substrate=grid[:, :, :self.n_substrate].copy())
 
+    @contract(shapes={"cell_powers": ("c",)},
+              dtypes={"cell_powers": np.floating})
     def solve_placement(self, placement: Placement,
-                        cell_powers: np.ndarray) -> TemperatureField:
+                        cell_powers: FloatArray) -> TemperatureField:
         """Solve the temperature field of a placement.
 
         Args:
@@ -276,7 +287,8 @@ class ThermalSolver:
         """
         if cell_powers.shape != (placement.netlist.num_cells,):
             raise ValueError("cell_powers must be indexed by cell id")
-        pmap = np.zeros((self.nx, self.ny, self.chip.num_layers))
+        pmap = np.zeros((self.nx, self.ny, self.chip.num_layers),
+                        dtype=np.float64)
         i, j = grid_bin_indices(self.chip, self.nx, self.ny,
                                 placement.x, placement.y)
         np.add.at(pmap, (i, j, placement.z.astype(np.int64)),

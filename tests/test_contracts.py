@@ -1,0 +1,186 @@
+"""Runtime shape/dtype contracts (``repro.analysis.contracts``).
+
+Covers the decorator's enabled/disabled behaviour, symbol unification
+across arguments, the ``expect``/``validate_arrays`` primitives, and the
+tolerance helpers that replace raw float ``==`` in the kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (ContractViolation, contract, contracts_enabled,
+                            exact_eq, exact_nonzero, exact_zero, expect,
+                            hot_path, is_zero, near, set_contracts,
+                            validate_arrays)
+
+
+@pytest.fixture
+def contracts_on():
+    previous = set_contracts(True)
+    yield
+    set_contracts(previous)
+
+
+@pytest.fixture
+def contracts_off():
+    previous = set_contracts(False)
+    yield
+    set_contracts(previous)
+
+
+@contract(shapes={"xs": ("n",), "ys": ("n",)},
+          dtypes={"xs": np.floating, "ys": np.floating})
+def _paired_sum(xs, ys) -> float:
+    return float(xs.sum() + ys.sum())
+
+
+class TestContractDecorator:
+    def test_valid_call_passes(self, contracts_on):
+        xs = np.zeros(4, dtype=np.float64)
+        assert _paired_sum(xs, xs) == 0.0
+
+    def test_dtype_violation_raises(self, contracts_on):
+        xs = np.zeros(4, dtype=np.float64)
+        bad = np.zeros(4, dtype=np.int64)
+        with pytest.raises(ContractViolation, match="ys"):
+            _paired_sum(xs, bad)
+
+    def test_symbol_unification_across_args(self, contracts_on):
+        xs = np.zeros(4, dtype=np.float64)
+        ys = np.zeros(5, dtype=np.float64)
+        with pytest.raises(ContractViolation, match="already bound"):
+            _paired_sum(xs, ys)
+
+    def test_error_names_the_entry_point(self, contracts_on):
+        with pytest.raises(ContractViolation, match="_paired_sum"):
+            _paired_sum(np.zeros(2, dtype=np.int64),
+                        np.zeros(2, dtype=np.float64))
+
+    def test_disabled_is_passthrough(self, contracts_off):
+        # Wrong dtype AND mismatched lengths: must not raise when off.
+        out = _paired_sum(np.zeros(2, dtype=np.int64),
+                          np.ones(3, dtype=np.float64))
+        assert out == 3.0
+        assert not contracts_enabled()
+
+    def test_set_contracts_returns_previous(self):
+        previous = set_contracts(True)
+        try:
+            assert contracts_enabled()
+            assert set_contracts(previous) is True
+        finally:
+            set_contracts(previous)
+
+    def test_none_arguments_skipped(self, contracts_on):
+        @contract(shapes={"opt": ("n",)})
+        def f(opt=None) -> int:
+            return 0 if opt is None else len(opt)
+
+        assert f(None) == 0
+        assert f() == 0
+
+    def test_unknown_parameter_rejected_at_decoration(self):
+        with pytest.raises(TypeError, match="unknown"):
+            @contract(shapes={"nope": ("n",)})
+            def f(x) -> None:
+                pass
+
+    def test_spec_is_introspectable(self):
+        spec = _paired_sum.__repro_contract__
+        assert spec["shapes"]["xs"] == ("n",)
+        assert np.floating is spec["dtypes"]["ys"]
+
+
+class TestExpect:
+    def test_fixed_dimension_mismatch(self, contracts_on):
+        with pytest.raises(ContractViolation, match="axis 0 is 3"):
+            expect("a", np.zeros(3, dtype=np.float64), shape=(4,))
+
+    def test_rank_mismatch(self, contracts_on):
+        with pytest.raises(ContractViolation, match="expected 1-D"):
+            expect("a", np.zeros((2, 2), dtype=np.float64), shape=("n",))
+
+    def test_plain_sequence_length_checked(self, contracts_on):
+        expect("a", [1, 2, 3], shape=(3,))
+        with pytest.raises(ContractViolation):
+            expect("a", [1, 2, 3], shape=(4,))
+
+    def test_non_arraylike_rejected(self, contracts_on):
+        with pytest.raises(ContractViolation, match="array-like"):
+            expect("a", 7, shape=("n",))
+
+    def test_concrete_dtype_spec(self, contracts_on):
+        expect("a", np.zeros(2, dtype=np.int64), dtype=np.int64)
+        with pytest.raises(ContractViolation):
+            expect("a", np.zeros(2, dtype=np.int32), dtype=np.int64)
+
+
+class TestValidateArrays:
+    def test_consistent_bag_passes(self, contracts_on):
+        validate_arrays(
+            "Owner",
+            a=(np.zeros(3, dtype=np.float64), np.float64, ("n",)),
+            b=(np.zeros(3, dtype=np.int64), np.int64, ("n",)),
+        )
+
+    def test_cross_field_shape_drift_caught(self, contracts_on):
+        with pytest.raises(ContractViolation, match="Owner.b"):
+            validate_arrays(
+                "Owner",
+                a=(np.zeros(3, dtype=np.float64), np.float64, ("n",)),
+                b=(np.zeros(4, dtype=np.float64), np.float64, ("n",)),
+            )
+
+    def test_noop_when_disabled(self, contracts_off):
+        validate_arrays(
+            "Owner",
+            a=(np.zeros(3, dtype=np.int32), np.float64, (99,)),
+        )
+
+
+class TestHotPathMarker:
+    def test_function_returned_unchanged_and_marked(self):
+        def f() -> int:
+            return 1
+
+        marked = hot_path(f)
+        assert marked is f
+        assert marked.__repro_hot_path__ is True
+
+
+class TestToleranceHelpers:
+    def test_near_and_is_zero(self):
+        assert near(1.0, 1.0 + 1e-12)
+        assert not near(1.0, 1.1)
+        assert is_zero(1e-15)
+        assert not is_zero(1e-3)
+
+    def test_exact_helpers_are_bit_exact(self):
+        assert exact_eq(0.1 + 0.2, 0.1 + 0.2)
+        assert not exact_eq(0.1 + 0.2, 0.3)
+        assert exact_zero(0.0)
+        assert exact_zero(-0.0)
+        assert not exact_zero(5e-324)
+        assert exact_nonzero(5e-324)
+
+
+class TestKernelIntegration:
+    def test_check_consistency_validates_state(self, contracts_on,
+                                               small_netlist, config):
+        from repro.core.objective import ObjectiveState
+        from repro.netlist.placement import Placement
+        from tests.conftest import make_chip
+
+        placement = Placement.random(
+            small_netlist, make_chip(small_netlist), seed=0)
+        state = ObjectiveState(placement, config)
+        state.check_consistency()  # healthy state passes
+        good = state._wl
+        state._wl = state._wl.astype(np.float32)
+        try:
+            with pytest.raises(ContractViolation, match="_wl"):
+                state.check_consistency()
+        finally:
+            state._wl = good

@@ -1,0 +1,1 @@
+"""Repository development tooling (not shipped with the library)."""

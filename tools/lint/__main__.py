@@ -1,0 +1,10 @@
+"""``python -m tools.lint`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from tools.lint import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
