@@ -11,6 +11,11 @@ micro-benchmarks the vectorization targeted —
   which hit the cached sparse-LU factorization after the first call
   (the seed implementation ran a full ``spsolve`` per call).
 
+It also gates the observability layer: each scale is placed twice, once
+with the default (no-op ambient) recorder and once with a live
+``repro.obs.Recorder``, and the relative difference is recorded as
+``telemetry_overhead_pct`` (budget: <= 2%, see DESIGN.md).
+
 Results are written as machine-readable JSON so before/after runs can
 be compared; ``--baseline`` merges a previous run into a single
 ``{"before": ..., "after": ..., "speedup": ...}`` document (the
@@ -38,6 +43,7 @@ import numpy as np
 
 from common import SeriesWriter
 from repro import Placer3D, PlacementConfig, load_benchmark
+from repro.obs import Recorder
 
 #: instance-size ladder (fractions of published ibm01 cell count)
 SCALES = [0.025, 0.05, 0.1]
@@ -55,17 +61,33 @@ def _best_of(fn, repeats: int = 5) -> float:
 
 
 def bench_full_placement(scales: List[float]) -> Dict[str, dict]:
-    """Wall-clock and per-stage seconds of Placer3D per scale."""
+    """Wall-clock and per-stage seconds of Placer3D per scale.
+
+    Each scale runs twice: the default path (private recorder, no
+    ambient instrumentation) and a fully instrumented run with a live
+    ``Recorder`` installed, to measure the telemetry overhead.  The
+    netlist is regenerated between runs because placement mutates it
+    (TRR nets).
+    """
     out: Dict[str, dict] = {}
     for scale in scales:
         netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
         start = time.perf_counter()
         result = Placer3D(netlist, PlacementConfig()).run()
         wall = time.perf_counter() - start
+
+        netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
+        start = time.perf_counter()
+        Placer3D(netlist, PlacementConfig(), recorder=Recorder()).run()
+        telemetry_wall = time.perf_counter() - start
         out[str(scale)] = {
             "num_cells": len(netlist.cells),
             "wall_seconds": wall,
             "stage_seconds": dict(result.stage_seconds),
+            "round_seconds": [dict(r) for r in result.round_seconds],
+            "telemetry_wall_seconds": telemetry_wall,
+            "telemetry_overhead_pct":
+                100.0 * (telemetry_wall / wall - 1.0) if wall > 0 else 0.0,
         }
     return out
 
@@ -117,12 +139,14 @@ def run_bench(scales: Optional[List[float]] = None) -> dict:
         "rebuild": bench_rebuild(),
         "solve_powers": bench_solve_powers(),
     }
-    writer.row(f"{'scale':>7} {'cells':>7} {'wall (s)':>9}  stages")
+    writer.row(f"{'scale':>7} {'cells':>7} {'wall (s)':>9} "
+               f"{'tele %':>7}  stages")
     for scale, entry in measurement["placement"].items():
         stages = " ".join(f"{k}={v:.3f}"
                           for k, v in entry["stage_seconds"].items())
         writer.row(f"{scale:>7} {entry['num_cells']:>7} "
-                   f"{entry['wall_seconds']:>9.3f}  {stages}")
+                   f"{entry['wall_seconds']:>9.3f} "
+                   f"{entry['telemetry_overhead_pct']:>+6.1f}%  {stages}")
     rb = measurement["rebuild"]
     sp = measurement["solve_powers"]
     writer.row(f"rebuild ({rb['num_nets']} nets): "

@@ -64,7 +64,8 @@ def run_placement(circuit: str, config: PlacementConfig,
     result = Placer3D(netlist, config).run()
     return evaluate_placement(result.placement, config.tech,
                               thermal=thermal,
-                              runtime_seconds=result.runtime_seconds)
+                              runtime_seconds=result.runtime_seconds,
+                              stage_seconds=result.stage_seconds)
 
 
 def averaged(circuits: List[str], make_config: Callable[[int],

@@ -10,8 +10,16 @@ Examples::
     python -m repro place --circuit ibm01 --scale 0.05 \
         --alpha-ilv 1e-5 --alpha-temp 1e-5 --layers 4 --out /tmp/out
     python -m repro place --bookshelf /path/to/design --layers 2
+    python -m repro -v place --circuit ibm01 --scale 0.01 \
+        --telemetry-out /tmp/run --trace
     python -m repro sweep --circuit ibm02 --scale 0.02 --points 5
     python -m repro suite
+
+Verbosity: ``-v`` shows per-stage progress (INFO), ``-vv`` debug,
+``-q`` errors only.  ``--telemetry-out PREFIX`` writes
+``PREFIX.trace.jsonl`` (the JSONL event stream) and
+``PREFIX.manifest.json`` (the schema-validated run manifest) next to
+any ``--out`` artifacts.
 """
 
 from __future__ import annotations
@@ -29,8 +37,10 @@ from repro import (
     evaluate_placement,
     load_benchmark,
 )
+from repro import obs
 from repro.netlist import bookshelf
 from repro.netlist.suite import SUITE_PROFILES
+from repro.obs import configure_cli_logging
 from repro.thermal.power import PowerModel
 from repro.metrics.wirelength import compute_net_metrics
 from repro import viz
@@ -41,6 +51,10 @@ def _build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Thermal- and via-aware 3D IC placement "
                     "(Goplen & Sapatnekar, DAC 2007 reproduction)")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more logging (-v info, -vv debug)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less logging (errors only)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     place = sub.add_parser("place", help="place one design")
@@ -60,6 +74,12 @@ def _build_parser() -> argparse.ArgumentParser:
     place.add_argument("--out", help="write <out>.pl with the result")
     place.add_argument("--maps", action="store_true",
                        help="print per-layer density/temperature maps")
+    place.add_argument("--trace", action="store_true",
+                       help="print the telemetry report (spans, "
+                            "counters, series)")
+    place.add_argument("--telemetry-out", metavar="PREFIX",
+                       help="write PREFIX.trace.jsonl and "
+                            "PREFIX.manifest.json")
 
     sweep = sub.add_parser("sweep",
                            help="alpha_ILV tradeoff sweep (Figure 3)")
@@ -85,11 +105,25 @@ def _cmd_place(args) -> int:
                              num_layers=args.layers, seed=args.seed)
     print(f"placing {netlist.name}: {netlist.num_cells} cells, "
           f"{netlist.num_nets} nets, {args.layers} layers")
-    result = Placer3D(netlist, config).run(check=True)
+    recorder: Optional[obs.Recorder] = None
+    trace_path: Optional[str] = None
+    if args.trace or args.telemetry_out:
+        sink = None
+        if args.telemetry_out:
+            trace_path = f"{args.telemetry_out}.trace.jsonl"
+            sink = obs.EventSink(trace_path)
+        recorder = obs.Recorder(sink=sink)
+    result = Placer3D(netlist, config, recorder=recorder).run(check=True)
+    if recorder is not None:
+        recorder.close()
     report = evaluate_placement(result.placement, config.tech,
-                                runtime_seconds=result.runtime_seconds)
+                                runtime_seconds=result.runtime_seconds,
+                                stage_seconds=result.stage_seconds)
     print(PlacementReport.header())
     print(report.row())
+    if args.trace and result.telemetry is not None:
+        print()
+        print(obs.render(result.telemetry, title=netlist.name))
     if args.maps:
         pm = PowerModel(netlist, config.tech)
         powers = pm.cell_powers(compute_net_metrics(result.placement))
@@ -101,6 +135,20 @@ def _cmd_place(args) -> int:
     if args.out:
         bookshelf.write_bookshelf(args.out, netlist, result.placement)
         print(f"wrote {args.out}.nodes/.nets/.pl")
+    if args.telemetry_out:
+        manifest = obs.build_manifest(
+            netlist, config, result, trace_path=trace_path,
+            peak_temperature=report.max_temperature)
+        manifest_path = obs.write_manifest(
+            f"{args.telemetry_out}.manifest.json", manifest)
+        errors = obs.validate_manifest(manifest)
+        if errors:
+            for error in errors:
+                print(error, file=sys.stderr)
+            print(f"manifest failed schema validation: {manifest_path}",
+                  file=sys.stderr)
+            return 1
+        print(f"wrote {trace_path} and {manifest_path}")
     return 0
 
 
@@ -136,6 +184,7 @@ def _cmd_suite() -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    configure_cli_logging(args.verbose - args.quiet)
     if args.command == "place":
         return _cmd_place(args)
     if args.command == "sweep":

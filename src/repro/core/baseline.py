@@ -19,7 +19,6 @@ points built on the same objective, legalizer and metrics:
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -32,6 +31,7 @@ from repro.core.placer import PlacementResult
 from repro.geometry.chip import ChipGeometry
 from repro.netlist.netlist import Netlist
 from repro.netlist.placement import Placement
+from repro.obs import Stopwatch
 
 
 def _auto_chip(netlist: Netlist, config: PlacementConfig) -> ChipGeometry:
@@ -50,18 +50,19 @@ def random_baseline(netlist: Netlist, config: PlacementConfig,
                     chip: Optional[ChipGeometry] = None
                     ) -> PlacementResult:
     """Uniform random placement followed by detailed legalization."""
-    start = time.perf_counter()
+    watch = Stopwatch()
     chip = chip or _auto_chip(netlist, config)
     placement = Placement.random(netlist, chip, seed=config.seed)
     objective = ObjectiveState(placement, config)
     DetailedLegalizer(objective, config).run()
+    runtime = watch.elapsed()
     return PlacementResult(
         placement=placement,
         objective=objective.total,
         wirelength=objective.wirelength(),
         ilv=objective.total_ilv(),
-        runtime_seconds=time.perf_counter() - start,
-        stage_seconds={"legalize": time.perf_counter() - start})
+        runtime_seconds=runtime,
+        stage_seconds={"legalize": runtime})
 
 
 @dataclass
@@ -107,7 +108,7 @@ class AnnealingPlacer:
     # ------------------------------------------------------------------
     def run(self) -> PlacementResult:
         """Anneal from a random start, then legalize."""
-        start = time.perf_counter()
+        watch = Stopwatch()
         config = self.config
         rng = np.random.default_rng(config.seed + 40_487)
         placement = Placement.random(self.netlist, self.chip,
@@ -117,7 +118,7 @@ class AnnealingPlacer:
         if movable:
             self._anneal(objective, movable, rng)
         DetailedLegalizer(objective, config).run()
-        runtime = time.perf_counter() - start
+        runtime = watch.elapsed()
         return PlacementResult(
             placement=placement,
             objective=objective.total,

@@ -36,6 +36,7 @@ from repro.analysis import FloatArray, IntArray
 from repro.core.config import PlacementConfig
 from repro.core.objective import ObjectiveState
 from repro.geometry.density import DensityMesh
+from repro.obs import get_recorder
 
 #: Movement-retention candidates tried per cell (Eq. 17's beta).
 BETA_CANDIDATES = (1.0, 0.5, 0.25)
@@ -117,6 +118,7 @@ class CellShifter:
             The number of iterations executed.
         """
         config = self.config
+        rec = get_recorder()
         limit = (config.shift_max_iterations if max_iterations is None
                  else max_iterations)
         iterations = 0
@@ -128,6 +130,12 @@ class CellShifter:
         stalled = 0
         for _ in range(limit):
             self._rebuild_mesh()
+            if rec.enabled:
+                rec.record("cellshift/iteration",
+                           iteration=float(iterations),
+                           max_density=float(self.mesh.max_density),
+                           overflow=float(self.mesh.overflow(
+                               config.shift_max_density)))
             if self.mesh.max_density <= config.shift_max_density:
                 best_state = None  # current state is the one to keep
                 break
@@ -137,6 +145,7 @@ class CellShifter:
             else:
                 stalled += 1
                 if self._fixed_beta is None:
+                    rec.count("cellshift/stall_fallbacks")
                     # Objective-greedy movement retention is stalling
                     # the spread; switch to a fixed damped step (the
                     # paper's beta is "dynamically adjusted" —
@@ -169,6 +178,10 @@ class CellShifter:
             assert best_overflow is not None
             if final > best_overflow:
                 self._restore(best_state)
+        if rec.enabled:
+            rec.count("cellshift/total_iterations", float(iterations))
+            rec.gauge("cellshift/final_max_density",
+                      float(self.mesh.max_density))
         return iterations
 
     def _restore(self, state: Tuple[FloatArray, FloatArray, IntArray]

@@ -34,6 +34,7 @@ from repro.core.config import PlacementConfig
 from repro.core.objective import ObjectiveState
 from repro.geometry.density import DensityMesh
 from repro.netlist.placement import Placement
+from repro.obs import get_recorder
 
 RowKey = Tuple[int, int]  # (layer, row index)
 
@@ -239,11 +240,19 @@ class DetailedLegalizer:
     # ------------------------------------------------------------------
     def run(self) -> None:
         """Legalize every movable cell."""
+        rec = get_recorder()
         order = self._processing_order()
         segments = RowSegments(self.placement)
         widths = self.netlist.widths
+        pushes = 0
         for cid in order:
-            self._place_cell(cid, float(widths[cid]), segments)
+            pushes += self._place_cell(cid, float(widths[cid]),
+                                       segments)
+        if rec.enabled:
+            rec.count("detailed/cells_placed", float(len(order)))
+            rec.count("detailed/push_inserts", float(pushes))
+            rec.count("detailed/gap_inserts",
+                      float(len(order) - pushes))
 
     # ------------------------------------------------------------------
     def _processing_order(self) -> List[int]:
@@ -317,7 +326,9 @@ class DetailedLegalizer:
 
     # ------------------------------------------------------------------
     def _place_cell(self, cid: int, width: float,
-                    segments: RowSegments) -> None:
+                    segments: RowSegments) -> int:
+        """Place one cell; returns 1 if a push plan was needed, 0 if
+        the cell landed in a free gap."""
         placement = self.placement
         chip = self.chip
         x0 = float(placement.x[cid])
@@ -335,16 +346,17 @@ class DetailedLegalizer:
         if plan is None:
             self.objective.apply_moves([(cid, x, y, int(z))])
             segments.insert(int(z), row, cid, x, width)
-        else:
-            displaced = plan
-            moves = [(cid, x, y, int(z))]
-            moves.extend(
-                (dcid, dx, float(self.placement.y[dcid]),
-                 int(self.placement.z[dcid]))
-                for dcid, dx in displaced)
-            self.objective.apply_moves(moves)
-            segments.apply_push(int(z), row, cid, x, width, displaced,
-                                self.netlist.widths)
+            return 0
+        displaced = plan
+        moves = [(cid, x, y, int(z))]
+        moves.extend(
+            (dcid, dx, float(self.placement.y[dcid]),
+             int(self.placement.z[dcid]))
+            for dcid, dx in displaced)
+        self.objective.apply_moves(moves)
+        segments.apply_push(int(z), row, cid, x, width, displaced,
+                            self.netlist.widths)
+        return 1
 
     def _search(self, cid: int, width: float, x0: float,
                 z0: int, row0: int, segments: RowSegments

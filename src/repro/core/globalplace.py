@@ -30,9 +30,12 @@ from repro.core.netweights import compute_net_weights
 from repro.core.trrnets import compute_trr_weights
 from repro.metrics.wirelength import compute_net_metrics
 from repro.netlist.placement import Placement
+from repro.obs import get_logger, get_recorder
 from repro.partition import BisectionConfig, Hypergraph, bisect
 from repro.thermal.power import PowerModel
 from repro.thermal.resistance import ResistanceModel
+
+_log = get_logger(__name__)
 
 #: Axis labels in cut-direction priority evaluation order.
 _AXES = ("x", "y", "z")
@@ -108,11 +111,13 @@ class GlobalPlacer:
     # ------------------------------------------------------------------
     def run(self) -> None:
         """Place all movable cells at their final region centres."""
+        rec = get_recorder()
         movable = [c.id for c in self.netlist.cells if c.movable]
         root = Region(cell_ids=movable, xlo=0.0, xhi=self.chip.width,
                       ylo=0.0, yhi=self.chip.height,
                       zlo=0, zhi=self.chip.num_layers - 1)
-        self._refresh_weights()
+        with rec.span("weights"):
+            self._refresh_weights()
         queue = deque([(0, root)])
         current_level = 0
         max_levels = 64
@@ -120,11 +125,17 @@ class GlobalPlacer:
             level, region = queue.popleft()
             if level != current_level:
                 current_level = level
-                self._refresh_weights()
+                _log.debug("bisection level %d: %d regions pending",
+                           level, len(queue) + 1)
+                with rec.span("weights"):
+                    self._refresh_weights()
             if self._is_terminal(region) or level >= max_levels:
+                rec.count("global/terminal_regions")
                 self._finalize(region)
                 continue
-            children = self._split(region)
+            with rec.span(f"level{level}/bisect"):
+                children = self._split(region)
+            rec.count("global/bisections")
             for child in children:
                 if child.cell_ids:
                     self._set_positions(child)

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.config import PlacementConfig
 from repro.core.objective import ObjectiveState
 from repro.geometry.density import BinIndex, DensityMesh
+from repro.obs import get_recorder
 
 
 class MoveOptimizer:
@@ -244,6 +245,17 @@ class MoveOptimizer:
             if partner is not None:
                 moved_since.add(partner)
                 dirty.update(cell_nets(partner))
+        rec = get_recorder()
+        if rec.enabled:
+            n_cand = len(mv_cells) + len(sw_a)
+            rec.count("moves/candidates", float(n_cand))
+            rec.count("moves/executed", float(executed))
+            rec.record("moves/pass",
+                       local=1.0 if local_only else 0.0,
+                       candidates=float(n_cand),
+                       executed=float(executed),
+                       accept_rate=(float(executed) / n_cand
+                                    if n_cand else 0.0))
         return executed
 
     def _collect_candidates(self, cid: int, cur_bin: BinIndex,

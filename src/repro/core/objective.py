@@ -32,6 +32,7 @@ Data layout (the "kernel layer", see DESIGN.md):
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,10 +42,35 @@ from repro.analysis import (FloatArray, IntArray, contract, exact_nonzero,
                             exact_zero, hot_path, validate_arrays)
 from repro.core.config import PlacementConfig
 from repro.netlist.placement import Placement
+from repro.obs import get_recorder
 from repro.thermal.power import PowerModel
 from repro.thermal.resistance import ResistanceModel
 
 Move = Tuple[int, float, float, int]  # (cell_id, x, y, layer)
+
+
+@dataclass(frozen=True)
+class ObjectiveTerms:
+    """The Eq. 3 objective split into its three summands.
+
+    Attributes:
+        wirelength: total lateral HPWL, metres (= ``wl_term``).
+        ilv: total interlayer-via count.
+        wl_term: wirelength contribution to the objective.
+        ilv_term: ``alpha_ilv * ilv`` contribution.
+        thermal_term: ``alpha_temp * sum_j R_j P_j`` contribution.
+    """
+
+    wirelength: float
+    ilv: int
+    wl_term: float
+    ilv_term: float
+    thermal_term: float
+
+    @property
+    def total(self) -> float:
+        """Sum of the three terms (equals ``ObjectiveState.total``)."""
+        return self.wl_term + self.ilv_term + self.thermal_term
 
 #: Per-axis extreme cache: (hi1, cnt_hi, hi2, lo1, cnt_lo, lo2) — the
 #: count components are int64 rows, the rest float64.
@@ -172,6 +198,7 @@ class ObjectiveState:
     @hot_path
     def rebuild(self) -> None:
         """Recompute every cache from the placement's current state."""
+        get_recorder().count("objective/rebuilds")
         x = self.placement.x
         y = self.placement.y
         z = self.placement.z
@@ -561,6 +588,25 @@ class ObjectiveState:
     def total_ilv(self) -> int:
         """Current total interlayer-via count."""
         return int(self._ilv.sum())
+
+    def terms(self) -> ObjectiveTerms:
+        """Decompose the current objective into its Eq. 3 summands.
+
+        Returns:
+            An :class:`ObjectiveTerms` whose ``total`` matches
+            :attr:`total` up to floating-point association.
+        """
+        wl = float(self._wl.sum())
+        ilv = int(self._ilv.sum())
+        thermal = 0.0
+        if self.alpha_temp > 0:
+            r = self._r_by_layer[self.placement.z,
+                                 np.arange(len(self._power),
+                                           dtype=np.int64)]
+            thermal = float((r * self._power).sum())
+        return ObjectiveTerms(wirelength=wl, ilv=ilv, wl_term=wl,
+                              ilv_term=self.alpha_ilv * ilv,
+                              thermal_term=self.alpha_temp * thermal)
 
     def cell_power(self, cell_id: int) -> float:
         """Current attributed dynamic power of one cell, watts."""

@@ -11,13 +11,22 @@
 6. optionally repeat the coarse+detailed stages ("can be repeated
    multiple times if additional optimization is required" — the 65x/7.7%
    effort knob of Section 7).
+
+Timing and convergence metrics go through :mod:`repro.obs`: the run is
+a span tree (``place/round2/moves`` …) rather than a flat timing dict,
+so repeated coarse+detailed rounds keep their boundaries.  The flat
+``stage_seconds`` view (summed across rounds) is still derived for
+backwards compatibility; ``round_seconds`` and ``telemetry`` carry the
+per-round detail.
 """
 
 from __future__ import annotations
 
-import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import ContextManager, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro.core.cellshift import CellShifter
 from repro.core.config import PlacementConfig
@@ -30,7 +39,14 @@ from repro.core.trrnets import add_trr_nets
 from repro.geometry.chip import ChipGeometry
 from repro.netlist.netlist import Netlist
 from repro.netlist.placement import Placement
+from repro.obs import Recorder, Telemetry, get_logger, use_recorder
+from repro.obs.trace import SpanStats
 from repro.thermal.power import PowerModel
+
+_log = get_logger(__name__)
+
+#: Stages that may appear under each round span, in pipeline order.
+ROUND_STAGES = ("moves", "cellshift", "detailed", "refine")
 
 
 @dataclass
@@ -43,7 +59,12 @@ class PlacementResult:
         wirelength: final total lateral HPWL, metres.
         ilv: final interlayer-via count.
         runtime_seconds: wall-clock runtime of :meth:`Placer3D.run`.
-        stage_seconds: wall-clock per pipeline stage.
+        stage_seconds: wall-clock per pipeline stage, summed across
+            coarse+detailed rounds (back-compat flat view).
+        round_seconds: one ``{stage: seconds}`` dict per
+            coarse+detailed round, in round order.
+        telemetry: full recorder snapshot (span tree, counters,
+            series) for the run.
     """
 
     placement: Placement
@@ -52,6 +73,41 @@ class PlacementResult:
     ilv: int
     runtime_seconds: float
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    round_seconds: List[Dict[str, float]] = field(default_factory=list)
+    telemetry: Optional[Telemetry] = None
+
+
+def _stage_summary(place_node: SpanStats,
+                   ) -> Tuple[Dict[str, float], List[Dict[str, float]]]:
+    """Derive the flat and per-round stage timing views.
+
+    Args:
+        place_node: the ``place`` span (the run root).
+
+    Returns:
+        ``(stage_seconds, round_seconds)`` where ``stage_seconds`` sums
+        each stage across rounds (round boundaries collapsed, matching
+        the historical dict) and ``round_seconds`` keeps them separate.
+    """
+    stage_seconds: Dict[str, float] = {}
+    round_seconds: List[Dict[str, float]] = []
+    for name in ("global", "objective_build"):
+        node = place_node.children.get(name)
+        if node is not None and node.calls:
+            stage_seconds[name] = node.seconds
+    rounds = sorted((c for c in place_node.children.values()
+                     if c.name.startswith("round")),
+                    key=lambda c: int(c.name[len("round"):]))
+    for rnd in rounds:
+        per_round: Dict[str, float] = {}
+        for stage in ROUND_STAGES:
+            node = rnd.children.get(stage)
+            if node is not None and node.calls:
+                per_round[stage] = node.seconds
+                stage_seconds[stage] = stage_seconds.get(stage, 0.0) \
+                    + node.seconds
+        round_seconds.append(per_round)
+    return stage_seconds, round_seconds
 
 
 class Placer3D:
@@ -63,6 +119,13 @@ class Placer3D:
         config: coefficients and effort knobs.
         chip: the placement volume; sized automatically from the cell
             area, layer count, whitespace and row spacing when omitted.
+        recorder: optional telemetry recorder.  When given, it is also
+            installed as the ambient recorder for the duration of
+            :meth:`run`, so deep components (FM passes, the thermal
+            solver, move/shift loops) report counters and series into
+            it.  When omitted, a private recorder captures stage spans
+            only — the ambient recorder stays the shared no-op, keeping
+            the default path at its historical cost.
 
     Example:
         >>> from repro import Placer3D, PlacementConfig, load_benchmark
@@ -74,9 +137,11 @@ class Placer3D:
     """
 
     def __init__(self, netlist: Netlist, config: PlacementConfig,
-                 chip: Optional[ChipGeometry] = None) -> None:
+                 chip: Optional[ChipGeometry] = None,
+                 recorder: Optional[Recorder] = None) -> None:
         self.netlist = netlist
         self.config = config
+        self.recorder = recorder
         if chip is None:
             chip = ChipGeometry.for_cell_area(
                 netlist.total_cell_area, config.num_layers,
@@ -102,70 +167,95 @@ class Placer3D:
             A :class:`PlacementResult` with the legal placement.
         """
         config = self.config
-        start = time.perf_counter()
-        stages: Dict[str, float] = {}
+        provided = self.recorder
+        rec = provided if provided is not None and provided.enabled \
+            else Recorder()
+        scope: ContextManager[object] = (
+            use_recorder(provided) if provided is not None
+            else nullcontext())
+        _log.info("placing %s: %d cells, %d nets, %d layers",
+                  self.netlist.name, self.netlist.num_cells,
+                  self.netlist.num_nets, config.num_layers)
 
-        if config.thermal_enabled and config.use_trr_nets:
-            add_trr_nets(self.netlist)
-        placement = Placement.at_center(self.netlist, self.chip)
-        power_model = PowerModel(self.netlist, config.tech)
+        with scope, rec.span("place"):
+            if config.thermal_enabled and config.use_trr_nets:
+                add_trr_nets(self.netlist)
+            placement = Placement.at_center(self.netlist, self.chip)
+            power_model = PowerModel(self.netlist, config.tech)
 
-        t0 = time.perf_counter()
-        GlobalPlacer(placement, config, power_model).run()
-        stages["global"] = time.perf_counter() - t0
+            with rec.span("global"):
+                GlobalPlacer(placement, config, power_model).run()
 
-        t0 = time.perf_counter()
-        objective = ObjectiveState(placement, config, power_model)
-        stages["objective_build"] = time.perf_counter() - t0
+            with rec.span("objective_build"):
+                objective = ObjectiveState(placement, config,
+                                           power_model)
+            _log.info("global placement done: objective %.6e",
+                      objective.total)
 
-        # The coarse+detailed loop is not monotone round to round (the
-        # move/swap phase deliberately un-legalizes), so the best legal
-        # snapshot across rounds is what the flow returns.
-        best_state = None
-        for _ in range(max(1, config.legalization_rounds)):
-            t0 = time.perf_counter()
-            mover = MoveOptimizer(objective, config)
-            for _ in range(max(1, config.move_passes)):
-                mover.global_pass()
-                mover.local_pass()
-            stages["moves"] = stages.get("moves", 0.0) \
-                + (time.perf_counter() - t0)
+            # The coarse+detailed loop is not monotone round to round
+            # (the move/swap phase deliberately un-legalizes), so the
+            # best legal snapshot across rounds is what the flow
+            # returns.
+            best_state: Optional[Tuple[float, np.ndarray, np.ndarray,
+                                       np.ndarray]] = None
+            n_rounds = max(1, config.legalization_rounds)
+            for rnd in range(1, n_rounds + 1):
+                with rec.span(f"round{rnd}"):
+                    with rec.span("moves"):
+                        mover = MoveOptimizer(objective, config)
+                        for _ in range(max(1, config.move_passes)):
+                            mover.global_pass()
+                            mover.local_pass()
 
-            t0 = time.perf_counter()
-            CellShifter(objective, config).run()
-            stages["cellshift"] = stages.get("cellshift", 0.0) \
-                + (time.perf_counter() - t0)
+                    with rec.span("cellshift"):
+                        CellShifter(objective, config).run()
 
-            t0 = time.perf_counter()
-            DetailedLegalizer(objective, config).run()
-            stages["detailed"] = stages.get("detailed", 0.0) \
-                + (time.perf_counter() - t0)
+                    with rec.span("detailed"):
+                        DetailedLegalizer(objective, config).run()
 
-            if config.refine_passes > 0:
-                t0 = time.perf_counter()
-                LegalRefiner(objective, config).run(config.refine_passes)
-                stages["refine"] = stages.get("refine", 0.0) \
-                    + (time.perf_counter() - t0)
+                    if config.refine_passes > 0:
+                        with rec.span("refine"):
+                            LegalRefiner(objective, config).run(
+                                config.refine_passes)
 
-            if best_state is None or objective.total < best_state[0]:
-                best_state = (objective.total, placement.x.copy(),
-                              placement.y.copy(), placement.z.copy())
+                if best_state is None \
+                        or objective.total < best_state[0]:
+                    best_state = (objective.total, placement.x.copy(),
+                                  placement.y.copy(),
+                                  placement.z.copy())
+                terms = objective.terms()
+                rec.record("placer/round", round=float(rnd),
+                           objective=objective.total,
+                           best_objective=best_state[0],
+                           wl_term=terms.wl_term,
+                           ilv_term=terms.ilv_term,
+                           thermal_term=terms.thermal_term)
+                _log.info(
+                    "round %d/%d: objective %.6e (best %.6e, "
+                    "wl %.4e, ilv %d)", rnd, n_rounds, objective.total,
+                    best_state[0], terms.wirelength, terms.ilv)
 
-        if best_state is not None and objective.total > best_state[0]:
-            placement.x[:] = best_state[1]
-            placement.y[:] = best_state[2]
-            placement.z[:] = best_state[3]
-            objective.rebuild()
+            if best_state is not None \
+                    and objective.total > best_state[0]:
+                placement.x[:] = best_state[1]
+                placement.y[:] = best_state[2]
+                placement.z[:] = best_state[3]
+                objective.rebuild()
+                _log.info("restored best round snapshot: %.6e",
+                          objective.total)
 
-        if check:
-            check_legal(placement)
+            if check:
+                check_legal(placement)
 
-        runtime = time.perf_counter() - start
+        place_node = rec.tracer.root.child("place")
+        stage_seconds, round_seconds = _stage_summary(place_node)
         return PlacementResult(
             placement=placement,
             objective=objective.total,
             wirelength=objective.wirelength(),
             ilv=objective.total_ilv(),
-            runtime_seconds=runtime,
-            stage_seconds=stages,
+            runtime_seconds=place_node.seconds,
+            stage_seconds=stage_seconds,
+            round_seconds=round_seconds,
+            telemetry=rec.snapshot(),
         )

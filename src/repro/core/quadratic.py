@@ -21,7 +21,6 @@ claim can be tested empirically (see
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -35,6 +34,7 @@ from repro.core.placer import PlacementResult
 from repro.geometry.chip import ChipGeometry
 from repro.netlist.netlist import Netlist
 from repro.netlist.placement import Placement
+from repro.obs import Stopwatch
 
 
 class QuadraticPlacer:
@@ -65,7 +65,7 @@ class QuadraticPlacer:
     # ------------------------------------------------------------------
     def run(self) -> PlacementResult:
         """Solve, spread, quantize layers and legalize."""
-        start = time.perf_counter()
+        watch = Stopwatch()
         netlist = self.netlist
         chip = self.chip
         movable = [c.id for c in netlist.cells if c.movable]
@@ -89,7 +89,7 @@ class QuadraticPlacer:
                 placement.z[cid] = layers[i]
         objective = ObjectiveState(placement, self.config)
         DetailedLegalizer(objective, self.config).run()
-        runtime = time.perf_counter() - start
+        runtime = watch.elapsed()
         return PlacementResult(
             placement=placement,
             objective=objective.total,

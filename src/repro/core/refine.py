@@ -31,6 +31,7 @@ import numpy as np
 from repro.core.config import PlacementConfig
 from repro.core.detailed import RowSegments
 from repro.core.objective import ObjectiveState
+from repro.obs import get_recorder
 
 RowKey = Tuple[int, int]
 
@@ -63,12 +64,19 @@ class LegalRefiner:
     # ------------------------------------------------------------------
     def run(self, passes: int = 2) -> int:
         """Run refinement passes; returns total improving operations."""
+        rec = get_recorder()
         total = 0
         for _ in range(max(1, passes)):
-            improved = 0
-            improved += self._adjacent_swap_pass()
-            improved += self._equal_width_swap_pass()
-            improved += self._gap_move_pass()
+            adjacent = self._adjacent_swap_pass()
+            equal_width = self._equal_width_swap_pass()
+            gap = self._gap_move_pass()
+            improved = adjacent + equal_width + gap
+            if rec.enabled:
+                rec.count("refine/passes")
+                rec.count("refine/adjacent_swaps", float(adjacent))
+                rec.count("refine/equal_width_swaps",
+                          float(equal_width))
+                rec.count("refine/gap_moves", float(gap))
             total += improved
             if improved == 0:
                 break

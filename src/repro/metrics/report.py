@@ -8,8 +8,8 @@ row format the paper's figures are built from.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 from repro.metrics.wirelength import (
     compute_net_metrics,
@@ -38,6 +38,8 @@ class PlacementReport:
         max_temperature: hottest cell, kelvin above ambient (0 when
             skipped).
         runtime_seconds: caller-supplied placement runtime (optional).
+        stage_seconds: caller-supplied per-stage wall times (optional;
+            rendered by :meth:`breakdown`).
     """
 
     name: str
@@ -50,6 +52,19 @@ class PlacementReport:
     average_temperature: float = 0.0
     max_temperature: float = 0.0
     runtime_seconds: float = 0.0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def breakdown(self) -> str:
+        """Per-stage timing lines (empty string when not supplied)."""
+        if not self.stage_seconds:
+            return ""
+        total = sum(self.stage_seconds.values())
+        lines = []
+        for stage, seconds in self.stage_seconds.items():
+            share = 100.0 * seconds / total if total > 0 else 0.0
+            lines.append(f"  {stage:<16s}{seconds:>9.3f}s "
+                         f"{share:>5.1f}%")
+        return "\n".join(lines)
 
     def row(self) -> str:
         """One aligned text row (used by the benchmark harnesses)."""
@@ -71,7 +86,9 @@ class PlacementReport:
 def evaluate_placement(placement: Placement,
                        tech: Optional[TechnologyConfig] = None,
                        thermal: bool = True,
-                       runtime_seconds: float = 0.0) -> PlacementReport:
+                       runtime_seconds: float = 0.0,
+                       stage_seconds: Optional[Dict[str, float]] = None,
+                       ) -> PlacementReport:
     """Evaluate a placement's wirelength, vias, power and temperatures.
 
     Args:
@@ -80,6 +97,7 @@ def evaluate_placement(placement: Placement,
         thermal: run the power model and full-chip thermal solve; set
             False for wirelength-only sweeps (much faster).
         runtime_seconds: recorded into the report verbatim.
+        stage_seconds: per-stage wall times, recorded verbatim.
     """
     tech = tech or TechnologyConfig()
     metrics = compute_net_metrics(placement)
@@ -93,6 +111,7 @@ def evaluate_placement(placement: Placement,
         ilv_per_interlayer=total_ilv / interfaces,
         ilv_density=ilv_density_per_interlayer(placement, total_ilv),
         runtime_seconds=runtime_seconds,
+        stage_seconds=dict(stage_seconds or {}),
     )
     if thermal:
         # imported here: repro.thermal itself builds on repro.metrics

@@ -1,0 +1,56 @@
+"""Observability layer: spans, metrics, events, manifests, logging.
+
+``repro.obs`` is a zero-required-dependency package the whole pipeline
+reports through:
+
+- :class:`Tracer` / :class:`SpanStats` — hierarchical timing spans
+  with call counts and nested aggregation (``trace.py``);
+- :class:`Recorder` / :class:`NullRecorder` — counters, gauges and
+  time-series behind one object; the ambient recorder
+  (:func:`get_recorder` / :func:`use_recorder`) is a no-op unless a
+  caller opts in (``recorder.py``);
+- :class:`EventSink` / :func:`read_events` — structured JSONL event
+  stream (``events.py``);
+- :func:`build_manifest` / :func:`write_manifest` /
+  :func:`validate_manifest` — end-of-run manifest plus its checked-in
+  schema (``manifest.py``, ``manifest_schema.json``, ``validate.py``);
+- :func:`get_logger` / :func:`configure_cli_logging` — namespaced
+  ``repro.*`` logging (``log.py``);
+- :func:`render` — plain-text telemetry reports (``report.py``).
+
+Design note: ``repro.obs`` is the only part of ``src/repro`` allowed
+to touch ``time.perf_counter`` directly (linter rule RPL009); all
+other timing goes through spans or :class:`Stopwatch`.
+"""
+
+from repro.obs.events import EventSink, read_events
+from repro.obs.log import configure_cli_logging, get_logger
+from repro.obs.manifest import (build_manifest, config_hash, load_schema,
+                                validate_manifest, write_manifest)
+from repro.obs.recorder import (NULL_RECORDER, NullRecorder, Recorder,
+                                Telemetry, get_recorder, use_recorder)
+from repro.obs.report import render, render_spans
+from repro.obs.trace import SpanStats, Stopwatch, Tracer
+
+__all__ = [
+    "EventSink",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "SpanStats",
+    "Stopwatch",
+    "Telemetry",
+    "Tracer",
+    "build_manifest",
+    "config_hash",
+    "configure_cli_logging",
+    "get_logger",
+    "get_recorder",
+    "load_schema",
+    "read_events",
+    "render",
+    "render_spans",
+    "use_recorder",
+    "validate_manifest",
+    "write_manifest",
+]

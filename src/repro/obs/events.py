@@ -1,0 +1,97 @@
+"""Structured JSONL event sink.
+
+Every event is one JSON object per line with at least a ``type`` field
+and a ``t`` field (seconds since the sink was opened).  The format is
+append-only and line-oriented so a crashed run still leaves a readable
+prefix, and downstream tooling can stream it without loading the whole
+trace.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from types import TracebackType
+from typing import Any, Callable, Dict, List, Optional, Type, Union
+
+__all__ = ["EventSink", "read_events"]
+
+
+class EventSink:
+    """Append-only JSONL writer with relative timestamps.
+
+    Args:
+        path: output file (parent directories are created).
+        clock: monotonic time source, seconds (injectable for tests).
+
+    Attributes:
+        path: the output path as a string.
+        events_written: number of events emitted so far.
+    """
+
+    def __init__(self, path: Union[str, Path],
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self._fh: Optional[Any] = open(self.path, "w", encoding="utf-8")
+        self._clock = clock
+        self._t0 = clock()
+        self.events_written = 0
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        """Write one event as a JSON line.
+
+        A ``t`` field (seconds since the sink opened) is added unless
+        the event already carries one.
+        """
+        if self._fh is None:
+            return
+        if "t" not in event:
+            event = dict(event)
+            event["t"] = round(self._clock() - self._t0, 9)
+        self._fh.write(json.dumps(event, sort_keys=True,
+                                  separators=(",", ":")) + "\n")
+        self.events_written += 1
+
+    def flush(self) -> None:
+        """Flush buffered lines to disk."""
+        if self._fh is not None:
+            self._fh.flush()
+
+    def close(self) -> None:
+        """Flush and close the underlying file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "EventSink":
+        return self
+
+    def __exit__(self, exc_type: Optional[Type[BaseException]],
+                 exc: Optional[BaseException],
+                 tb: Optional[TracebackType]) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace back into a list of event dicts.
+
+    Blank lines are skipped; malformed lines raise ``ValueError`` with
+    the offending line number so a truncated trace fails loudly.
+    """
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: malformed event line") from exc
+    return events

@@ -1,0 +1,70 @@
+"""Namespaced logging for the library and the CLI.
+
+Library modules log through ``get_logger(__name__)``; everything hangs
+off the ``repro`` root logger, which carries a ``NullHandler`` so
+importing the library never prints or warns about missing handlers.
+The CLI opts into output with :func:`configure_cli_logging`, mapping
+``-v``/``-q`` flags onto levels.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import IO, Optional
+
+__all__ = ["LIBRARY_LOGGER", "configure_cli_logging", "get_logger"]
+
+LIBRARY_LOGGER = "repro"
+
+_root = logging.getLogger(LIBRARY_LOGGER)
+if not any(isinstance(h, logging.NullHandler) for h in _root.handlers):
+    _root.addHandler(logging.NullHandler())
+
+_cli_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    Args:
+        name: dotted module name; ``repro.core.placer`` is used as-is,
+            a bare suffix like ``cli`` becomes ``repro.cli``.
+    """
+    if name == LIBRARY_LOGGER or name.startswith(LIBRARY_LOGGER + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{LIBRARY_LOGGER}.{name}")
+
+
+def configure_cli_logging(verbosity: int = 0,
+                          stream: Optional[IO[str]] = None,
+                          ) -> logging.Handler:
+    """Install a stderr handler on the ``repro`` root logger.
+
+    Args:
+        verbosity: net ``-v`` minus ``-q`` count.  ``<= -1`` shows only
+            errors, ``0`` warnings, ``1`` info, ``>= 2`` debug.
+        stream: output stream (defaults to ``sys.stderr``).
+
+    Returns:
+        The installed handler (tests use it to capture output).
+    """
+    global _cli_handler
+    root = logging.getLogger(LIBRARY_LOGGER)
+    if _cli_handler is not None:
+        root.removeHandler(_cli_handler)
+    if verbosity <= -1:
+        level = logging.ERROR
+    elif verbosity == 0:
+        level = logging.WARNING
+    elif verbosity == 1:
+        level = logging.INFO
+    else:
+        level = logging.DEBUG
+    handler = logging.StreamHandler(stream or sys.stderr)
+    handler.setFormatter(logging.Formatter(
+        "[%(levelname).1s] %(name)s: %(message)s"))
+    root.addHandler(handler)
+    root.setLevel(level)
+    _cli_handler = handler
+    return handler

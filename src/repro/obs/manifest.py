@@ -1,0 +1,183 @@
+"""End-of-run manifest: what ran, with what, and what came out.
+
+The manifest is a single JSON document written next to the ``.pl``
+(or wherever ``--telemetry-out`` points) capturing everything needed to
+reproduce and audit a run: netlist stats, the full config plus a stable
+hash of it, the RNG seed, tool versions, the per-stage span summary,
+the per-round Eq. 3 decomposition, and counters.  Its shape is pinned
+by ``manifest_schema.json`` (validated in CI with the dependency-free
+validator in :mod:`repro.obs.validate`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+from repro.obs.recorder import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.config import PlacementConfig
+    from repro.core.placer import PlacementResult
+    from repro.netlist.netlist import Netlist
+
+__all__ = ["MANIFEST_KIND", "SCHEMA_VERSION", "build_manifest",
+           "config_hash", "load_schema", "validate_manifest",
+           "write_manifest"]
+
+MANIFEST_KIND = "repro.placement.run"
+SCHEMA_VERSION = 1
+
+_SCHEMA_PATH = Path(__file__).with_name("manifest_schema.json")
+
+
+def _config_dict(config: "PlacementConfig") -> Dict[str, Any]:
+    """Flatten a config dataclass into JSON-safe primitives."""
+    raw = dataclasses.asdict(config)
+
+    def scrub(value: Any) -> Any:
+        if isinstance(value, dict):
+            return {str(k): scrub(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [scrub(v) for v in value]
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            return value
+        return repr(value)
+
+    scrubbed = scrub(raw)
+    assert isinstance(scrubbed, dict)
+    return scrubbed
+
+
+def config_hash(config: "PlacementConfig") -> str:
+    """Stable content hash of a placement config.
+
+    Returns:
+        ``"sha256:<hex>"`` over the sorted-key JSON of the config, so
+        two runs with identical knobs hash identically across sessions.
+    """
+    blob = json.dumps(_config_dict(config), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return "sha256:" + hashlib.sha256(blob).hexdigest()
+
+
+def _versions() -> Dict[str, str]:
+    import numpy
+    import scipy
+
+    import repro
+    return {
+        "python": platform.python_version(),
+        "numpy": str(numpy.__version__),
+        "scipy": str(scipy.__version__),
+        "repro": str(repro.__version__),
+    }
+
+
+def _stage_rows(telemetry: Telemetry) -> List[Dict[str, Any]]:
+    """Flatten the span tree into ``(path, calls, seconds)`` rows."""
+    rows: List[Dict[str, Any]] = []
+
+    def visit(node: Dict[str, Any], prefix: str) -> None:
+        for child in node.get("children", []):
+            path = f"{prefix}{child['name']}"
+            rows.append({"path": path,
+                         "calls": int(child["calls"]),
+                         "seconds": float(child["seconds"])})
+            visit(child, f"{path}/")
+
+    visit(telemetry.spans, "")
+    return rows
+
+
+def build_manifest(netlist: "Netlist", config: "PlacementConfig",
+                   result: "PlacementResult",
+                   telemetry: Optional[Telemetry] = None,
+                   trace_path: Optional[str] = None,
+                   peak_temperature: Optional[float] = None,
+                   ) -> Dict[str, Any]:
+    """Assemble the run manifest document.
+
+    Args:
+        netlist: the placed circuit (for size stats).
+        config: the placement configuration that produced ``result``.
+        result: the finished placement result.
+        telemetry: recorder snapshot; defaults to
+            ``result.telemetry``.
+        trace_path: path of the JSONL trace written alongside, if any.
+        peak_temperature: optional evaluated peak temperature, kelvin.
+
+    Returns:
+        A JSON-serialisable dict matching ``manifest_schema.json``.
+    """
+    tele = telemetry if telemetry is not None else result.telemetry
+    if tele is None:
+        tele = Telemetry()
+    rounds: List[Dict[str, float]] = [
+        dict(point) for point in tele.series.get("placer/round", [])]
+    return {
+        "kind": MANIFEST_KIND,
+        "schema_version": SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "circuit": {
+            "name": netlist.name,
+            "num_cells": int(netlist.num_cells),
+            "num_nets": int(netlist.num_nets),
+            "num_movable": int(netlist.num_movable),
+            "num_pins": int(netlist.num_pins()),
+            "total_cell_area": float(netlist.total_cell_area),
+        },
+        "seed": int(config.seed),
+        "config": _config_dict(config),
+        "config_hash": config_hash(config),
+        "versions": _versions(),
+        "result": {
+            "objective": float(result.objective),
+            "wirelength": float(result.wirelength),
+            "ilv": int(result.ilv),
+            "wall_seconds": float(result.runtime_seconds),
+            "peak_temperature": (None if peak_temperature is None
+                                 else float(peak_temperature)),
+        },
+        "stages": _stage_rows(tele),
+        "rounds": rounds,
+        "counters": dict(tele.counters),
+        "gauges": dict(tele.gauges),
+        "trace_path": trace_path,
+    }
+
+
+def write_manifest(path: Union[str, Path],
+                   manifest: Dict[str, Any]) -> str:
+    """Write a manifest as pretty-printed JSON; returns the path."""
+    path = str(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_schema() -> Dict[str, Any]:
+    """Load the packaged manifest schema."""
+    with open(_SCHEMA_PATH, "r", encoding="utf-8") as fh:
+        schema = json.load(fh)
+    assert isinstance(schema, dict)
+    return schema
+
+
+def validate_manifest(manifest: Dict[str, Any],
+                      schema: Optional[Dict[str, Any]] = None,
+                      ) -> List[str]:
+    """Validate a manifest; returns a list of errors (empty = valid)."""
+    from repro.obs.validate import validate
+    return validate(manifest, schema if schema is not None
+                    else load_schema())

@@ -1,0 +1,81 @@
+"""Plain-text rendering of a telemetry snapshot.
+
+Used by ``repro place --trace`` and the benchmark harnesses to print a
+per-stage breakdown without any plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.obs.recorder import Telemetry
+
+__all__ = ["render", "render_spans"]
+
+
+def _node_total(node: Dict[str, Any]) -> float:
+    total = node.get("total_seconds")
+    if total is not None:
+        return float(total)
+    if node.get("calls"):
+        return float(node["seconds"])
+    return sum(_node_total(c) for c in node.get("children", []))
+
+
+def render_spans(spans: Dict[str, Any], max_depth: int = 4) -> str:
+    """Render a span tree (as produced by ``SpanStats.as_dict``).
+
+    Each line shows indentation by depth, the node name, its total
+    seconds, its share of the parent, and the call count.
+    """
+    lines: List[str] = []
+    root_total = _node_total(spans)
+
+    def visit(node: Dict[str, Any], depth: int,
+              parent_total: float) -> None:
+        if depth > max_depth:
+            return
+        total = _node_total(node)
+        share = 100.0 * total / parent_total if parent_total > 0 else 0.0
+        calls = int(node.get("calls", 0))
+        indent = "  " * depth
+        lines.append(f"{indent}{node['name']:<24s}"
+                     f"{total:>10.4f}s {share:>5.1f}%  x{calls}")
+        for child in node.get("children", []):
+            visit(child, depth + 1, total)
+
+    for child in spans.get("children", []):
+        visit(child, 0, root_total)
+    return "\n".join(lines)
+
+
+def render(telemetry: Telemetry, title: str = "telemetry") -> str:
+    """Render a full telemetry snapshot as readable text.
+
+    Sections: span tree, counters (sorted by name), and one summary
+    line per time-series (point count plus last point).
+    """
+    lines: List[str] = [f"== {title} "
+                        f"(wall {telemetry.wall_seconds:.4f}s) =="]
+    span_text = render_spans(telemetry.spans)
+    if span_text:
+        lines.append("-- spans --")
+        lines.append(span_text)
+    if telemetry.counters:
+        lines.append("-- counters --")
+        for name in sorted(telemetry.counters):
+            value = telemetry.counters[name]
+            if float(value).is_integer():
+                lines.append(f"{name:<32s}{int(value):>12d}")
+            else:
+                lines.append(f"{name:<32s}{value:>12.4f}")
+    if telemetry.series:
+        lines.append("-- series --")
+        for name in sorted(telemetry.series):
+            points = telemetry.series[name]
+            last = {k: v for k, v in points[-1].items() if k != "t"}
+            parts = ", ".join(f"{k}={v:.6g}"
+                              for k, v in sorted(last.items()))
+            lines.append(f"{name:<24s}{len(points):>6d} points"
+                         f"  last: {parts}")
+    return "\n".join(lines)

@@ -1,0 +1,153 @@
+"""Minimal JSON-Schema-subset validator (zero dependencies).
+
+CI validates run manifests against ``manifest_schema.json`` but the CI
+environment installs only numpy/scipy/pytest — no ``jsonschema``.  This
+module implements the small, explicit subset of JSON Schema the
+manifest schema uses: ``type`` (string or list), ``required``,
+``properties``, ``additionalProperties``, ``items``, ``enum``,
+``const``, ``minimum`` and ``minItems``.  Unknown keywords raise, so a
+schema edit cannot silently become a no-op.
+
+Runnable: ``python -m repro.obs.validate MANIFEST [SCHEMA]``.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["main", "validate"]
+
+_TYPE_CHECKS = ("object", "array", "string", "number", "integer",
+                "boolean", "null")
+
+_KNOWN_KEYWORDS = frozenset({
+    "type", "required", "properties", "additionalProperties", "items",
+    "enum", "const", "minimum", "minItems",
+    # descriptive keywords, ignored:
+    "title", "description", "$schema", "$id", "default", "examples",
+})
+
+
+def _type_ok(value: Any, expected: str) -> bool:
+    if expected == "object":
+        return isinstance(value, dict)
+    if expected == "array":
+        return isinstance(value, list)
+    if expected == "string":
+        return isinstance(value, str)
+    if expected == "number":
+        return (isinstance(value, (int, float))
+                and not isinstance(value, bool))
+    if expected == "integer":
+        return isinstance(value, int) and not isinstance(value, bool)
+    if expected == "boolean":
+        return isinstance(value, bool)
+    if expected == "null":
+        return value is None
+    raise ValueError(f"unsupported schema type: {expected!r}")
+
+
+def validate(instance: Any, schema: Dict[str, Any],
+             path: str = "$") -> List[str]:
+    """Validate ``instance`` against a schema-subset ``schema``.
+
+    Returns:
+        A list of human-readable error strings; empty means valid.
+    """
+    errors: List[str] = []
+    unknown = set(schema) - _KNOWN_KEYWORDS
+    if unknown:
+        raise ValueError(
+            f"{path}: unsupported schema keywords: {sorted(unknown)}")
+
+    expected = schema.get("type")
+    if expected is not None:
+        allowed = expected if isinstance(expected, list) else [expected]
+        for entry in allowed:
+            if entry not in _TYPE_CHECKS:
+                raise ValueError(
+                    f"{path}: unsupported schema type {entry!r}")
+        if not any(_type_ok(instance, entry) for entry in allowed):
+            got = type(instance).__name__
+            errors.append(f"{path}: expected type "
+                          f"{'/'.join(allowed)}, got {got}")
+            return errors
+
+    if "const" in schema and instance != schema["const"]:
+        errors.append(f"{path}: expected const {schema['const']!r}, "
+                      f"got {instance!r}")
+    if "enum" in schema and instance not in schema["enum"]:
+        errors.append(f"{path}: {instance!r} not in enum")
+    if "minimum" in schema and isinstance(instance, (int, float)) \
+            and not isinstance(instance, bool) \
+            and instance < schema["minimum"]:
+        errors.append(f"{path}: {instance!r} below minimum "
+                      f"{schema['minimum']!r}")
+
+    if isinstance(instance, dict):
+        props: Dict[str, Any] = schema.get("properties", {})
+        for key in schema.get("required", []):
+            if key not in instance:
+                errors.append(f"{path}: missing required key {key!r}")
+        extra = schema.get("additionalProperties")
+        for key, value in instance.items():
+            if key in props:
+                errors.extend(validate(value, props[key],
+                                       f"{path}.{key}"))
+            elif extra is False:
+                errors.append(f"{path}: unexpected key {key!r}")
+            elif isinstance(extra, dict):
+                errors.extend(validate(value, extra, f"{path}.{key}"))
+
+    if isinstance(instance, list):
+        if "minItems" in schema and len(instance) < schema["minItems"]:
+            errors.append(f"{path}: expected at least "
+                          f"{schema['minItems']} items, "
+                          f"got {len(instance)}")
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, value in enumerate(instance):
+                errors.extend(validate(value, items, f"{path}[{i}]"))
+
+    return errors
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point: validate a manifest file, print errors.
+
+    Args:
+        argv: ``[manifest_path]`` or ``[manifest_path, schema_path]``;
+            the packaged manifest schema is used when no schema path is
+            given.
+
+    Returns:
+        Process exit code (0 valid, 1 invalid, 2 usage error).
+    """
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not 1 <= len(args) <= 2:
+        print("usage: python -m repro.obs.validate MANIFEST [SCHEMA]",
+              file=sys.stderr)
+        return 2
+    with open(args[0], "r", encoding="utf-8") as fh:
+        instance = json.load(fh)
+    if len(args) == 2:
+        with open(args[1], "r", encoding="utf-8") as fh:
+            schema = json.load(fh)
+    else:
+        from repro.obs.manifest import load_schema
+        schema = load_schema()
+    errors = validate(instance, schema)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"INVALID: {args[0]} ({len(errors)} errors)",
+              file=sys.stderr)
+        return 1
+    print(f"valid: {args[0]}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.analysis import IntArray, contract
+from repro.obs import get_recorder
 from repro.partition.hypergraph import FREE, Hypergraph
 
 #: Below this many total pins the scalar setup path is used: NumPy's
@@ -127,9 +128,15 @@ class FMRefiner:
                     f"but assigned to {parts[v]}")
         cost = cut_cost(g, parts)
         side = [int(p) for p in parts]
+        rec = get_recorder()
         for _ in range(max_passes):
-            improvement, kept_moves = self._pass(side)
+            improvement, kept_moves, rolled_back = self._pass(side)
             cost -= improvement
+            if rec.enabled:
+                rec.count("fm/passes")
+                rec.count("fm/gain", improvement)
+                rec.count("fm/kept_moves", float(kept_moves))
+                rec.count("fm/rolled_back_moves", float(rolled_back))
             # A pass that kept moves without improving the cut was a
             # balance repair; give the next pass a chance to optimize
             # from the now-feasible state.
@@ -139,13 +146,14 @@ class FMRefiner:
         return cost
 
     # ------------------------------------------------------------------
-    def _pass(self, side: List[int]) -> Tuple[float, int]:
+    def _pass(self, side: List[int]) -> Tuple[float, int, int]:
         """One FM pass over ``side`` (mutated in place).
 
         Returns:
-            ``(improvement, kept_moves)`` — the cut improvement of the
-            kept prefix (may be negative if the prefix was kept to
-            repair an out-of-window balance) and its length.
+            ``(improvement, kept_moves, rolled_back)`` — the cut
+            improvement of the kept prefix (may be negative if the
+            prefix was kept to repair an out-of-window balance), its
+            length, and the number of tentative moves undone.
         """
         g = self.graph
         n = g.num_vertices
@@ -264,7 +272,7 @@ class FMRefiner:
         # roll back to the best prefix
         for v in moves[best_prefix:]:
             side[v] = 1 - side[v]
-        return best_gain, best_prefix
+        return best_gain, best_prefix, len(moves) - best_prefix
 
     # ------------------------------------------------------------------
     def _pass_setup(self, side: List[int], free: List[bool],

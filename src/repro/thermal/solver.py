@@ -33,6 +33,7 @@ from scipy.sparse.linalg import splu
 from repro.analysis import FloatArray, IntArray, contract
 from repro.geometry.chip import ChipGeometry
 from repro.netlist.placement import Placement
+from repro.obs import get_recorder
 from repro.technology import TechnologyConfig
 
 
@@ -240,8 +241,13 @@ class ThermalSolver:
     def _factorize(self) -> Any:
         """Sparse LU of the conductance matrix, computed once per
         geometry and reused by every subsequent solve."""
+        rec = get_recorder()
         if self._factor is None:
-            self._factor = splu(self._assemble().tocsc())
+            rec.count("thermal/lu_miss")
+            with rec.span("thermal/factorize"):
+                self._factor = splu(self._assemble().tocsc())
+        else:
+            rec.count("thermal/lu_hit")
         return self._factor
 
     # ------------------------------------------------------------------

@@ -49,6 +49,33 @@ class TestPlaceCommand:
         with pytest.raises(SystemExit):
             main(["place"])
 
+    def test_place_with_telemetry_out_and_trace(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import read_events, validate_manifest
+        prefix = str(tmp_path / "run")
+        code = main(["-q", "place", "--circuit", "ibm01", "--scale",
+                     "0.01", "--layers", "2", "--trace",
+                     "--telemetry-out", prefix])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- spans --" in out
+        assert "-- counters --" in out
+        manifest = json.load(open(prefix + ".manifest.json"))
+        assert validate_manifest(manifest) == []
+        assert manifest["trace_path"] == prefix + ".trace.jsonl"
+        events = read_events(prefix + ".trace.jsonl")
+        assert any(e["type"] == "span" and e["path"] == "place"
+                   for e in events)
+
+    def test_verbose_flag_emits_progress_logs(self, capsys):
+        code = main(["-v", "place", "--circuit", "ibm01", "--scale",
+                     "0.01", "--layers", "2"])
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "repro.core.placer" in err
+        assert "global placement done" in err
+
 
 class TestSweepCommand:
     def test_sweep_prints_curve(self, capsys):

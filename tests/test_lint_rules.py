@@ -249,6 +249,54 @@ class TestRPL008ReturnAnnotations:
         """) == []
 
 
+class TestRPL009RawClockCalls:
+    def test_time_perf_counter_flagged(self):
+        assert rules_of("""
+            import time
+
+            def f() -> float:
+                return time.perf_counter()
+        """) == ["RPL009"]
+
+    def test_aliased_module_and_from_import_flagged(self):
+        src = """
+            import time as t
+            from time import perf_counter_ns as tick
+
+            def f() -> float:
+                return t.perf_counter_ns() + tick()
+        """
+        assert rules_of(src) == ["RPL009", "RPL009"]
+
+    def test_other_time_functions_allowed(self):
+        assert rules_of("""
+            import time
+
+            def f() -> float:
+                return time.time()
+        """) == []
+
+    def test_obs_modules_exempt(self):
+        src = textwrap.dedent("""
+            import time
+
+            def f() -> float:
+                return time.perf_counter()
+        """)
+        exempt = check_source(src, "src/repro/obs/trace.py")
+        assert [v.rule for v in exempt] == []
+
+    def test_unrelated_perf_counter_name_allowed(self):
+        # a local function that merely shares the name is not a clock
+        assert rules_of("""
+            def perf_counter() -> float:
+                return 0.0
+
+            def f() -> float:
+                return perf_counter()
+        """) == []
+
+
 class TestWaivers:
     def test_waiver_with_reason_suppresses(self):
         assert rules_of("""

@@ -1,0 +1,84 @@
+"""JSONL event sink round-trip tests (``repro.obs.events``)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import EventSink, Recorder, read_events
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestEventSink:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "run.trace.jsonl"
+        clock = FakeClock()
+        with EventSink(path, clock=clock) as sink:
+            sink.emit({"type": "span", "path": "place", "seconds": 1.0})
+            clock.advance(0.5)
+            sink.emit({"type": "gauge", "name": "d", "value": 1.2})
+        events = read_events(path)
+        assert [e["type"] for e in events] == ["span", "gauge"]
+        assert events[0]["t"] == 0.0
+        assert events[1]["t"] == 0.5
+        assert events[1]["value"] == 1.2
+
+    def test_explicit_timestamp_is_kept(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with EventSink(path, clock=FakeClock()) as sink:
+            sink.emit({"type": "x", "t": 42.0})
+        assert read_events(path)[0]["t"] == 42.0
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.jsonl"
+        with EventSink(path) as sink:
+            sink.emit({"type": "x"})
+        assert len(read_events(path)) == 1
+
+    def test_close_is_idempotent_and_emit_after_close_is_noop(
+            self, tmp_path):
+        sink = EventSink(tmp_path / "c.jsonl")
+        sink.emit({"type": "x"})
+        sink.close()
+        sink.close()
+        sink.emit({"type": "y"})
+        assert sink.events_written == 1
+        assert len(read_events(sink.path)) == 1
+
+    def test_blank_lines_skipped_malformed_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"a"}\n\n{"type":"b"}\n')
+        assert len(read_events(path)) == 2
+        path.write_text('{"type":"a"}\nnot json\n')
+        with pytest.raises(ValueError, match=":2:"):
+            read_events(path)
+
+
+class TestRecorderStreaming:
+    def test_recorder_streams_spans_and_series(self, tmp_path):
+        path = tmp_path / "rec.jsonl"
+        clock = FakeClock()
+        sink = EventSink(path, clock=clock)
+        with Recorder(sink=sink, clock=clock) as rec:
+            with rec.span("place/global"):
+                clock.advance(1.0)
+            rec.gauge("density", 1.3)
+            rec.record("placer/round", round=1, objective=2.0)
+        events = read_events(path)
+        by_type = {}
+        for event in events:
+            by_type.setdefault(event["type"], []).append(event)
+        assert by_type["span"][0]["path"] == "place/global"
+        assert by_type["span"][0]["seconds"] == pytest.approx(1.0)
+        assert by_type["gauge"][0]["name"] == "density"
+        assert by_type["series"][0]["name"] == "placer/round"
+        assert by_type["series"][0]["objective"] == 2.0

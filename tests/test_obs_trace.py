@@ -1,0 +1,205 @@
+"""Unit tests for the tracing/recorder layer (``repro.obs``).
+
+The clock is injected everywhere so every timing assertion here is
+exact, not sleep-based.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    NullRecorder,
+    Recorder,
+    Stopwatch,
+    Tracer,
+    get_recorder,
+    use_recorder,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock advanced by hand."""
+
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+    def advance(self, dt: float) -> None:
+        self.t += dt
+
+
+class TestTracerNesting:
+    def test_repeated_spans_aggregate_calls_and_seconds(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("place"):
+            with tracer.span("global"):
+                clock.advance(2.0)
+            with tracer.span("global"):
+                clock.advance(3.0)
+            clock.advance(1.0)
+        place = tracer.root.child("place")
+        node = place.child("global")
+        assert node.calls == 2
+        assert node.seconds == pytest.approx(5.0)
+        # the parent's window includes the children plus its own time
+        assert place.calls == 1
+        assert place.seconds == pytest.approx(6.0)
+
+    def test_multi_segment_span_opens_nested_nodes(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("global/level3/bisect"):
+            clock.advance(1.5)
+        paths = {path: node for path, node in tracer.root.walk()}
+        assert set(paths) == {"global", "global/level3",
+                              "global/level3/bisect"}
+        leaf = paths["global/level3/bisect"]
+        assert leaf.calls == 1
+        assert leaf.seconds == pytest.approx(1.5)
+        # intermediate segments were never entered directly...
+        assert paths["global/level3"].calls == 0
+        # ...but their structural total covers the leaf
+        assert paths["global/level3"].total_seconds() == pytest.approx(1.5)
+        assert tracer.root.total_seconds() == pytest.approx(1.5)
+
+    def test_current_path_tracks_open_spans(self):
+        tracer = Tracer(clock=FakeClock())
+        assert tracer.current_path() == ""
+        with tracer.span("a"):
+            with tracer.span("b/c"):
+                assert tracer.current_path() == "a/b/c"
+            assert tracer.current_path() == "a"
+        assert tracer.current_path() == ""
+
+    def test_on_exit_fires_with_full_path(self):
+        clock = FakeClock()
+        closed = []
+        tracer = Tracer(clock=clock,
+                        on_exit=lambda p, s: closed.append((p, s)))
+        with tracer.span("place"):
+            with tracer.span("round1/moves"):
+                clock.advance(0.25)
+            clock.advance(0.5)
+        assert closed == [("place/round1/moves", pytest.approx(0.25)),
+                          ("place", pytest.approx(0.75))]
+
+    def test_span_closes_on_exception(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("a"):
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        assert tracer.current_path() == ""
+        assert tracer.root.child("a").seconds == pytest.approx(1.0)
+
+    def test_as_dict_round_trips_the_tree(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("a/b"):
+            clock.advance(2.0)
+        doc = tracer.root.as_dict()
+        assert doc["children"][0]["name"] == "a"
+        assert doc["children"][0]["total_seconds"] == pytest.approx(2.0)
+        leaf = doc["children"][0]["children"][0]
+        assert leaf["name"] == "b"
+        assert leaf["calls"] == 1
+        assert leaf["seconds"] == pytest.approx(2.0)
+
+
+class TestStopwatch:
+    def test_elapsed_and_restart(self):
+        clock = FakeClock()
+        watch = Stopwatch(clock=clock)
+        clock.advance(4.0)
+        assert watch.elapsed() == pytest.approx(4.0)
+        watch.restart()
+        clock.advance(1.5)
+        assert watch.elapsed() == pytest.approx(1.5)
+
+
+class TestRecorder:
+    def test_counters_accumulate(self):
+        rec = Recorder(clock=FakeClock())
+        rec.count("fm/passes")
+        rec.count("fm/passes")
+        rec.count("fm/gain", 3.5)
+        assert rec.counters["fm/passes"] == 2.0
+        assert rec.counters["fm/gain"] == 3.5
+
+    def test_gauges_last_write_wins(self):
+        rec = Recorder(clock=FakeClock())
+        rec.gauge("density", 1.4)
+        rec.gauge("density", 1.1)
+        assert rec.gauges["density"] == 1.1
+
+    def test_series_points_get_timestamps(self):
+        clock = FakeClock()
+        rec = Recorder(clock=clock)
+        clock.advance(2.0)
+        rec.record("placer/round", round=1, objective=0.5)
+        clock.advance(1.0)
+        rec.record("placer/round", round=2, objective=0.4)
+        points = rec.series["placer/round"]
+        assert [p["t"] for p in points] == [2.0, 3.0]
+        assert [p["round"] for p in points] == [1.0, 2.0]
+
+    def test_snapshot_is_isolated_from_later_writes(self):
+        clock = FakeClock()
+        rec = Recorder(clock=clock)
+        with rec.span("place"):
+            clock.advance(1.0)
+        rec.count("c")
+        rec.record("s", v=1)
+        snap = rec.snapshot()
+        rec.count("c")
+        rec.record("s", v=2)
+        assert snap.counters["c"] == 1.0
+        assert len(snap.series["s"]) == 1
+        assert snap.wall_seconds == pytest.approx(1.0)
+        assert len(rec.series["s"]) == 2
+
+    def test_enabled_flag(self):
+        assert Recorder(clock=FakeClock()).enabled is True
+        assert NullRecorder().enabled is False
+
+
+class TestNullRecorder:
+    def test_everything_is_a_noop(self):
+        rec = NullRecorder()
+        with rec.span("a/b/c"):
+            pass
+        rec.count("x")
+        rec.gauge("y", 1.0)
+        rec.record("z", v=1.0)
+        snap = rec.snapshot()
+        assert snap.counters == {}
+        assert snap.series == {}
+        assert snap.wall_seconds == 0.0
+
+
+class TestAmbientRecorder:
+    def test_default_is_the_null_recorder(self):
+        assert get_recorder() is NULL_RECORDER
+
+    def test_use_recorder_installs_and_restores(self):
+        rec = Recorder(clock=FakeClock())
+        with use_recorder(rec):
+            assert get_recorder() is rec
+            inner = Recorder(clock=FakeClock())
+            with use_recorder(inner):
+                assert get_recorder() is inner
+            assert get_recorder() is rec
+        assert get_recorder() is NULL_RECORDER
+
+    def test_restores_on_exception(self):
+        rec = Recorder(clock=FakeClock())
+        with pytest.raises(ValueError):
+            with use_recorder(rec):
+                raise ValueError("boom")
+        assert get_recorder() is NULL_RECORDER

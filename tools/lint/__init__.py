@@ -32,6 +32,10 @@ RPL007   No mutable default argument values.
 RPL008   Every ``def`` carries a return annotation (the
          ``mypy --strict`` gate needs them; this catches new code even
          when mypy is unavailable locally).
+RPL009   No direct ``time.perf_counter()`` / ``perf_counter_ns()``
+         calls outside ``repro.obs``.  All timing flows through the
+         observability layer (``Stopwatch``, ``Tracer``, ``Recorder``)
+         so spans stay coherent and clocks stay injectable in tests.
 ======== ==============================================================
 
 Any rule can be waived on a specific line with an inline comment
@@ -91,7 +95,13 @@ RULES: Dict[str, str] = {
     "RPL006": "bare except:",
     "RPL007": "mutable default argument value",
     "RPL008": "def without a return annotation",
+    "RPL009": "direct time.perf_counter() outside repro.obs "
+              "(use repro.obs.Stopwatch / Recorder spans)",
 }
+
+#: ``time`` attributes that only the observability layer may call
+#: directly; everything else goes through ``repro.obs``.
+TIMER_FUNCTIONS: Tuple[str, ...] = ("perf_counter", "perf_counter_ns")
 
 _WAIVER_RE = re.compile(r"#\s*lint:\s*ok\[(RPL\d{3})\]\s*(.*)$")
 
@@ -144,14 +154,30 @@ def is_kernel_module(path: str) -> bool:
     return normalized.endswith(KERNEL_MODULE_SUFFIXES)
 
 
+def is_timing_exempt(path: str) -> bool:
+    """Whether a path may call ``time.perf_counter`` directly (RPL009).
+
+    Only the observability layer itself owns raw clocks; every other
+    module times work through ``repro.obs``.
+    """
+    normalized = path.replace("\\", "/")
+    return "repro/obs/" in normalized
+
+
 class _Checker(ast.NodeVisitor):
     """Single-pass AST walk emitting violations for RPL001-RPL008."""
 
     def __init__(self, path: str, kernel: bool,
-                 numpy_aliases: Set[str]) -> None:
+                 numpy_aliases: Set[str],
+                 timing_exempt: bool = False,
+                 time_aliases: Optional[Set[str]] = None,
+                 timer_names: Optional[Set[str]] = None) -> None:
         self.path = path
         self.kernel = kernel
         self.numpy_aliases = numpy_aliases
+        self.timing_exempt = timing_exempt
+        self.time_aliases = time_aliases or set()
+        self.timer_names = timer_names or set()
         self.violations: List[Violation] = []
         self._hot_depth = 0
 
@@ -206,8 +232,26 @@ class _Checker(ast.NodeVisitor):
             self._check_private_write(target)
         self.generic_visit(node)
 
-    # -- RPL002 / RPL004: numpy calls ----------------------------------
+    # -- RPL009: raw clock calls outside repro.obs ---------------------
+    def _check_timer_call(self, node: ast.Call) -> None:
+        if self.timing_exempt:
+            return
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id in self.time_aliases
+                    and func.attr in TIMER_FUNCTIONS):
+                self._flag(node, "RPL009",
+                           f"time.{func.attr}() outside repro.obs — use "
+                           f"repro.obs.Stopwatch or a Recorder span")
+        elif isinstance(func, ast.Name) and func.id in self.timer_names:
+            self._flag(node, "RPL009",
+                       f"{func.id}() outside repro.obs — use "
+                       f"repro.obs.Stopwatch or a Recorder span")
+
+    # -- RPL002 / RPL004 / RPL009: calls -------------------------------
     def visit_Call(self, node: ast.Call) -> None:
+        self._check_timer_call(node)
         func = node.func
         if isinstance(func, ast.Attribute):
             # np.random.<fn>(...) — legacy global-state RNG
@@ -323,6 +367,27 @@ def _numpy_aliases(tree: ast.Module) -> Set[str]:
     return aliases
 
 
+def _time_bindings(tree: ast.Module) -> Tuple[Set[str], Set[str]]:
+    """Names bound to the ``time`` module and to its timer functions.
+
+    Returns ``(module_aliases, timer_names)``: the first covers
+    ``import time [as t]``, the second ``from time import perf_counter
+    [as pc]``.
+    """
+    aliases: Set[str] = set()
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.name == "time":
+                    aliases.add(item.asname or "time")
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            for item in node.names:
+                if item.name in TIMER_FUNCTIONS:
+                    names.add(item.asname or item.name)
+    return aliases, names
+
+
 def check_source(source: str, path: str = "<string>",
                  kernel: Optional[bool] = None) -> List[Violation]:
     """Lint one module's source text; returns its violations.
@@ -341,7 +406,11 @@ def check_source(source: str, path: str = "<string>",
         return [Violation(path, exc.lineno or 0, exc.offset or 0,
                           "RPL000", f"syntax error: {exc.msg}")]
     waivers, waiver_errors = _collect_waivers(source)
-    checker = _Checker(path, kernel, _numpy_aliases(tree))
+    time_aliases, timer_names = _time_bindings(tree)
+    checker = _Checker(path, kernel, _numpy_aliases(tree),
+                       timing_exempt=is_timing_exempt(path),
+                       time_aliases=time_aliases,
+                       timer_names=timer_names)
     checker.visit(tree)
     kept: List[Violation] = []
     for violation in checker.violations:
@@ -380,7 +449,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m tools.lint",
-        description="Kernel-contract AST linter (rules RPL001-RPL008).")
+        description="Kernel-contract AST linter (rules RPL001-RPL009).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "
                              "(default: src/repro)")
