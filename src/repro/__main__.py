@@ -1,7 +1,15 @@
 """``python -m repro`` dispatches to the CLI."""
 
+import os
 import sys
 
 from repro.cli import main
 
-sys.exit(main())
+try:
+    sys.exit(main())
+except BrokenPipeError:
+    # Downstream pipe (e.g. `| head`) closed early; exit quietly.
+    # Detach stdout so the interpreter's shutdown flush cannot raise
+    # a second BrokenPipeError.
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    sys.exit(0)

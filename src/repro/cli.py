@@ -1,9 +1,10 @@
 """Command-line interface: ``python -m repro <command>``.
 
 Commands:
-    place      place a suite benchmark or a Bookshelf design
-    sweep      sweep the via coefficient and print the tradeoff curve
-    suite      list the built-in benchmark profiles (Table 1)
+    place        place a suite benchmark or a Bookshelf design
+    sweep        sweep the via coefficient and print the tradeoff curve
+    suite        list the built-in benchmark profiles (Table 1)
+    config-dump  print the effective placement config as JSON
 
 Examples::
 
@@ -12,8 +13,20 @@ Examples::
     python -m repro place --bookshelf /path/to/design --layers 2
     python -m repro -v place --circuit ibm01 --scale 0.01 \
         --telemetry-out /tmp/run --trace
-    python -m repro sweep --circuit ibm02 --scale 0.02 --points 5
+    python -m repro place --circuit ibm01 --pipeline custom.json \
+        --checkpoint-dir /tmp/ckpt
+    python -m repro place --circuit ibm01 --checkpoint-dir /tmp/ckpt \
+        --resume
+    python -m repro sweep --circuit ibm02 --scale 0.02 --points 5 \
+        --telemetry-out /tmp/sweep
+    python -m repro config-dump --alpha-temp 1e-5 --layers 4
     python -m repro suite
+
+The ``place`` pipeline is composable: ``--pipeline SPEC.json`` runs a
+custom stage sequence (see ``repro.core.pipeline``), and with
+``--checkpoint-dir`` the run state is serialized after every stage
+boundary so ``--resume`` continues an interrupted run bit-identically.
+``--halt-after UNIT`` stops at a named boundary (testing/drills).
 
 Verbosity: ``-v`` shows per-stage progress (INFO), ``-vv`` debug,
 ``-q`` errors only.  ``--telemetry-out PREFIX`` writes
@@ -25,6 +38,8 @@ any ``--out`` artifacts.
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
 from typing import List, Optional
 
@@ -38,6 +53,9 @@ from repro import (
     load_benchmark,
 )
 from repro import obs
+from repro.core.checkpoint import CheckpointError
+from repro.core.pipeline import (PipelineHalted, PipelineSpec,
+                                 default_pipeline_spec)
 from repro.netlist import bookshelf
 from repro.netlist.suite import SUITE_PROFILES
 from repro.obs import configure_cli_logging
@@ -80,6 +98,20 @@ def _build_parser() -> argparse.ArgumentParser:
     place.add_argument("--telemetry-out", metavar="PREFIX",
                        help="write PREFIX.trace.jsonl and "
                             "PREFIX.manifest.json")
+    place.add_argument("--pipeline", metavar="SPEC.json",
+                       help="run a custom stage pipeline from a JSON "
+                            "spec instead of the default flow")
+    place.add_argument("--checkpoint-dir", metavar="DIR",
+                       help="serialize run state here after every "
+                            "stage boundary")
+    place.add_argument("--resume", action="store_true",
+                       help="resume from the last checkpoint in "
+                            "--checkpoint-dir (bit-identical to an "
+                            "uninterrupted run)")
+    place.add_argument("--halt-after", metavar="UNIT",
+                       help="stop after the named pipeline unit "
+                            "(e.g. round1/detailed), leaving the "
+                            "checkpoint behind")
 
     sweep = sub.add_parser("sweep",
                            help="alpha_ILV tradeoff sweep (Figure 3)")
@@ -89,6 +121,21 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--points", type=int, default=6,
                        help="sweep points across 5e-9..5.2e-3")
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--trace", action="store_true",
+                       help="print the telemetry report per point")
+    sweep.add_argument("--telemetry-out", metavar="PREFIX",
+                       help="write PREFIX.point<N>.trace.jsonl and "
+                            "PREFIX.point<N>.manifest.json per point")
+
+    dump = sub.add_parser(
+        "config-dump",
+        help="print the effective placement config as JSON")
+    dump.add_argument("--alpha-ilv", type=float, default=1e-5)
+    dump.add_argument("--alpha-temp", type=float, default=0.0)
+    dump.add_argument("--layers", type=int, default=4)
+    dump.add_argument("--seed", type=int, default=0)
+    dump.add_argument("--out", metavar="FILE",
+                      help="also write the JSON to FILE")
 
     sub.add_parser("suite", help="list benchmark profiles (Table 1)")
     return parser
@@ -113,9 +160,28 @@ def _cmd_place(args) -> int:
             trace_path = f"{args.telemetry_out}.trace.jsonl"
             sink = obs.EventSink(trace_path)
         recorder = obs.Recorder(sink=sink)
-    result = Placer3D(netlist, config, recorder=recorder).run(check=True)
-    if recorder is not None:
-        recorder.close()
+    spec = (PipelineSpec.from_json_file(args.pipeline)
+            if args.pipeline else default_pipeline_spec(config))
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
+    placer = Placer3D(netlist, config, recorder=recorder, spec=spec)
+    try:
+        result = placer.run(check=True,
+                            checkpoint_dir=args.checkpoint_dir,
+                            resume=args.resume,
+                            halt_after=args.halt_after)
+    except PipelineHalted as halted:
+        print(f"halted after {halted.unit}"
+              + (f"; checkpoint at {halted.directory}"
+                 if halted.directory else ""))
+        return 0
+    except CheckpointError as exc:
+        print(f"checkpoint error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if recorder is not None:
+            recorder.close()
     report = evaluate_placement(result.placement, config.tech,
                                 runtime_seconds=result.runtime_seconds,
                                 stage_seconds=result.stage_seconds)
@@ -138,7 +204,8 @@ def _cmd_place(args) -> int:
     if args.telemetry_out:
         manifest = obs.build_manifest(
             netlist, config, result, trace_path=trace_path,
-            peak_temperature=report.max_temperature)
+            peak_temperature=report.max_temperature,
+            pipeline=spec.to_dict())
         manifest_path = obs.write_manifest(
             f"{args.telemetry_out}.manifest.json", manifest)
         errors = obs.validate_manifest(manifest)
@@ -157,19 +224,69 @@ def _cmd_sweep(args) -> int:
     print(f"{'alpha_ILV':>10} {'WL (m)':>12} {'ILVs':>8} "
           f"{'ILV density':>12}")
     points = []
-    for alpha in alphas:
+    for index, alpha in enumerate(alphas):
         netlist = load_benchmark(args.circuit, scale=args.scale,
                                  seed=args.seed)
         config = PlacementConfig(alpha_ilv=float(alpha), alpha_temp=0.0,
                                  num_layers=args.layers, seed=args.seed)
-        result = Placer3D(netlist, config).run()
+        recorder: Optional[obs.Recorder] = None
+        trace_path: Optional[str] = None
+        if args.trace or args.telemetry_out:
+            sink = None
+            if args.telemetry_out:
+                trace_path = (f"{args.telemetry_out}"
+                              f".point{index}.trace.jsonl")
+                sink = obs.EventSink(trace_path)
+            recorder = obs.Recorder(sink=sink)
+        placer = Placer3D(netlist, config, recorder=recorder)
+        result = placer.run()
+        if recorder is not None:
+            recorder.close()
         report = evaluate_placement(result.placement, config.tech,
                                     thermal=False)
         points.append((report.wirelength, report.ilv))
         print(f"{alpha:>10.1e} {report.wirelength:>12.5e} "
               f"{report.ilv:>8} {report.ilv_density:>12.4e}")
+        if args.trace and result.telemetry is not None:
+            print()
+            print(obs.render(result.telemetry,
+                             title=f"{netlist.name} point {index}"))
+        if args.telemetry_out:
+            manifest = obs.build_manifest(
+                netlist, config, result, trace_path=trace_path,
+                pipeline=placer.spec.to_dict())
+            manifest_path = obs.write_manifest(
+                f"{args.telemetry_out}.point{index}.manifest.json",
+                manifest)
+            errors = obs.validate_manifest(manifest)
+            if errors:
+                for error in errors:
+                    print(error, file=sys.stderr)
+                print("manifest failed schema validation: "
+                      f"{manifest_path}", file=sys.stderr)
+                return 1
+    if args.telemetry_out:
+        print(f"wrote {args.points} per-point manifests to "
+              f"{args.telemetry_out}.point*.manifest.json")
     print()
     print(viz.tradeoff_ascii(points))
+    return 0
+
+
+def _cmd_config_dump(args) -> int:
+    config = PlacementConfig(alpha_ilv=args.alpha_ilv,
+                             alpha_temp=args.alpha_temp,
+                             num_layers=args.layers, seed=args.seed)
+    document = config.to_dict()
+    # Round-trip through from_dict so the dumped JSON is guaranteed to
+    # be loadable (and unknown-key detection stays exercised).
+    PlacementConfig.from_dict(document)
+    text = json.dumps(document, indent=2, sort_keys=True)
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
     return 0
 
 
@@ -189,10 +306,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_place(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "config-dump":
+        return _cmd_config_dump(args)
     if args.command == "suite":
         return _cmd_suite()
     raise AssertionError(f"unhandled command {args.command!r}")
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early; exit quietly.
+        # Detach stdout so the interpreter's shutdown flush cannot
+        # raise a second BrokenPipeError.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -25,9 +25,10 @@ from typing import Optional
 import numpy as np
 
 from repro.core.config import PlacementConfig
+from repro.core.context import auto_chip
 from repro.core.detailed import DetailedLegalizer
 from repro.core.objective import ObjectiveState
-from repro.core.placer import PlacementResult
+from repro.core.result import PlacementResult
 from repro.geometry.chip import ChipGeometry
 from repro.netlist.netlist import Netlist
 from repro.netlist.placement import Placement
@@ -35,15 +36,7 @@ from repro.obs import Stopwatch
 
 
 def _auto_chip(netlist: Netlist, config: PlacementConfig) -> ChipGeometry:
-    return ChipGeometry.for_cell_area(
-        netlist.total_cell_area, config.num_layers,
-        netlist.average_cell_height,
-        whitespace=config.tech.whitespace,
-        inter_row_space=config.tech.inter_row_space,
-        min_row_width=24.0 * netlist.average_cell_width,
-        layer_thickness=config.tech.layer_thickness,
-        interlayer_thickness=config.tech.interlayer_thickness,
-        substrate_thickness=config.tech.substrate_thickness)
+    return auto_chip(netlist, config)
 
 
 def random_baseline(netlist: Netlist, config: PlacementConfig,

@@ -1,0 +1,245 @@
+"""Checkpoint/resume: serialize a run at any stage boundary.
+
+A checkpoint is a directory holding two files:
+
+- ``checkpoint.json`` — metadata: the full config (plus its stable
+  hash), the serialized pipeline spec (plus hash), a netlist signature,
+  the ordered list of completed pipeline units, the context RNG state,
+  and the objective accumulators' scalar half.  The document is pinned
+  by ``checkpoint_schema.json`` and validated with the same
+  dependency-free validator the run manifests use.
+- ``state.npz`` — the placement coordinate arrays, the per-cell power
+  accumulator of the incremental objective (bit-exact resume needs its
+  *history-dependent* low bits, see
+  :meth:`~repro.core.objective.ObjectiveState.checkpoint_state`), and
+  the best-round snapshot arrays when one exists.
+
+Resume validates the config hash, spec hash and netlist signature
+before touching any state, so a checkpoint can never be silently
+applied to a different circuit, different knobs or a different
+pipeline.  With all three equal, a resumed run replays the remaining
+units with the same per-stage seeded generators and the same
+accumulator bits, reproducing the uninterrupted run's final placement
+bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.analysis import FloatArray, IntArray
+from repro.core.context import PlacementContext
+from repro.obs.manifest import (CHECKPOINT_KIND, config_hash, content_hash,
+                                validate_checkpoint_meta)
+
+__all__ = ["CHECKPOINT_VERSION", "CheckpointData", "CheckpointError",
+           "checkpoint_paths", "has_checkpoint", "load_checkpoint",
+           "save_checkpoint", "verify_matches"]
+
+CHECKPOINT_VERSION = 1
+
+#: Best-round snapshot: (objective, x, y, z).
+BestState = Tuple[float, FloatArray, FloatArray, IntArray]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing, corrupt, or does not match the run."""
+
+
+@dataclass
+class CheckpointData:
+    """One loaded checkpoint: metadata plus the serialized arrays.
+
+    Attributes:
+        meta: the ``checkpoint.json`` document (schema-validated).
+        x, y, z: placement coordinate arrays at the boundary.
+        power: per-cell power accumulator of the objective, or ``None``
+            when the objective had not been built yet.
+        best: best-round snapshot ``(objective, x, y, z)``, if any.
+    """
+
+    meta: Dict[str, Any]
+    x: FloatArray
+    y: FloatArray
+    z: IntArray
+    power: Optional[FloatArray] = None
+    best: Optional[BestState] = None
+
+    @property
+    def completed(self) -> List[str]:
+        """Ordered unit labels already executed."""
+        return [str(u) for u in self.meta["completed"]]
+
+
+def checkpoint_paths(directory: Union[str, Path]) -> Tuple[Path, Path]:
+    """The ``(checkpoint.json, state.npz)`` paths of a directory."""
+    base = Path(directory)
+    return base / "checkpoint.json", base / "state.npz"
+
+
+def has_checkpoint(directory: Union[str, Path]) -> bool:
+    """Whether a complete checkpoint exists in ``directory``."""
+    meta_path, npz_path = checkpoint_paths(directory)
+    return meta_path.is_file() and npz_path.is_file()
+
+
+def _netlist_signature(ctx: PlacementContext) -> Dict[str, Any]:
+    netlist = ctx.netlist
+    return {
+        "name": netlist.name,
+        "num_cells": int(netlist.num_cells),
+        "num_nets": int(netlist.num_nets),
+        "num_movable": int(netlist.num_movable),
+        "num_pins": int(netlist.num_pins()),
+    }
+
+
+def save_checkpoint(directory: Union[str, Path], ctx: PlacementContext,
+                    spec_dict: Dict[str, Any], completed: List[str],
+                    best: Optional[BestState] = None) -> str:
+    """Serialize the run state after a completed stage boundary.
+
+    The arrays file is written first and the metadata document last,
+    so a metadata file whose arrays are missing (a torn write) is
+    detected as an incomplete checkpoint rather than loaded.
+
+    Args:
+        directory: checkpoint directory (created if needed).
+        ctx: the run's context (placement, objective, RNG stream).
+        spec_dict: the serialized pipeline spec being executed.
+        completed: ordered unit labels finished so far.
+        best: the runner's best-round snapshot, if tracking one.
+
+    Returns:
+        The path of the written ``checkpoint.json``.
+    """
+    meta_path, npz_path = checkpoint_paths(directory)
+    os.makedirs(str(Path(directory)), exist_ok=True)
+    arrays: Dict[str, Any] = {
+        "x": ctx.placement.x,
+        "y": ctx.placement.y,
+        "z": ctx.placement.z,
+    }
+    objective_total: Optional[float] = None
+    if ctx.objective_built:
+        power, objective_total = ctx.objective.checkpoint_state()
+        arrays["power"] = power
+    best_objective: Optional[float] = None
+    if best is not None:
+        best_objective = float(best[0])
+        arrays["best_x"] = best[1]
+        arrays["best_y"] = best[2]
+        arrays["best_z"] = best[3]
+    np.savez(str(npz_path), **arrays)
+    meta: Dict[str, Any] = {
+        "kind": CHECKPOINT_KIND,
+        "schema_version": CHECKPOINT_VERSION,
+        "created_unix": time.time(),
+        "seed": int(ctx.config.seed),
+        "config": ctx.config.to_dict(),
+        "config_hash": config_hash(ctx.config),
+        "spec": spec_dict,
+        "spec_hash": content_hash(spec_dict),
+        "netlist": _netlist_signature(ctx),
+        "completed": list(completed),
+        "objective_built": ctx.objective_built,
+        "objective_total": objective_total,
+        "best_objective": best_objective,
+        "rng_state": ctx.rng_state(),
+        "arrays_file": npz_path.name,
+    }
+    errors = validate_checkpoint_meta(meta)
+    if errors:
+        raise CheckpointError(
+            "refusing to write an invalid checkpoint: "
+            + "; ".join(errors))
+    with open(meta_path, "w", encoding="utf-8") as fh:
+        json.dump(meta, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return str(meta_path)
+
+
+def load_checkpoint(directory: Union[str, Path]) -> CheckpointData:
+    """Load and schema-validate a checkpoint directory.
+
+    Raises:
+        CheckpointError: missing files, schema violations, or arrays
+            inconsistent with the metadata.
+    """
+    meta_path, npz_path = checkpoint_paths(directory)
+    if not meta_path.is_file():
+        raise CheckpointError(f"no checkpoint at {meta_path}")
+    if not npz_path.is_file():
+        raise CheckpointError(
+            f"checkpoint arrays missing: {npz_path} (torn write?)")
+    with open(meta_path, "r", encoding="utf-8") as fh:
+        meta = json.load(fh)
+    if not isinstance(meta, dict):
+        raise CheckpointError(f"{meta_path} is not a JSON object")
+    errors = validate_checkpoint_meta(meta)
+    if errors:
+        raise CheckpointError(
+            f"{meta_path} failed schema validation: " + "; ".join(errors))
+    with np.load(str(npz_path)) as arrays:
+        x = np.asarray(arrays["x"], dtype=np.float64)
+        y = np.asarray(arrays["y"], dtype=np.float64)
+        z = np.asarray(arrays["z"], dtype=np.int64)
+        power: Optional[FloatArray] = None
+        if meta["objective_built"]:
+            if "power" not in arrays:
+                raise CheckpointError(
+                    "checkpoint claims a built objective but has no "
+                    "power array")
+            power = np.asarray(arrays["power"], dtype=np.float64)
+        best: Optional[BestState] = None
+        if meta["best_objective"] is not None:
+            for key in ("best_x", "best_y", "best_z"):
+                if key not in arrays:
+                    raise CheckpointError(
+                        f"checkpoint has best_objective but no {key}")
+            best = (float(meta["best_objective"]),
+                    np.asarray(arrays["best_x"], dtype=np.float64),
+                    np.asarray(arrays["best_y"], dtype=np.float64),
+                    np.asarray(arrays["best_z"], dtype=np.int64))
+    return CheckpointData(meta=meta, x=x, y=y, z=z, power=power,
+                          best=best)
+
+
+def verify_matches(data: CheckpointData, ctx: PlacementContext,
+                   spec_dict: Dict[str, Any]) -> None:
+    """Refuse to resume against a different run.
+
+    Raises:
+        CheckpointError: when the config hash, spec hash or netlist
+            signature of the checkpoint disagrees with the current run.
+    """
+    want_config = config_hash(ctx.config)
+    got_config = data.meta["config_hash"]
+    if got_config != want_config:
+        raise CheckpointError(
+            f"checkpoint config hash {got_config} != current "
+            f"{want_config}; resume requires identical knobs")
+    want_spec = content_hash(spec_dict)
+    got_spec = data.meta["spec_hash"]
+    if got_spec != want_spec:
+        raise CheckpointError(
+            f"checkpoint pipeline spec hash {got_spec} != current "
+            f"{want_spec}; resume requires the identical spec")
+    signature = _netlist_signature(ctx)
+    stored = data.meta["netlist"]
+    if stored != signature:
+        raise CheckpointError(
+            f"checkpoint netlist {stored} != current {signature}")
+    n = ctx.netlist.num_cells
+    for label, array in (("x", data.x), ("y", data.y), ("z", data.z)):
+        if array.shape != (n,):
+            raise CheckpointError(
+                f"checkpoint {label} array has shape {array.shape}, "
+                f"expected ({n},)")

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
 
 from repro.technology import TechnologyConfig
 
@@ -98,3 +100,46 @@ class PlacementConfig:
         """Whether any thermal mechanism is active."""
         return self.alpha_temp > 0 and (self.use_thermal_net_weights
                                         or self.use_trr_nets)
+
+    # -- JSON round-trip -----------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Flatten to JSON-safe primitives (``tech`` as a nested dict).
+
+        The layout matches what the obs manifest hashes, so a config
+        loaded back with :meth:`from_dict` hashes identically.
+        """
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PlacementConfig":
+        """Inverse of :meth:`to_dict`, rejecting unknown keys.
+
+        Args:
+            data: a mapping as produced by :meth:`to_dict` (for
+                example the ``config`` section of a run manifest or a
+                checkpoint).  ``tech`` may be a nested mapping or
+                absent.
+
+        Raises:
+            ValueError: on unknown keys (at either level) or on values
+                the dataclass validators refuse — a typo in a config
+                file fails loudly instead of silently running with
+                defaults.
+        """
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(f"unknown PlacementConfig keys: {unknown}")
+        kwargs: Dict[str, Any] = dict(data)
+        tech = kwargs.get("tech")
+        if isinstance(tech, Mapping):
+            tech_known = {f.name for f in
+                          dataclasses.fields(TechnologyConfig)}
+            tech_unknown = sorted(set(tech) - tech_known)
+            if tech_unknown:
+                raise ValueError(
+                    f"unknown TechnologyConfig keys: {tech_unknown}")
+            kwargs["tech"] = TechnologyConfig(**tech)
+        elif tech is not None and not isinstance(tech, TechnologyConfig):
+            raise ValueError("tech must be a mapping or TechnologyConfig")
+        return cls(**kwargs)

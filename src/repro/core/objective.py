@@ -881,6 +881,43 @@ class ObjectiveState:
             out[ax][has] = 0.5 * (ends[mid_lo[has]] + ends[mid_hi[has]])
         return out
 
+    # ------------------------------------------------------------------
+    def checkpoint_state(self) -> Tuple[FloatArray, float]:
+        """Snapshot the drift-accumulating state for checkpointing.
+
+        Everything else this class caches (per-net spans, extreme
+        caches, scalar mirrors) is an exact, order-independent function
+        of the placement coordinates and rebuilds bit-identically from
+        them.  The two exceptions are ``_power`` and ``_total``, which
+        :meth:`apply_moves` maintains by accumulating deltas — their
+        low bits depend on the *history* of applied moves, not just the
+        final coordinates.  Checkpoint/resume must reproduce runs
+        bit-identically, so exactly these two are serialized.
+
+        Returns:
+            ``(power, total)``: a copy of the per-cell power vector and
+            the cached objective total.
+        """
+        return self._power.copy(), float(self._total)
+
+    def restore_checkpoint(self, power: FloatArray,
+                           total: float) -> None:
+        """Restore a state saved by :meth:`checkpoint_state`.
+
+        Rebuilds the exact caches from the (already restored) placement
+        coordinates, then overwrites the two history-dependent
+        accumulators so subsequent incremental updates continue from
+        the same bits as the uninterrupted run.
+        """
+        self.rebuild()
+        restored = np.asarray(power, dtype=np.float64).copy()
+        if restored.shape != self._power.shape:
+            raise ValueError(
+                f"checkpoint power vector has shape {restored.shape}, "
+                f"expected {self._power.shape}")
+        self._power = restored
+        self._total = float(total)
+
     def check_consistency(self, tol: float = 1e-9) -> None:
         """Verify caches against a from-scratch recomputation (tests)."""
         n_nets = len(self._wl)

@@ -1,8 +1,14 @@
 """The full placement pipeline (Section 6 of the paper).
 
-``Placer3D`` wires together every stage:
+``Placer3D`` is a thin driver over the composable stage pipeline: it
+builds the default :class:`~repro.core.pipeline.PipelineSpec` from the
+config (or accepts a custom one), creates the shared
+:class:`~repro.core.context.PlacementContext`, and hands both to the
+:class:`~repro.core.pipeline.PlacementPipeline` runner.  The default
+spec is the paper's flow:
 
-1. add TRR nets and start all cells at the chip centre;
+1. add TRR nets and start all cells at the chip centre (context
+   creation);
 2. global placement by recursive bisection (Section 3);
 3. global then local move/swap passes (Section 4.2);
 4. iterative cell shifting until the coarse mesh's max density is close
@@ -15,99 +21,40 @@
 Timing and convergence metrics go through :mod:`repro.obs`: the run is
 a span tree (``place/round2/moves`` …) rather than a flat timing dict,
 so repeated coarse+detailed rounds keep their boundaries.  The flat
-``stage_seconds`` view (summed across rounds) is still derived for
-backwards compatibility; ``round_seconds`` and ``telemetry`` carry the
-per-round detail.
+``stage_seconds`` view (summed across rounds) is still derived — from
+the spec, not a hardcoded stage list; ``round_seconds`` and
+``telemetry`` carry the per-round detail.
+
+With a ``checkpoint_dir``, the runner serializes the context after
+every stage boundary, and ``run(resume=True)`` picks the run back up
+from the last boundary, reproducing the uninterrupted run's final
+placement bit-identically (see :mod:`repro.core.checkpoint`).
 """
 
 from __future__ import annotations
 
 from contextlib import nullcontext
-from dataclasses import dataclass, field
-from typing import ContextManager, Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import ContextManager, Optional, Union
 
-import numpy as np
-
-from repro.core.cellshift import CellShifter
 from repro.core.config import PlacementConfig
-from repro.core.detailed import DetailedLegalizer, check_legal
-from repro.core.globalplace import GlobalPlacer
-from repro.core.moves import MoveOptimizer
-from repro.core.objective import ObjectiveState
-from repro.core.refine import LegalRefiner
-from repro.core.trrnets import add_trr_nets
+from repro.core.context import PlacementContext, auto_chip
+from repro.core.detailed import check_legal
+from repro.core.pipeline import (PipelineSpec, PlacementPipeline,
+                                 default_pipeline_spec, stage_summary)
+from repro.core.result import PlacementResult
 from repro.geometry.chip import ChipGeometry
 from repro.netlist.netlist import Netlist
-from repro.netlist.placement import Placement
-from repro.obs import Recorder, Telemetry, get_logger, use_recorder
-from repro.obs.trace import SpanStats
-from repro.thermal.power import PowerModel
+from repro.obs import Recorder, get_logger, use_recorder
+
+__all__ = ["ROUND_STAGES", "PlacementResult", "Placer3D"]
 
 _log = get_logger(__name__)
 
-#: Stages that may appear under each round span, in pipeline order.
+#: Stages of the default spec's repeat group, in pipeline order
+#: (back-compat constant; spec-driven code should consult
+#: ``PipelineSpec.round_stage_names()`` instead).
 ROUND_STAGES = ("moves", "cellshift", "detailed", "refine")
-
-
-@dataclass
-class PlacementResult:
-    """Outcome of a full placement run.
-
-    Attributes:
-        placement: the final (legal) placement.
-        objective: final objective value (Eq. 3).
-        wirelength: final total lateral HPWL, metres.
-        ilv: final interlayer-via count.
-        runtime_seconds: wall-clock runtime of :meth:`Placer3D.run`.
-        stage_seconds: wall-clock per pipeline stage, summed across
-            coarse+detailed rounds (back-compat flat view).
-        round_seconds: one ``{stage: seconds}`` dict per
-            coarse+detailed round, in round order.
-        telemetry: full recorder snapshot (span tree, counters,
-            series) for the run.
-    """
-
-    placement: Placement
-    objective: float
-    wirelength: float
-    ilv: int
-    runtime_seconds: float
-    stage_seconds: Dict[str, float] = field(default_factory=dict)
-    round_seconds: List[Dict[str, float]] = field(default_factory=list)
-    telemetry: Optional[Telemetry] = None
-
-
-def _stage_summary(place_node: SpanStats,
-                   ) -> Tuple[Dict[str, float], List[Dict[str, float]]]:
-    """Derive the flat and per-round stage timing views.
-
-    Args:
-        place_node: the ``place`` span (the run root).
-
-    Returns:
-        ``(stage_seconds, round_seconds)`` where ``stage_seconds`` sums
-        each stage across rounds (round boundaries collapsed, matching
-        the historical dict) and ``round_seconds`` keeps them separate.
-    """
-    stage_seconds: Dict[str, float] = {}
-    round_seconds: List[Dict[str, float]] = []
-    for name in ("global", "objective_build"):
-        node = place_node.children.get(name)
-        if node is not None and node.calls:
-            stage_seconds[name] = node.seconds
-    rounds = sorted((c for c in place_node.children.values()
-                     if c.name.startswith("round")),
-                    key=lambda c: int(c.name[len("round"):]))
-    for rnd in rounds:
-        per_round: Dict[str, float] = {}
-        for stage in ROUND_STAGES:
-            node = rnd.children.get(stage)
-            if node is not None and node.calls:
-                per_round[stage] = node.seconds
-                stage_seconds[stage] = stage_seconds.get(stage, 0.0) \
-                    + node.seconds
-        round_seconds.append(per_round)
-    return stage_seconds, round_seconds
 
 
 class Placer3D:
@@ -115,7 +62,9 @@ class Placer3D:
 
     Args:
         netlist: the circuit to place.  TRR nets are added in place when
-            thermal placement is enabled.
+            thermal placement is enabled (idempotently — re-running a
+            placer or constructing several over one netlist never
+            duplicates them).
         config: coefficients and effort knobs.
         chip: the placement volume; sized automatically from the cell
             area, layer count, whitespace and row spacing when omitted.
@@ -126,6 +75,10 @@ class Placer3D:
             it.  When omitted, a private recorder captures stage spans
             only — the ambient recorder stays the shared no-op, keeping
             the default path at its historical cost.
+        spec: the pipeline to run; defaults to the paper's flow derived
+            from ``config`` (``default_pipeline_spec``).  Custom specs
+            swap stages by registry name — e.g. ``quadratic`` instead
+            of ``global`` — without touching this driver.
 
     Example:
         >>> from repro import Placer3D, PlacementConfig, load_benchmark
@@ -138,33 +91,44 @@ class Placer3D:
 
     def __init__(self, netlist: Netlist, config: PlacementConfig,
                  chip: Optional[ChipGeometry] = None,
-                 recorder: Optional[Recorder] = None) -> None:
+                 recorder: Optional[Recorder] = None,
+                 spec: Optional[PipelineSpec] = None) -> None:
         self.netlist = netlist
         self.config = config
         self.recorder = recorder
         if chip is None:
-            chip = ChipGeometry.for_cell_area(
-                netlist.total_cell_area, config.num_layers,
-                netlist.average_cell_height,
-                whitespace=config.tech.whitespace,
-                inter_row_space=config.tech.inter_row_space,
-                min_row_width=24.0 * netlist.average_cell_width,
-                layer_thickness=config.tech.layer_thickness,
-                interlayer_thickness=config.tech.interlayer_thickness,
-                substrate_thickness=config.tech.substrate_thickness)
+            chip = auto_chip(netlist, config)
         elif chip.num_layers != config.num_layers:
             raise ValueError("chip layer count disagrees with config")
         self.chip = chip
+        self.spec = spec if spec is not None \
+            else default_pipeline_spec(config)
 
     # ------------------------------------------------------------------
-    def run(self, check: bool = False) -> PlacementResult:
-        """Run the full pipeline.
+    def run(self, check: bool = False, *,
+            checkpoint_dir: Optional[Union[str, Path]] = None,
+            resume: bool = False,
+            halt_after: Optional[str] = None) -> PlacementResult:
+        """Run the configured pipeline.
 
         Args:
             check: assert legality of the final placement (tests).
+            checkpoint_dir: serialize the run state here after every
+                stage boundary (and resume from here).
+            resume: restore the last checkpoint in ``checkpoint_dir``
+                before running; completed stages are skipped and the
+                final placement is bit-identical to an uninterrupted
+                run.
+            halt_after: stop after the named pipeline unit (e.g.
+                ``"round1/detailed"``), leaving the checkpoint behind;
+                raises :class:`~repro.core.pipeline.PipelineHalted`.
 
         Returns:
             A :class:`PlacementResult` with the legal placement.
+
+        Raises:
+            CheckpointError: ``resume`` without a matching checkpoint.
+            PipelineHalted: the ``halt_after`` boundary was reached.
         """
         config = self.config
         provided = self.recorder
@@ -178,79 +142,24 @@ class Placer3D:
                   self.netlist.num_nets, config.num_layers)
 
         with scope, rec.span("place"):
-            if config.thermal_enabled and config.use_trr_nets:
-                add_trr_nets(self.netlist)
-            placement = Placement.at_center(self.netlist, self.chip)
-            power_model = PowerModel(self.netlist, config.tech)
-
-            with rec.span("global"):
-                GlobalPlacer(placement, config, power_model).run()
-
-            with rec.span("objective_build"):
-                objective = ObjectiveState(placement, config,
-                                           power_model)
-            _log.info("global placement done: objective %.6e",
-                      objective.total)
-
-            # The coarse+detailed loop is not monotone round to round
-            # (the move/swap phase deliberately un-legalizes), so the
-            # best legal snapshot across rounds is what the flow
-            # returns.
-            best_state: Optional[Tuple[float, np.ndarray, np.ndarray,
-                                       np.ndarray]] = None
-            n_rounds = max(1, config.legalization_rounds)
-            for rnd in range(1, n_rounds + 1):
-                with rec.span(f"round{rnd}"):
-                    with rec.span("moves"):
-                        mover = MoveOptimizer(objective, config)
-                        for _ in range(max(1, config.move_passes)):
-                            mover.global_pass()
-                            mover.local_pass()
-
-                    with rec.span("cellshift"):
-                        CellShifter(objective, config).run()
-
-                    with rec.span("detailed"):
-                        DetailedLegalizer(objective, config).run()
-
-                    if config.refine_passes > 0:
-                        with rec.span("refine"):
-                            LegalRefiner(objective, config).run(
-                                config.refine_passes)
-
-                if best_state is None \
-                        or objective.total < best_state[0]:
-                    best_state = (objective.total, placement.x.copy(),
-                                  placement.y.copy(),
-                                  placement.z.copy())
-                terms = objective.terms()
-                rec.record("placer/round", round=float(rnd),
-                           objective=objective.total,
-                           best_objective=best_state[0],
-                           wl_term=terms.wl_term,
-                           ilv_term=terms.ilv_term,
-                           thermal_term=terms.thermal_term)
-                _log.info(
-                    "round %d/%d: objective %.6e (best %.6e, "
-                    "wl %.4e, ilv %d)", rnd, n_rounds, objective.total,
-                    best_state[0], terms.wirelength, terms.ilv)
-
-            if best_state is not None \
-                    and objective.total > best_state[0]:
-                placement.x[:] = best_state[1]
-                placement.y[:] = best_state[2]
-                placement.z[:] = best_state[3]
-                objective.rebuild()
-                _log.info("restored best round snapshot: %.6e",
-                          objective.total)
+            ctx = PlacementContext.create(self.netlist, config,
+                                          chip=self.chip, recorder=rec)
+            pipeline = PlacementPipeline(self.spec, ctx,
+                                         checkpoint_dir=checkpoint_dir,
+                                         halt_after=halt_after)
+            if resume:
+                pipeline.resume()
+            pipeline.run()
+            objective = ctx.objective
 
             if check:
-                check_legal(placement)
+                check_legal(ctx.placement)
 
         place_node = rec.tracer.root.child("place")
-        stage_seconds, round_seconds = _stage_summary(place_node)
+        stage_seconds, round_seconds = stage_summary(place_node,
+                                                     self.spec)
         return PlacementResult(
-            placement=placement,
+            placement=ctx.placement,
             objective=objective.total,
             wirelength=objective.wirelength(),
             ilv=objective.total_ilv(),

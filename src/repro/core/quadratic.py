@@ -30,7 +30,7 @@ from scipy.sparse.linalg import spsolve
 from repro.core.config import PlacementConfig
 from repro.core.detailed import DetailedLegalizer
 from repro.core.objective import ObjectiveState
-from repro.core.placer import PlacementResult
+from repro.core.result import PlacementResult
 from repro.geometry.chip import ChipGeometry
 from repro.netlist.netlist import Netlist
 from repro.netlist.placement import Placement
@@ -63,30 +63,39 @@ class QuadraticPlacer:
         self.tether = tether
 
     # ------------------------------------------------------------------
-    def run(self) -> PlacementResult:
-        """Solve, spread, quantize layers and legalize."""
-        watch = Stopwatch()
+    def place_global(self, placement: Placement) -> None:
+        """Solve, spread and quantize layers into ``placement``.
+
+        The global-placement half of :meth:`run`, without the final
+        legalization — this is what the ``quadratic`` pipeline stage
+        calls, leaving legalization to the downstream stages.
+        """
         netlist = self.netlist
         chip = self.chip
         movable = [c.id for c in netlist.cells if c.movable]
         index = {cid: i for i, cid in enumerate(movable)}
-        n = len(movable)
-        placement = Placement.at_center(netlist, chip)
-        if n:
-            x, y, z = self._solve_all(index, placement)
-            for it in range(max(1, self.iterations) - 1):
-                x = _rank_spread(x, 0.0, chip.width)
-                y = _rank_spread(y, 0.0, chip.height)
-                # re-solve with spread positions as soft anchors
-                x, y, z = self._solve_all(index, placement,
-                                          anchors=(x, y, z))
+        if not movable:
+            return
+        x, y, z = self._solve_all(index, placement)
+        for it in range(max(1, self.iterations) - 1):
             x = _rank_spread(x, 0.0, chip.width)
             y = _rank_spread(y, 0.0, chip.height)
-            layers = self._quantize_layers(z)
-            for cid, i in index.items():
-                placement.x[cid] = x[i]
-                placement.y[cid] = y[i]
-                placement.z[cid] = layers[i]
+            # re-solve with spread positions as soft anchors
+            x, y, z = self._solve_all(index, placement,
+                                      anchors=(x, y, z))
+        x = _rank_spread(x, 0.0, chip.width)
+        y = _rank_spread(y, 0.0, chip.height)
+        layers = self._quantize_layers(z)
+        for cid, i in index.items():
+            placement.x[cid] = x[i]
+            placement.y[cid] = y[i]
+            placement.z[cid] = layers[i]
+
+    def run(self) -> PlacementResult:
+        """Solve, spread, quantize layers and legalize."""
+        watch = Stopwatch()
+        placement = Placement.at_center(self.netlist, self.chip)
+        self.place_global(placement)
         objective = ObjectiveState(placement, self.config)
         DetailedLegalizer(objective, self.config).run()
         runtime = watch.elapsed()

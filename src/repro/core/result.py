@@ -1,0 +1,47 @@
+"""The result type every placer entry point returns.
+
+``PlacementResult`` lives in its own leaf module so that the stage
+registry can offer the baseline and quadratic placers as drop-in
+``global``-stage alternatives without an import cycle: those modules
+need the result type, while the pipeline machinery needs those modules.
+:mod:`repro.core.placer` re-exports it, so existing imports keep
+working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.netlist.placement import Placement
+from repro.obs import Telemetry
+
+__all__ = ["PlacementResult"]
+
+
+@dataclass
+class PlacementResult:
+    """Outcome of a full placement run.
+
+    Attributes:
+        placement: the final (legal) placement.
+        objective: final objective value (Eq. 3).
+        wirelength: final total lateral HPWL, metres.
+        ilv: final interlayer-via count.
+        runtime_seconds: wall-clock runtime of :meth:`Placer3D.run`.
+        stage_seconds: wall-clock per pipeline stage, summed across
+            coarse+detailed rounds (back-compat flat view).
+        round_seconds: one ``{stage: seconds}`` dict per
+            coarse+detailed round, in round order.
+        telemetry: full recorder snapshot (span tree, counters,
+            series) for the run.
+    """
+
+    placement: Placement
+    objective: float
+    wirelength: float
+    ilv: int
+    runtime_seconds: float
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    round_seconds: List[Dict[str, float]] = field(default_factory=list)
+    telemetry: Optional[Telemetry] = None

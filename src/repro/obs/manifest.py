@@ -27,14 +27,19 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.placer import PlacementResult
     from repro.netlist.netlist import Netlist
 
-__all__ = ["MANIFEST_KIND", "SCHEMA_VERSION", "build_manifest",
-           "config_hash", "load_schema", "validate_manifest",
+__all__ = ["CHECKPOINT_KIND", "MANIFEST_KIND", "SCHEMA_VERSION",
+           "build_manifest", "config_hash", "content_hash",
+           "load_checkpoint_schema", "load_schema",
+           "validate_checkpoint_meta", "validate_manifest",
            "write_manifest"]
 
 MANIFEST_KIND = "repro.placement.run"
+CHECKPOINT_KIND = "repro.placement.checkpoint"
 SCHEMA_VERSION = 1
 
 _SCHEMA_PATH = Path(__file__).with_name("manifest_schema.json")
+_CHECKPOINT_SCHEMA_PATH = Path(__file__).with_name(
+    "checkpoint_schema.json")
 
 
 def _config_dict(config: "PlacementConfig") -> Dict[str, Any]:
@@ -55,6 +60,20 @@ def _config_dict(config: "PlacementConfig") -> Dict[str, Any]:
     return scrubbed
 
 
+def content_hash(document: Any) -> str:
+    """Stable content hash of any JSON-serialisable document.
+
+    Returns:
+        ``"sha256:<hex>"`` over the sorted-key compact JSON, so two
+        structurally identical documents hash identically across
+        sessions.  Used for config hashes in manifests and for the
+        config/spec hashes that guard checkpoint resume.
+    """
+    blob = json.dumps(document, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return "sha256:" + hashlib.sha256(blob).hexdigest()
+
+
 def config_hash(config: "PlacementConfig") -> str:
     """Stable content hash of a placement config.
 
@@ -62,9 +81,7 @@ def config_hash(config: "PlacementConfig") -> str:
         ``"sha256:<hex>"`` over the sorted-key JSON of the config, so
         two runs with identical knobs hash identically across sessions.
     """
-    blob = json.dumps(_config_dict(config), sort_keys=True,
-                      separators=(",", ":")).encode("utf-8")
-    return "sha256:" + hashlib.sha256(blob).hexdigest()
+    return content_hash(_config_dict(config))
 
 
 def _versions() -> Dict[str, str]:
@@ -101,6 +118,7 @@ def build_manifest(netlist: "Netlist", config: "PlacementConfig",
                    telemetry: Optional[Telemetry] = None,
                    trace_path: Optional[str] = None,
                    peak_temperature: Optional[float] = None,
+                   pipeline: Optional[Dict[str, Any]] = None,
                    ) -> Dict[str, Any]:
     """Assemble the run manifest document.
 
@@ -112,6 +130,9 @@ def build_manifest(netlist: "Netlist", config: "PlacementConfig",
             ``result.telemetry``.
         trace_path: path of the JSONL trace written alongside, if any.
         peak_temperature: optional evaluated peak temperature, kelvin.
+        pipeline: the serialized :class:`PipelineSpec` the run
+            executed (``spec.to_dict()``), recorded so a manifest pins
+            the exact stage composition, not just the config knobs.
 
     Returns:
         A JSON-serialisable dict matching ``manifest_schema.json``.
@@ -150,6 +171,7 @@ def build_manifest(netlist: "Netlist", config: "PlacementConfig",
         "counters": dict(tele.counters),
         "gauges": dict(tele.gauges),
         "trace_path": trace_path,
+        "pipeline": pipeline,
     }
 
 
@@ -181,3 +203,22 @@ def validate_manifest(manifest: Dict[str, Any],
     from repro.obs.validate import validate
     return validate(manifest, schema if schema is not None
                     else load_schema())
+
+
+def load_checkpoint_schema() -> Dict[str, Any]:
+    """Load the packaged checkpoint-metadata schema."""
+    with open(_CHECKPOINT_SCHEMA_PATH, "r", encoding="utf-8") as fh:
+        schema = json.load(fh)
+    assert isinstance(schema, dict)
+    return schema
+
+
+def validate_checkpoint_meta(meta: Dict[str, Any]) -> List[str]:
+    """Validate checkpoint metadata; returns errors (empty = valid).
+
+    Checkpoints reuse the same dependency-free schema validator as run
+    manifests, so a corrupt or hand-edited ``checkpoint.json`` is
+    refused with a precise error instead of resuming garbage.
+    """
+    from repro.obs.validate import validate
+    return validate(meta, load_checkpoint_schema())

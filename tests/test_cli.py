@@ -74,7 +74,8 @@ class TestPlaceCommand:
         assert code == 0
         err = capsys.readouterr().err
         assert "repro.core.placer" in err
-        assert "global placement done" in err
+        assert "objective state built" in err
+        assert "round 1/" in err
 
 
 class TestSweepCommand:
@@ -86,3 +87,100 @@ class TestSweepCommand:
         assert "alpha_ILV" in out
         assert out.count("\n") > 5
         assert "o" in out  # the ascii tradeoff plot
+
+    def test_sweep_per_point_manifests(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import validate_manifest
+        prefix = str(tmp_path / "sweep")
+        code = main(["sweep", "--circuit", "ibm01", "--scale", "0.01",
+                     "--points", "2", "--layers", "2",
+                     "--telemetry-out", prefix])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "per-point manifests" in out
+        for point in range(2):
+            manifest = json.load(
+                open(f"{prefix}.point{point}.manifest.json"))
+            assert validate_manifest(manifest) == []
+            assert manifest["pipeline"] is not None
+            assert manifest["trace_path"] == \
+                f"{prefix}.point{point}.trace.jsonl"
+            assert os.path.exists(manifest["trace_path"])
+
+
+class TestConfigDumpCommand:
+    def test_dump_round_trips(self, capsys, tmp_path):
+        import json
+
+        from repro.core.config import PlacementConfig
+        out_file = str(tmp_path / "config.json")
+        code = main(["config-dump", "--alpha-temp", "1e-5",
+                     "--layers", "3", "--out", out_file])
+        assert code == 0
+        printed = json.loads(capsys.readouterr().out)
+        written = json.load(open(out_file))
+        assert printed == written
+        config = PlacementConfig.from_dict(written)
+        assert config.alpha_temp == 1e-5
+        assert config.num_layers == 3
+
+
+class TestPipelineFlags:
+    def test_custom_pipeline_spec(self, capsys, tmp_path):
+        import json
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({"pipeline": [
+            {"stage": "quadratic", "options": {"iterations": 1}},
+            {"repeat": {"rounds": 1, "stages": [
+                {"stage": "moves"}, {"stage": "cellshift"},
+                {"stage": "detailed"}]}},
+        ]}))
+        code = main(["place", "--circuit", "ibm01", "--scale", "0.01",
+                     "--layers", "2", "--pipeline", str(spec_path)])
+        assert code == 0
+        assert "placing ibm01@0.01" in capsys.readouterr().out
+
+    def test_manifest_records_pipeline(self, capsys, tmp_path):
+        import json
+        prefix = str(tmp_path / "run")
+        code = main(["place", "--circuit", "ibm01", "--scale", "0.01",
+                     "--layers", "2", "--telemetry-out", prefix])
+        assert code == 0
+        manifest = json.load(open(prefix + ".manifest.json"))
+        stages = [e.get("stage") for e in manifest["pipeline"]["pipeline"]]
+        assert "global" in stages
+
+    def test_halt_resume_round_trip(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        out_a = str(tmp_path / "resumed")
+        out_b = str(tmp_path / "straight")
+        code = main(["place", "--circuit", "ibm01", "--scale", "0.01",
+                     "--layers", "2", "--checkpoint-dir", ckpt,
+                     "--halt-after", "round1/moves"])
+        assert code == 0
+        assert "halted after 1:round1/moves" in capsys.readouterr().out
+        code = main(["place", "--circuit", "ibm01", "--scale", "0.01",
+                     "--layers", "2", "--checkpoint-dir", ckpt,
+                     "--resume", "--out", out_a])
+        assert code == 0
+        code = main(["place", "--circuit", "ibm01", "--scale", "0.01",
+                     "--layers", "2", "--out", out_b])
+        assert code == 0
+        with open(out_a + ".pl", "rb") as fa, \
+                open(out_b + ".pl", "rb") as fb:
+            assert fa.read() == fb.read()
+
+    def test_resume_without_dir_is_usage_error(self, capsys):
+        code = main(["place", "--circuit", "ibm01", "--scale", "0.01",
+                     "--layers", "2", "--resume"])
+        assert code == 2
+        assert "--checkpoint-dir" in capsys.readouterr().err
+
+    def test_resume_with_empty_dir_reports_checkpoint_error(
+            self, capsys, tmp_path):
+        code = main(["place", "--circuit", "ibm01", "--scale", "0.01",
+                     "--layers", "2", "--checkpoint-dir",
+                     str(tmp_path / "empty"), "--resume"])
+        assert code == 1
+        assert "checkpoint error" in capsys.readouterr().err

@@ -297,6 +297,55 @@ class TestRPL009RawClockCalls:
         """) == []
 
 
+class TestRPL010StageInstantiation:
+    def test_direct_instantiation_flagged(self):
+        assert rules_of("""
+            def f() -> None:
+                stage = MovesStage(passes=2)
+                stage.run(None)
+        """) == ["RPL010"]
+
+    def test_attribute_access_instantiation_flagged(self):
+        assert rules_of("""
+            import repro.core.stages as stages
+
+            def f() -> None:
+                stages.RefineStage()
+        """) == ["RPL010"]
+
+    def test_registry_factory_allowed(self):
+        assert rules_of("""
+            from repro.core.stages import create_stage
+
+            def f() -> None:
+                create_stage("moves", {"passes": 2})
+        """) == []
+
+    def test_non_stage_suffix_names_allowed(self):
+        # StageEntry et al. are spec types, not stage classes
+        assert rules_of("""
+            def f() -> None:
+                StageEntry("moves")
+                Stage()
+        """) == []
+
+    def test_registry_and_runner_modules_exempt(self):
+        src = textwrap.dedent("""
+            def f() -> None:
+                MovesStage(passes=2)
+        """)
+        for path in ("src/repro/core/stages.py",
+                     "src/repro/core/pipeline.py"):
+            assert [v.rule for v in check_source(src, path)] == []
+
+    def test_class_definition_not_flagged(self):
+        assert rules_of("""
+            class MyStage:
+                def run(self, ctx) -> None:
+                    pass
+        """) == []
+
+
 class TestWaivers:
     def test_waiver_with_reason_suppresses(self):
         assert rules_of("""

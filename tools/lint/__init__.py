@@ -36,6 +36,12 @@ RPL009   No direct ``time.perf_counter()`` / ``perf_counter_ns()``
          calls outside ``repro.obs``.  All timing flows through the
          observability layer (``Stopwatch``, ``Tracer``, ``Recorder``)
          so spans stay coherent and clocks stay injectable in tests.
+RPL010   No direct instantiation of pipeline stage classes
+         (``*Stage(...)``) outside the stage registry and the pipeline
+         runner.  Stages are created via ``create_stage(name, opts)``
+         so specs, checkpoints and the CLI all see one catalogue; a
+         hand-built instance bypasses registration and option
+         validation.
 ======== ==============================================================
 
 Any rule can be waived on a specific line with an inline comment
@@ -97,7 +103,18 @@ RULES: Dict[str, str] = {
     "RPL008": "def without a return annotation",
     "RPL009": "direct time.perf_counter() outside repro.obs "
               "(use repro.obs.Stopwatch / Recorder spans)",
+    "RPL010": "direct stage-class instantiation outside the registry "
+              "(use repro.core.stages.create_stage)",
 }
+
+#: Modules allowed to instantiate stage classes directly (RPL010): the
+#: registry that defines them and the runner that executes specs.
+STAGE_FACTORY_SUFFIXES: Tuple[str, ...] = (
+    "core/stages.py",
+    "core/pipeline.py",
+)
+
+_STAGE_CLASS_RE = re.compile(r"^[A-Z]\w*Stage$")
 
 #: ``time`` attributes that only the observability layer may call
 #: directly; everything else goes through ``repro.obs``.
@@ -154,6 +171,12 @@ def is_kernel_module(path: str) -> bool:
     return normalized.endswith(KERNEL_MODULE_SUFFIXES)
 
 
+def is_stage_factory(path: str) -> bool:
+    """Whether a path may instantiate stage classes directly (RPL010)."""
+    normalized = path.replace("\\", "/")
+    return normalized.endswith(STAGE_FACTORY_SUFFIXES)
+
+
 def is_timing_exempt(path: str) -> bool:
     """Whether a path may call ``time.perf_counter`` directly (RPL009).
 
@@ -171,13 +194,15 @@ class _Checker(ast.NodeVisitor):
                  numpy_aliases: Set[str],
                  timing_exempt: bool = False,
                  time_aliases: Optional[Set[str]] = None,
-                 timer_names: Optional[Set[str]] = None) -> None:
+                 timer_names: Optional[Set[str]] = None,
+                 stage_factory: bool = False) -> None:
         self.path = path
         self.kernel = kernel
         self.numpy_aliases = numpy_aliases
         self.timing_exempt = timing_exempt
         self.time_aliases = time_aliases or set()
         self.timer_names = timer_names or set()
+        self.stage_factory = stage_factory
         self.violations: List[Violation] = []
         self._hot_depth = 0
 
@@ -249,9 +274,27 @@ class _Checker(ast.NodeVisitor):
                        f"{func.id}() outside repro.obs — use "
                        f"repro.obs.Stopwatch or a Recorder span")
 
-    # -- RPL002 / RPL004 / RPL009: calls -------------------------------
+    # -- RPL010: stage instantiation outside the registry --------------
+    def _check_stage_instantiation(self, node: ast.Call) -> None:
+        if self.stage_factory:
+            return
+        func = node.func
+        name: Optional[str] = None
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name is not None and _STAGE_CLASS_RE.match(name):
+            self._flag(node, "RPL010",
+                       f"{name}(...) instantiated outside the stage "
+                       f"registry — use create_stage(<registry name>, "
+                       f"options) so specs and checkpoints see one "
+                       f"catalogue")
+
+    # -- RPL002 / RPL004 / RPL009 / RPL010: calls ----------------------
     def visit_Call(self, node: ast.Call) -> None:
         self._check_timer_call(node)
+        self._check_stage_instantiation(node)
         func = node.func
         if isinstance(func, ast.Attribute):
             # np.random.<fn>(...) — legacy global-state RNG
@@ -410,7 +453,8 @@ def check_source(source: str, path: str = "<string>",
     checker = _Checker(path, kernel, _numpy_aliases(tree),
                        timing_exempt=is_timing_exempt(path),
                        time_aliases=time_aliases,
-                       timer_names=timer_names)
+                       timer_names=timer_names,
+                       stage_factory=is_stage_factory(path))
     checker.visit(tree)
     kept: List[Violation] = []
     for violation in checker.violations:
@@ -449,7 +493,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m tools.lint",
-        description="Kernel-contract AST linter (rules RPL001-RPL009).")
+        description="Kernel-contract AST linter (rules RPL001-RPL010).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "
                              "(default: src/repro)")
