@@ -11,10 +11,16 @@ micro-benchmarks the vectorization targeted —
   which hit the cached sparse-LU factorization after the first call
   (the seed implementation ran a full ``spsolve`` per call).
 
-It also gates the observability layer: each scale is placed twice, once
-with the default (no-op ambient) recorder and once with a live
-``repro.obs.Recorder``, and the relative difference is recorded as
+It also gates the observability layer: each scale is placed with the
+default (no-op ambient) recorder and with a live ``repro.obs.Recorder``
+— best-of-3 each, so scheduler noise does not swamp the comparison —
+and the relative difference of the two minima is recorded as
 ``telemetry_overhead_pct`` (budget: <= 2%, see DESIGN.md).
+
+``--workers`` adds an execution-backend scaling row: the full pipeline
+at workers 1/2/4 (scale 0.1) with a bit-identity check against the
+serial run, plus the machine's ``available_cpus`` — the honest upper
+bound on any measured speedup.
 
 Results are written as machine-readable JSON so before/after runs can
 be compared; ``--baseline`` merges a previous run into a single
@@ -36,6 +42,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
 from typing import Dict, List, Optional
 
@@ -60,28 +67,43 @@ def _best_of(fn, repeats: int = 5) -> float:
     return best
 
 
-def bench_full_placement(scales: List[float]) -> Dict[str, dict]:
+def bench_full_placement(scales: List[float],
+                         repeats: int = 3) -> Dict[str, dict]:
     """Wall-clock and per-stage seconds of Placer3D per scale.
 
-    Each scale runs twice: the default path (private recorder, no
-    ambient instrumentation) and a fully instrumented run with a live
-    ``Recorder`` installed, to measure the telemetry overhead.  The
-    netlist is regenerated between runs because placement mutates it
-    (TRR nets).
+    Each scale runs two configurations — the default path (private
+    recorder, no ambient instrumentation) and a fully instrumented run
+    with a live ``Recorder`` installed — and each configuration runs
+    ``repeats`` times, keeping the best wall clock.  A single timing
+    pair made the telemetry-overhead gate a coin flip (scheduler noise
+    at the 0.025 scale is larger than the <= 2% budget being measured);
+    best-of-N compares two noise-robust minima instead.  The netlist is
+    regenerated between runs because placement mutates it (TRR nets).
     """
     out: Dict[str, dict] = {}
     for scale in scales:
-        netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
-        start = time.perf_counter()
-        result = Placer3D(netlist, PlacementConfig()).run()
-        wall = time.perf_counter() - start
+        wall = float("inf")
+        result = None
+        for _ in range(repeats):
+            netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
+            start = time.perf_counter()
+            attempt = Placer3D(netlist, PlacementConfig()).run()
+            elapsed = time.perf_counter() - start
+            if elapsed < wall:
+                wall, result = elapsed, attempt
 
-        netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
-        start = time.perf_counter()
-        Placer3D(netlist, PlacementConfig(), recorder=Recorder()).run()
-        telemetry_wall = time.perf_counter() - start
+        telemetry_wall = float("inf")
+        for _ in range(repeats):
+            netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
+            start = time.perf_counter()
+            Placer3D(netlist, PlacementConfig(),
+                     recorder=Recorder()).run()
+            telemetry_wall = min(telemetry_wall,
+                                 time.perf_counter() - start)
+        assert result is not None
         out[str(scale)] = {
             "num_cells": len(netlist.cells),
+            "repeats": repeats,
             "wall_seconds": wall,
             "stage_seconds": dict(result.stage_seconds),
             "round_seconds": [dict(r) for r in result.round_seconds],
@@ -90,6 +112,48 @@ def bench_full_placement(scales: List[float]) -> Dict[str, dict]:
                 100.0 * (telemetry_wall / wall - 1.0) if wall > 0 else 0.0,
         }
     return out
+
+
+def bench_workers(scale: float = 0.1,
+                  counts: Optional[List[int]] = None) -> dict:
+    """Full-pipeline wall time per execution-backend worker count.
+
+    Runs the same placement at each worker count, checks the results
+    are bit-identical to the serial run (the :mod:`repro.parallel`
+    contract), and reports the global-stage and total wall seconds.
+    ``available_cpus`` is recorded alongside because the achievable
+    speedup is bounded by the machine, not the implementation — on a
+    single-core container every count measures pool overhead only.
+    """
+    counts = counts or [1, 2, 4]
+    entries: Dict[str, dict] = {}
+    reference = None
+    for workers in counts:
+        netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
+        config = PlacementConfig(num_workers=workers)
+        start = time.perf_counter()
+        result = Placer3D(netlist, config).run()
+        wall = time.perf_counter() - start
+        coords = (result.placement.x.tobytes(),
+                  result.placement.y.tobytes(),
+                  result.placement.z.tobytes())
+        if reference is None:
+            reference = coords
+        entries[str(workers)] = {
+            "wall_seconds": wall,
+            "global_seconds": result.stage_seconds.get("global", 0.0),
+            "bit_identical_to_serial": coords == reference,
+        }
+    first, last = str(counts[0]), str(counts[-1])
+    return {
+        "circuit": CIRCUIT,
+        "scale": scale,
+        "available_cpus": os.cpu_count(),
+        "workers": entries,
+        "global_speedup_max_vs_1":
+            entries[first]["global_seconds"]
+            / entries[last]["global_seconds"],
+    }
 
 
 def bench_rebuild(scale: float = 0.05, repeats: int = 30) -> dict:
@@ -131,7 +195,8 @@ def bench_solve_powers(repeats: int = 10) -> dict:
     return {"first_seconds": first, "repeat_seconds": repeat}
 
 
-def run_bench(scales: Optional[List[float]] = None) -> dict:
+def run_bench(scales: Optional[List[float]] = None,
+              workers: bool = False) -> dict:
     writer = SeriesWriter("bench_scaling")
     measurement = {
         "circuit": CIRCUIT,
@@ -139,6 +204,8 @@ def run_bench(scales: Optional[List[float]] = None) -> dict:
         "rebuild": bench_rebuild(),
         "solve_powers": bench_solve_powers(),
     }
+    if workers:
+        measurement["workers_scaling"] = bench_workers()
     writer.row(f"{'scale':>7} {'cells':>7} {'wall (s)':>9} "
                f"{'tele %':>7}  stages")
     for scale, entry in measurement["placement"].items():
@@ -153,6 +220,16 @@ def run_bench(scales: Optional[List[float]] = None) -> dict:
                f"{rb['seconds'] * 1e3:.3f} ms")
     writer.row(f"solve_powers: first {sp['first_seconds'] * 1e3:.2f} ms, "
                f"repeat {sp['repeat_seconds'] * 1e3:.3f} ms")
+    if workers:
+        ws = measurement["workers_scaling"]
+        for count, entry in ws["workers"].items():
+            writer.row(
+                f"workers={count}: wall {entry['wall_seconds']:.3f} s, "
+                f"global {entry['global_seconds']:.3f} s, "
+                f"identical={entry['bit_identical_to_serial']}")
+        writer.row(f"global speedup (max vs 1 worker): "
+                   f"{ws['global_speedup_max_vs_1']:.2f}x on "
+                   f"{ws['available_cpus']} available cpu(s)")
     writer.save()
     return measurement
 
@@ -185,13 +262,17 @@ def main() -> None:
                              "'before'")
     parser.add_argument("--scales", type=float, nargs="*",
                         help=f"instance-size ladder (default {SCALES})")
+    parser.add_argument("--workers", action="store_true",
+                        help="also measure execution-backend scaling "
+                             "(workers 1/2/4 at scale 0.1, with a "
+                             "bit-identity check)")
     args = parser.parse_args()
     baseline = None
     if args.baseline:
         # read up front so a bad path fails before the slow measurement
         with open(args.baseline) as fh:
             baseline = json.load(fh)
-    measurement = run_bench(args.scales)
+    measurement = run_bench(args.scales, workers=args.workers)
     document = measurement
     if baseline is not None:
         document = merge(baseline, measurement)

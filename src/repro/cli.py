@@ -41,7 +41,8 @@ import argparse
 import json
 import os
 import sys
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -59,6 +60,7 @@ from repro.core.pipeline import (PipelineHalted, PipelineSpec,
 from repro.netlist import bookshelf
 from repro.netlist.suite import SUITE_PROFILES
 from repro.obs import configure_cli_logging
+from repro.parallel import create_backend
 from repro.thermal.power import PowerModel
 from repro.metrics.wirelength import compute_net_metrics
 from repro import viz
@@ -88,6 +90,10 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="thermal coefficient (default 0 = off)")
     place.add_argument("--layers", type=int, default=4,
                        help="active layers (default 4)")
+    place.add_argument("--workers", type=int, default=None,
+                       help="execution-backend workers (default: "
+                            "REPRO_WORKERS or serial; results are "
+                            "bit-identical for any worker count)")
     place.add_argument("--seed", type=int, default=0)
     place.add_argument("--out", help="write <out>.pl with the result")
     place.add_argument("--maps", action="store_true",
@@ -120,6 +126,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--layers", type=int, default=4)
     sweep.add_argument("--points", type=int, default=6,
                        help="sweep points across 5e-9..5.2e-3")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="run sweep points concurrently on this "
+                            "many workers (default: REPRO_WORKERS or "
+                            "serial; point results are identical)")
     sweep.add_argument("--seed", type=int, default=0)
     sweep.add_argument("--trace", action="store_true",
                        help="print the telemetry report per point")
@@ -147,9 +157,10 @@ def _cmd_place(args) -> int:
                                  seed=args.seed)
     else:
         netlist = bookshelf.read_bookshelf(args.bookshelf)
-    config = PlacementConfig(alpha_ilv=args.alpha_ilv,
-                             alpha_temp=args.alpha_temp,
-                             num_layers=args.layers, seed=args.seed)
+    config = PlacementConfig(
+        alpha_ilv=args.alpha_ilv, alpha_temp=args.alpha_temp,
+        num_layers=args.layers, seed=args.seed,
+        num_workers=0 if args.workers is None else args.workers)
     print(f"placing {netlist.name}: {netlist.num_cells} cells, "
           f"{netlist.num_nets} nets, {args.layers} layers")
     recorder: Optional[obs.Recorder] = None
@@ -219,52 +230,119 @@ def _cmd_place(args) -> int:
     return 0
 
 
+@dataclass(frozen=True)
+class _SweepPoint:
+    """One sweep point as a picklable backend task.
+
+    Carries only primitives (no netlists, no open files) so points can
+    be dispatched to worker processes; each worker rebuilds the
+    benchmark from ``(circuit, scale, seed)`` and writes its own
+    per-point telemetry files (the paths are unique per index, so
+    concurrent points never share a file handle).
+    """
+
+    index: int
+    circuit: str
+    scale: float
+    alpha_ilv: float
+    layers: int
+    seed: int
+    want_telemetry: bool
+    telemetry_prefix: Optional[str]
+
+
+@dataclass(frozen=True)
+class _SweepResult:
+    """What one sweep point ships back to the dispatching side."""
+
+    index: int
+    name: str
+    wirelength: float
+    ilv: int
+    ilv_density: float
+    telemetry: Optional[obs.Telemetry]
+    manifest_errors: Tuple[str, ...]
+    manifest_path: Optional[str]
+
+
+def _run_sweep_point(point: _SweepPoint) -> _SweepResult:
+    """Place one sweep point; pure function of the point payload.
+
+    Runs with ``num_workers=1`` internally — sweep-level parallelism
+    and placement-level parallelism do not nest (a worker process
+    spawning its own pool would oversubscribe the machine).
+    """
+    netlist = load_benchmark(point.circuit, scale=point.scale,
+                             seed=point.seed)
+    config = PlacementConfig(alpha_ilv=point.alpha_ilv, alpha_temp=0.0,
+                             num_layers=point.layers, seed=point.seed,
+                             num_workers=1)
+    recorder: Optional[obs.Recorder] = None
+    trace_path: Optional[str] = None
+    if point.want_telemetry or point.telemetry_prefix:
+        sink = None
+        if point.telemetry_prefix:
+            trace_path = (f"{point.telemetry_prefix}"
+                          f".point{point.index}.trace.jsonl")
+            sink = obs.EventSink(trace_path)
+        recorder = obs.Recorder(sink=sink)
+    placer = Placer3D(netlist, config, recorder=recorder)
+    result = placer.run()
+    if recorder is not None:
+        recorder.close()
+    report = evaluate_placement(result.placement, config.tech,
+                                thermal=False)
+    errors: Tuple[str, ...] = ()
+    manifest_path: Optional[str] = None
+    if point.telemetry_prefix:
+        manifest = obs.build_manifest(
+            netlist, config, result, trace_path=trace_path,
+            pipeline=placer.spec.to_dict())
+        manifest_path = obs.write_manifest(
+            f"{point.telemetry_prefix}.point{point.index}.manifest.json",
+            manifest)
+        errors = tuple(obs.validate_manifest(manifest))
+    return _SweepResult(
+        index=point.index, name=netlist.name,
+        wirelength=report.wirelength, ilv=report.ilv,
+        ilv_density=report.ilv_density, telemetry=result.telemetry,
+        manifest_errors=errors, manifest_path=manifest_path)
+
+
 def _cmd_sweep(args) -> int:
     alphas = np.logspace(np.log10(5e-9), np.log10(5.2e-3), args.points)
+    tasks = [_SweepPoint(index=index, circuit=args.circuit,
+                         scale=args.scale, alpha_ilv=float(alpha),
+                         layers=args.layers, seed=args.seed,
+                         want_telemetry=bool(args.trace),
+                         telemetry_prefix=args.telemetry_out)
+             for index, alpha in enumerate(alphas)]
+    backend = create_backend(args.workers
+                             if args.workers is not None else 0)
+    try:
+        results = backend.map(_run_sweep_point, tasks)
+    finally:
+        backend.close()
     print(f"{'alpha_ILV':>10} {'WL (m)':>12} {'ILVs':>8} "
           f"{'ILV density':>12}")
     points = []
-    for index, alpha in enumerate(alphas):
-        netlist = load_benchmark(args.circuit, scale=args.scale,
-                                 seed=args.seed)
-        config = PlacementConfig(alpha_ilv=float(alpha), alpha_temp=0.0,
-                                 num_layers=args.layers, seed=args.seed)
-        recorder: Optional[obs.Recorder] = None
-        trace_path: Optional[str] = None
-        if args.trace or args.telemetry_out:
-            sink = None
-            if args.telemetry_out:
-                trace_path = (f"{args.telemetry_out}"
-                              f".point{index}.trace.jsonl")
-                sink = obs.EventSink(trace_path)
-            recorder = obs.Recorder(sink=sink)
-        placer = Placer3D(netlist, config, recorder=recorder)
-        result = placer.run()
-        if recorder is not None:
-            recorder.close()
-        report = evaluate_placement(result.placement, config.tech,
-                                    thermal=False)
-        points.append((report.wirelength, report.ilv))
-        print(f"{alpha:>10.1e} {report.wirelength:>12.5e} "
-              f"{report.ilv:>8} {report.ilv_density:>12.4e}")
+    failed = False
+    for alpha, result in zip(alphas, results):
+        points.append((result.wirelength, result.ilv))
+        print(f"{alpha:>10.1e} {result.wirelength:>12.5e} "
+              f"{result.ilv:>8} {result.ilv_density:>12.4e}")
         if args.trace and result.telemetry is not None:
             print()
             print(obs.render(result.telemetry,
-                             title=f"{netlist.name} point {index}"))
-        if args.telemetry_out:
-            manifest = obs.build_manifest(
-                netlist, config, result, trace_path=trace_path,
-                pipeline=placer.spec.to_dict())
-            manifest_path = obs.write_manifest(
-                f"{args.telemetry_out}.point{index}.manifest.json",
-                manifest)
-            errors = obs.validate_manifest(manifest)
-            if errors:
-                for error in errors:
-                    print(error, file=sys.stderr)
-                print("manifest failed schema validation: "
-                      f"{manifest_path}", file=sys.stderr)
-                return 1
+                             title=f"{result.name} point {result.index}"))
+        for error in result.manifest_errors:
+            print(error, file=sys.stderr)
+        if result.manifest_errors:
+            print("manifest failed schema validation: "
+                  f"{result.manifest_path}", file=sys.stderr)
+            failed = True
+    if failed:
+        return 1
     if args.telemetry_out:
         print(f"wrote {args.points} per-point manifests to "
               f"{args.telemetry_out}.point*.manifest.json")

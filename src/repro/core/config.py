@@ -52,6 +52,16 @@ class PlacementConfig:
             after detailed legalization (Section 4's "post-optimization
             phase"); 0 disables.
 
+    Execution:
+        num_workers: parallelism degree of the execution backend used
+            by the embarrassingly-parallel hot paths (per-level
+            recursive-bisection regions; see :mod:`repro.parallel`).
+            ``0`` means auto — honour the ``REPRO_WORKERS``
+            environment variable, else run serially.  Results are
+            bit-identical for every worker count; this knob trades
+            wall time for cores only, so it is excluded from the
+            scientific config hash manifests and checkpoints pin.
+
     Misc:
         seed: every random choice flows from this.
         tech: technology / process parameters (Table 2).
@@ -78,6 +88,8 @@ class PlacementConfig:
     legalization_rounds: int = 1
     refine_passes: int = 3
 
+    num_workers: int = 0
+
     seed: int = 0
     tech: TechnologyConfig = field(default_factory=TechnologyConfig)
 
@@ -94,6 +106,9 @@ class PlacementConfig:
             raise ValueError("min_region_cells must be >= 1")
         if not 0 < self.shift_max_density:
             raise ValueError("shift_max_density must be positive")
+        if self.num_workers < 0:
+            raise ValueError("num_workers cannot be negative "
+                             "(0 = auto via REPRO_WORKERS)")
 
     @property
     def thermal_enabled(self) -> bool:

@@ -15,12 +15,23 @@ Thermal awareness enters through the per-net weights of Eq. 8 (applied
 to whichever direction the cut runs) and, for z cuts, through the TRR
 nets of Eq. 12, whose weights are refreshed once per bisection level as
 positions firm up.
+
+Execution is a frontier-parallel BFS over bisection levels: after the
+first cut, the regions of one level share nothing, so each level's
+pending regions are reduced to compact picklable
+:class:`~repro.partition.subproblem.BisectionTask` payloads and
+dispatched together on an execution backend (:mod:`repro.parallel`).
+Determinism is order-independent by construction: every region carries
+a *path id* (heap numbering of the bisection tree — root 1, children
+``2p`` / ``2p + 1``), its partitioner seed derives from
+``(config.seed, path)`` via :func:`repro.parallel.task_seed`, and
+results are applied in frontier order — so ``num_workers=N`` produces
+a bit-identical placement to ``num_workers=1``.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -31,7 +42,8 @@ from repro.core.trrnets import compute_trr_weights
 from repro.metrics.wirelength import compute_net_metrics
 from repro.netlist.placement import Placement
 from repro.obs import get_logger, get_recorder
-from repro.partition import BisectionConfig, Hypergraph, bisect
+from repro.parallel import ExecutionBackend, create_backend, task_seed
+from repro.partition.subproblem import BisectionTask, solve, solve_recorded
 from repro.thermal.power import PowerModel
 from repro.thermal.resistance import ResistanceModel
 
@@ -39,6 +51,10 @@ _log = get_logger(__name__)
 
 #: Axis labels in cut-direction priority evaluation order.
 _AXES = ("x", "y", "z")
+
+#: Recursion depth cap (the bisection tree is level-balanced, so 64
+#: levels is far beyond any real instance).
+_MAX_LEVELS = 64
 
 
 @dataclass
@@ -49,6 +65,9 @@ class Region:
         cell_ids: movable cells assigned to the region.
         xlo, xhi, ylo, yhi: lateral bounds, metres.
         zlo, zhi: inclusive layer range.
+        path: deterministic bisection-tree path id (heap numbering:
+            root 1, children ``2 * path`` and ``2 * path + 1``).  Seeds
+            and tie-breaks derive from it, never from visit order.
     """
 
     cell_ids: List[int]
@@ -58,6 +77,7 @@ class Region:
     yhi: float
     zlo: int
     zhi: int
+    path: int = field(default=1)
 
     @property
     def width(self) -> float:
@@ -88,12 +108,17 @@ class GlobalPlacer:
         placement: cells should start at the chip centre
             (:meth:`Placement.at_center`); TRR nets should already be on
             the netlist if thermal placement is wanted.
-        config: all coefficients and effort knobs.
+        config: all coefficients and effort knobs (including
+            ``num_workers``, the execution-backend parallelism).
         power_model: shared power model (created if omitted).
+        backend: execution backend for per-level bisection batches.
+            When omitted, one is created from ``config.num_workers``
+            for the duration of :meth:`run` and closed afterwards.
     """
 
     def __init__(self, placement: Placement, config: PlacementConfig,
-                 power_model: Optional[PowerModel] = None) -> None:
+                 power_model: Optional[PowerModel] = None,
+                 backend: Optional[ExecutionBackend] = None) -> None:
         self.placement = placement
         self.config = config
         self.netlist = placement.netlist
@@ -101,8 +126,7 @@ class GlobalPlacer:
         self.power_model = power_model or PowerModel(self.netlist,
                                                      config.tech)
         self.resistance = ResistanceModel(self.chip, config.tech)
-        self._rng = np.random.default_rng(config.seed)
-        self._bisection_count = 0
+        self.backend = backend
         # refreshed once per level:
         self._lateral_w = np.ones(self.netlist.num_nets)
         self._vertical_w = np.ones(self.netlist.num_nets)
@@ -111,35 +135,61 @@ class GlobalPlacer:
     # ------------------------------------------------------------------
     def run(self) -> None:
         """Place all movable cells at their final region centres."""
-        rec = get_recorder()
         movable = [c.id for c in self.netlist.cells if c.movable]
         root = Region(cell_ids=movable, xlo=0.0, xhi=self.chip.width,
                       ylo=0.0, yhi=self.chip.height,
-                      zlo=0, zhi=self.chip.num_layers - 1)
-        with rec.span("weights"):
-            self._refresh_weights()
-        queue = deque([(0, root)])
-        current_level = 0
-        max_levels = 64
-        while queue:
-            level, region = queue.popleft()
-            if level != current_level:
-                current_level = level
-                _log.debug("bisection level %d: %d regions pending",
-                           level, len(queue) + 1)
-                with rec.span("weights"):
-                    self._refresh_weights()
-            if self._is_terminal(region) or level >= max_levels:
-                rec.count("global/terminal_regions")
-                self._finalize(region)
-                continue
+                      zlo=0, zhi=self.chip.num_layers - 1, path=1)
+        backend = self.backend
+        owned = backend is None
+        if backend is None:
+            backend = create_backend(self.config.num_workers)
+        try:
+            self._run_levels(root, backend)
+        finally:
+            if owned:
+                backend.close()
+
+    def _run_levels(self, root: Region,
+                    backend: ExecutionBackend) -> None:
+        """Frontier-parallel BFS over bisection levels.
+
+        Each iteration handles one level: terminal regions are
+        finalized in frontier order, the remaining regions become
+        backend tasks dispatched as one batch, and the resulting
+        children (positions set to their region centres) form the next
+        frontier.  All placement reads and writes happen here on the
+        dispatching side, in frontier order, so the backend never sees
+        shared state.
+        """
+        rec = get_recorder()
+        frontier = [root]
+        level = 0
+        while frontier:
+            _log.debug("bisection level %d: %d regions pending",
+                       level, len(frontier))
+            with rec.span("weights"):
+                self._refresh_weights()
+            pending: List[Region] = []
+            for region in frontier:
+                if self._is_terminal(region) or level >= _MAX_LEVELS:
+                    rec.count("global/terminal_regions")
+                    self._finalize(region)
+                else:
+                    pending.append(region)
+            frontier = []
+            if not pending:
+                break
             with rec.span(f"level{level}/bisect"):
-                children = self._split(region)
-            rec.count("global/bisections")
-            for child in children:
-                if child.cell_ids:
-                    self._set_positions(child)
-                    queue.append((level + 1, child))
+                tasks = [self._build_task(region) for region in pending]
+                results = backend.map(solve_recorded, tasks)
+                for region, (parts, telemetry) in zip(pending, results):
+                    rec.merge(telemetry)
+                    rec.count("global/bisections")
+                    for child in self._apply_parts(region, parts):
+                        if child.cell_ids:
+                            self._set_positions(child)
+                            frontier.append(child)
+            level += 1
 
     # ------------------------------------------------------------------
     def _refresh_weights(self) -> None:
@@ -178,9 +228,10 @@ class GlobalPlacer:
         areas = self.netlist.areas
         layers = list(range(region.zlo, region.zhi + 1))
         # rotate the tie-break start per region so ties do not all fall
-        # on the lowest layer across the whole chip
-        self._finalize_rotation = getattr(self, "_finalize_rotation", 0) + 1
-        rot = self._finalize_rotation % len(layers)
+        # on the lowest layer across the whole chip; the rotation comes
+        # from the region's deterministic path id, so finalization is
+        # independent of visit (and worker completion) order
+        rot = region.path % len(layers)
         layers = layers[rot:] + layers[:rot]
         fill = {z: 0.0 for z in layers}
         for cid in sorted(region.cell_ids,
@@ -209,7 +260,22 @@ class GlobalPlacer:
         return max(_AXES, key=lambda a: spans[a])
 
     def _split(self, region: Region) -> List[Region]:
-        """Bisect one region; returns its two children."""
+        """Bisect one region in-process; returns its two children.
+
+        Equivalent to one build/solve/apply round trip on the serial
+        backend — the unit the frontier dispatch batches.
+        """
+        return self._apply_parts(region, solve(self._build_task(region)))
+
+    def _build_task(self, region: Region) -> BisectionTask:
+        """Reduce one region to a self-contained bisection task.
+
+        Reads the netlist, current positions (terminal propagation) and
+        the level's weight arrays; everything the partitioner needs is
+        copied into the payload, so solving is a pure function that can
+        run in any process.  The task seed derives from the region's
+        path id, never from a shared stream.
+        """
         axis = self._choose_axis(region)
         if axis == "z" and region.layers == 1:
             raise AssertionError("z cut chosen on a single-layer region")
@@ -219,6 +285,8 @@ class GlobalPlacer:
         areas = self.netlist.areas
 
         # provisional cut coordinate for terminal propagation
+        z_mid = 0
+        cut = 0.0
         if axis == "x":
             cut = 0.5 * (region.xlo + region.xhi)
         elif axis == "y":
@@ -308,19 +376,23 @@ class GlobalPlacer:
         tolerance = max(self.config.min_partition_tolerance,
                         0.5 * whitespace)
 
-        graph = Hypergraph(len(vertex_weights), nets, weights,
-                           vertex_weights, fixed)
-        self._bisection_count += 1
-        parts, _ = bisect(graph, BisectionConfig(
+        return BisectionTask.from_nets(
+            nets, weights, vertex_weights, fixed,
             target=target, tolerance=tolerance,
             num_starts=self.config.partition_starts,
             max_passes=self.config.partition_passes,
-            seed=int(self._rng.integers(0, 2 ** 31))))
+            seed=task_seed(self.config.seed, region.path),
+            key=region.path)
 
-        cells0 = [cid for cid in cells if parts[local[cid]] == 0]
-        cells1 = [cid for cid in cells if parts[local[cid]] == 1]
-        return self._child_regions(region, axis, cells0, cells1,
-                                   z_mid if axis == "z" else 0.0)
+    def _apply_parts(self, region: Region,
+                     parts: np.ndarray) -> List[Region]:
+        """Turn a solved partition back into the region's two children."""
+        axis = self._choose_axis(region)
+        z_mid = ((region.zlo + region.zhi) // 2 if axis == "z" else 0)
+        cells = region.cell_ids
+        cells0 = [cid for i, cid in enumerate(cells) if parts[i] == 0]
+        cells1 = [cid for i, cid in enumerate(cells) if parts[i] == 1]
+        return self._child_regions(region, axis, cells0, cells1, z_mid)
 
     # ------------------------------------------------------------------
     def _child_regions(self, region: Region, axis: str,
@@ -334,21 +406,28 @@ class GlobalPlacer:
         total = a0 + a1
         frac = a0 / total if total > 0 else 0.5
         frac = min(max(frac, 0.05), 0.95)
+        path0 = 2 * region.path
+        path1 = 2 * region.path + 1
         if axis == "x":
             cut = region.xlo + frac * region.width
             child0 = Region(cells0, region.xlo, cut, region.ylo,
-                            region.yhi, region.zlo, region.zhi)
+                            region.yhi, region.zlo, region.zhi,
+                            path=path0)
             child1 = Region(cells1, cut, region.xhi, region.ylo,
-                            region.yhi, region.zlo, region.zhi)
+                            region.yhi, region.zlo, region.zhi,
+                            path=path1)
         elif axis == "y":
             cut = region.ylo + frac * region.height
             child0 = Region(cells0, region.xlo, region.xhi, region.ylo,
-                            cut, region.zlo, region.zhi)
+                            cut, region.zlo, region.zhi, path=path0)
             child1 = Region(cells1, region.xlo, region.xhi, cut,
-                            region.yhi, region.zlo, region.zhi)
+                            region.yhi, region.zlo, region.zhi,
+                            path=path1)
         else:
             child0 = Region(cells0, region.xlo, region.xhi, region.ylo,
-                            region.yhi, region.zlo, int(z_mid))
+                            region.yhi, region.zlo, int(z_mid),
+                            path=path0)
             child1 = Region(cells1, region.xlo, region.xhi, region.ylo,
-                            region.yhi, int(z_mid) + 1, region.zhi)
+                            region.yhi, int(z_mid) + 1, region.zhi,
+                            path=path1)
         return [child0, child1]

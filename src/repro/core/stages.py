@@ -42,6 +42,7 @@ from repro.core.globalplace import GlobalPlacer
 from repro.core.moves import MoveOptimizer
 from repro.core.refine import LegalRefiner
 from repro.netlist.placement import Placement
+from repro.parallel import create_backend
 
 __all__ = ["Stage", "available_stages", "create_stage", "get_stage",
            "register_stage"]
@@ -120,12 +121,28 @@ def create_stage(name: str,
 # ----------------------------------------------------------------------
 @register_stage("global")
 class GlobalBisectionStage(Stage):
-    """Recursive-bisection global placement (the paper's Section 3)."""
+    """Recursive-bisection global placement (the paper's Section 3).
+
+    Args:
+        workers: overrides ``config.num_workers`` for this stage's
+            execution backend when given (results are bit-identical
+            for every worker count; see :mod:`repro.parallel`).
+    """
 
     needs_objective = False
 
+    def __init__(self, workers: Optional[int] = None) -> None:
+        self.workers = workers
+
     def run(self, ctx: PlacementContext) -> None:
-        GlobalPlacer(ctx.placement, ctx.config, ctx.power_model).run()
+        num_workers = (ctx.config.num_workers if self.workers is None
+                       else int(self.workers))
+        backend = create_backend(num_workers)
+        try:
+            GlobalPlacer(ctx.placement, ctx.config, ctx.power_model,
+                         backend=backend).run()
+        finally:
+            backend.close()
 
 
 @register_stage("quadratic")

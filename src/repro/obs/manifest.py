@@ -27,7 +27,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.placer import PlacementResult
     from repro.netlist.netlist import Netlist
 
-__all__ = ["CHECKPOINT_KIND", "MANIFEST_KIND", "SCHEMA_VERSION",
+__all__ = ["CHECKPOINT_KIND", "EXECUTION_ONLY_KEYS", "MANIFEST_KIND",
+           "SCHEMA_VERSION",
            "build_manifest", "config_hash", "content_hash",
            "load_checkpoint_schema", "load_schema",
            "validate_checkpoint_meta", "validate_manifest",
@@ -74,14 +75,28 @@ def content_hash(document: Any) -> str:
     return "sha256:" + hashlib.sha256(blob).hexdigest()
 
 
+#: Config keys that only steer execution (how fast, on how many
+#: cores), never results.  They stay visible in the manifest's
+#: ``config`` section but are excluded from :func:`config_hash`, so a
+#: checkpoint taken at ``--workers 4`` resumes under ``--workers 1``
+#: (and vice versa) — the determinism contract of :mod:`repro.parallel`
+#: guarantees the science is identical.
+EXECUTION_ONLY_KEYS = ("num_workers",)
+
+
 def config_hash(config: "PlacementConfig") -> str:
     """Stable content hash of a placement config.
 
     Returns:
-        ``"sha256:<hex>"`` over the sorted-key JSON of the config, so
-        two runs with identical knobs hash identically across sessions.
+        ``"sha256:<hex>"`` over the sorted-key JSON of the config
+        (minus :data:`EXECUTION_ONLY_KEYS`), so two runs with identical
+        scientific knobs hash identically across sessions and worker
+        counts.
     """
-    return content_hash(_config_dict(config))
+    document = _config_dict(config)
+    for key in EXECUTION_ONLY_KEYS:
+        document.pop(key, None)
+    return content_hash(document)
 
 
 def _versions() -> Dict[str, str]:

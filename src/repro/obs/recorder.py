@@ -115,6 +115,37 @@ class Recorder:
             event.update(point)
             self.sink.emit(event)
 
+    # -- merging -------------------------------------------------------
+    def merge(self, telemetry: Telemetry) -> None:
+        """Fold a child recorder's snapshot into this recorder.
+
+        Parallel workers run their own ambient :class:`Recorder` (the
+        process-global one is not shared across processes) and ship
+        :class:`Telemetry` snapshots back; the dispatching side calls
+        this once per snapshot so ``--trace`` reports and manifests
+        stay complete under parallelism.
+
+        Semantics per signal:
+
+        - **spans**: the snapshot's tree is merged under the currently
+          *open* span (calls and seconds add at matching paths), so a
+          caller holding a ``level3/bisect`` span open files worker
+          spans beneath it;
+        - **counters**: added — totals are distribution-independent;
+        - **gauges**: last write wins, matching in-process behaviour;
+        - **series**: points append in merge-call order (the caller
+          merges results in task order, keeping this deterministic).
+        """
+        anchor = self.tracer.current_node()
+        anchor.merge(SpanStats.from_dict(telemetry.spans))
+        for name, value in telemetry.counters.items():
+            self.counters[name] = self.counters.get(name, 0.0) + value
+        for name, value in telemetry.gauges.items():
+            self.gauges[name] = value
+        for name, points in telemetry.series.items():
+            self.series.setdefault(name, []).extend(
+                dict(point) for point in points)
+
     # -- lifecycle -----------------------------------------------------
     def snapshot(self) -> Telemetry:
         """Freeze the current state into a :class:`Telemetry`."""
@@ -182,6 +213,9 @@ class NullRecorder(Recorder):
         return None
 
     def record(self, name: str, **fields: float) -> None:
+        return None
+
+    def merge(self, telemetry: Telemetry) -> None:
         return None
 
 

@@ -83,6 +83,37 @@ class SpanStats:
             "children": [c.as_dict() for c in self.children.values()],
         }
 
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SpanStats":
+        """Rebuild a subtree from its :meth:`as_dict` view.
+
+        ``total_seconds`` is derived state and is ignored; the
+        round-trip ``SpanStats.from_dict(node.as_dict())`` reproduces
+        names, calls, seconds and child order exactly.
+        """
+        node = cls(str(data.get("name", "")))
+        node.calls = int(data.get("calls", 0))
+        node.seconds = float(data.get("seconds", 0.0))
+        for child_data in data.get("children", []):
+            child = cls.from_dict(child_data)
+            node.children[child.name] = child
+        return node
+
+    def merge(self, other: "SpanStats") -> None:
+        """Fold another subtree into this one, in place.
+
+        Calls and seconds add at every matching path; children unique
+        to ``other`` are deep-merged into fresh nodes (appended after
+        this node's existing children, preserving creation order on
+        both sides).  Merging is associative and commutative up to
+        child ordering, so folding worker snapshots into a parent tree
+        gives the same totals regardless of completion order.
+        """
+        self.calls += other.calls
+        self.seconds += other.seconds
+        for name, other_child in other.children.items():
+            self.child(name).merge(other_child)
+
 
 class _ActiveSpan:
     """Context manager for one open span (possibly multi-segment)."""
@@ -157,6 +188,14 @@ class Tracer:
     def current_path(self) -> str:
         """``/``-joined path of the innermost open span (may be "")."""
         return "/".join(n.name for n in self._stack[1:])
+
+    def current_node(self) -> SpanStats:
+        """The innermost open span's node (the root when none is open).
+
+        Merge anchors use this: folding a child tracer's tree in here
+        files its spans under whatever span the caller has open.
+        """
+        return self._stack[-1]
 
 
 class Stopwatch:

@@ -346,6 +346,42 @@ class TestRPL010StageInstantiation:
         """) == []
 
 
+class TestRPL011ProcessImports:
+    def test_multiprocessing_import_flagged(self):
+        assert rules_of("""
+            import multiprocessing
+        """) == ["RPL011"]
+
+    def test_concurrent_futures_import_flagged(self):
+        assert rules_of("""
+            import concurrent.futures
+        """) == ["RPL011"]
+
+    def test_from_import_flagged(self):
+        assert rules_of("""
+            from concurrent.futures import ProcessPoolExecutor
+        """) == ["RPL011"]
+
+    def test_from_multiprocessing_submodule_flagged(self):
+        assert rules_of("""
+            from multiprocessing import get_context
+        """) == ["RPL011"]
+
+    def test_parallel_backend_module_exempt(self):
+        src = textwrap.dedent("""
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+        """)
+        path = "src/repro/parallel/__init__.py"
+        assert [v.rule for v in check_source(src, path)] == []
+
+    def test_unrelated_imports_allowed(self):
+        assert rules_of("""
+            import threading
+            from repro.parallel import create_backend
+        """) == []
+
+
 class TestWaivers:
     def test_waiver_with_reason_suppresses(self):
         assert rules_of("""

@@ -42,6 +42,11 @@ RPL010   No direct instantiation of pipeline stage classes
          so specs, checkpoints and the CLI all see one catalogue; a
          hand-built instance bypasses registration and option
          validation.
+RPL011   No direct ``multiprocessing`` / ``concurrent.futures``
+         imports outside ``repro.parallel``.  Process management lives
+         behind the execution-backend abstraction so worker counts,
+         seeding and telemetry merging stay consistent; an ad-hoc pool
+         silently breaks the bit-identical-results contract.
 ======== ==============================================================
 
 Any rule can be waived on a specific line with an inline comment
@@ -105,7 +110,18 @@ RULES: Dict[str, str] = {
               "(use repro.obs.Stopwatch / Recorder spans)",
     "RPL010": "direct stage-class instantiation outside the registry "
               "(use repro.core.stages.create_stage)",
+    "RPL011": "direct multiprocessing/concurrent.futures import outside "
+              "repro.parallel (use the execution-backend abstraction)",
 }
+
+#: Top-level modules only ``repro.parallel`` may import (RPL011).
+PROCESS_MODULES: Tuple[str, ...] = ("multiprocessing", "concurrent")
+
+#: Modules allowed to import process machinery directly (RPL011): the
+#: execution-backend package itself.
+PARALLEL_BACKEND_SUFFIXES: Tuple[str, ...] = (
+    "repro/parallel/__init__.py",
+)
 
 #: Modules allowed to instantiate stage classes directly (RPL010): the
 #: registry that defines them and the runner that executes specs.
@@ -177,6 +193,12 @@ def is_stage_factory(path: str) -> bool:
     return normalized.endswith(STAGE_FACTORY_SUFFIXES)
 
 
+def is_parallel_backend(path: str) -> bool:
+    """Whether a path may import process machinery directly (RPL011)."""
+    normalized = path.replace("\\", "/")
+    return normalized.endswith(PARALLEL_BACKEND_SUFFIXES)
+
+
 def is_timing_exempt(path: str) -> bool:
     """Whether a path may call ``time.perf_counter`` directly (RPL009).
 
@@ -195,7 +217,8 @@ class _Checker(ast.NodeVisitor):
                  timing_exempt: bool = False,
                  time_aliases: Optional[Set[str]] = None,
                  timer_names: Optional[Set[str]] = None,
-                 stage_factory: bool = False) -> None:
+                 stage_factory: bool = False,
+                 parallel_backend: bool = False) -> None:
         self.path = path
         self.kernel = kernel
         self.numpy_aliases = numpy_aliases
@@ -203,6 +226,7 @@ class _Checker(ast.NodeVisitor):
         self.time_aliases = time_aliases or set()
         self.timer_names = timer_names or set()
         self.stage_factory = stage_factory
+        self.parallel_backend = parallel_backend
         self.violations: List[Violation] = []
         self._hot_depth = 0
 
@@ -290,6 +314,28 @@ class _Checker(ast.NodeVisitor):
                        f"registry — use create_stage(<registry name>, "
                        f"options) so specs and checkpoints see one "
                        f"catalogue")
+
+    # -- RPL011: process imports outside repro.parallel ----------------
+    def _check_process_import(self, node: ast.AST,
+                              module: Optional[str]) -> None:
+        if self.parallel_backend or not module:
+            return
+        top = module.split(".", 1)[0]
+        if top in PROCESS_MODULES:
+            self._flag(node, "RPL011",
+                       f"import of {module!r} outside repro.parallel — "
+                       f"dispatch work through an ExecutionBackend so "
+                       f"seeding and telemetry merging stay uniform")
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for item in node.names:
+            self._check_process_import(node, item.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.level == 0:
+            self._check_process_import(node, node.module)
+        self.generic_visit(node)
 
     # -- RPL002 / RPL004 / RPL009 / RPL010: calls ----------------------
     def visit_Call(self, node: ast.Call) -> None:
@@ -454,7 +500,8 @@ def check_source(source: str, path: str = "<string>",
                        timing_exempt=is_timing_exempt(path),
                        time_aliases=time_aliases,
                        timer_names=timer_names,
-                       stage_factory=is_stage_factory(path))
+                       stage_factory=is_stage_factory(path),
+                       parallel_backend=is_parallel_backend(path))
     checker.visit(tree)
     kept: List[Violation] = []
     for violation in checker.violations:
@@ -493,7 +540,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m tools.lint",
-        description="Kernel-contract AST linter (rules RPL001-RPL010).")
+        description="Kernel-contract AST linter (rules RPL001-RPL011).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "
                              "(default: src/repro)")
