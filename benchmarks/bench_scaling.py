@@ -11,11 +11,25 @@ micro-benchmarks the vectorization targeted —
   which hit the cached sparse-LU factorization after the first call
   (the seed implementation ran a full ``spsolve`` per call).
 
-It also gates the observability layer: each scale is placed with the
-default (no-op ambient) recorder and with a live ``repro.obs.Recorder``
-— best-of-3 each, so scheduler noise does not swamp the comparison —
-and the relative difference of the two minima is recorded as
-``telemetry_overhead_pct`` (budget: <= 2%, see DESIGN.md).
+It also gates the observability layer: each scale runs ``repeats``
+back-to-back pairs — the default (no-op ambient) recorder immediately
+followed by a live ``repro.obs.Recorder`` — and
+``telemetry_overhead_pct`` is the *median of per-pair ratios*.
+Minima are kept for the wall-clock speedup series, but the overhead
+gate uses paired ratios: the difference of two best-of-N minima
+estimates the noise floor, not the overhead (how the historical
+numbers went negative), and pairing cancels machine drift that
+block-sequential medians still pick up.  ``--check-overhead`` turns
+the budget into an exit code, clamped to flag only positive
+regressions (a faster-with-telemetry reading is noise, not a
+regression).
+
+``thermal_fidelity`` compares the exact finite-volume solve against
+the calibrated closed-form surrogate in the move-loop path
+(``SurrogateThermalModel.move_delta``) at scale 0.1, reports the
+calibrated relative error, and places the same netlist under
+``exact`` and ``adaptive`` fidelity to confirm the final objectives
+are identical (the policy's trajectory-neutrality contract).
 
 ``--workers`` adds an execution-backend scaling row: the full pipeline
 at workers 1/2/4 (scale 0.1) with a bit-identity check against the
@@ -43,6 +57,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sys
 import time
 from typing import Dict, List, Optional
 
@@ -68,48 +83,55 @@ def _best_of(fn, repeats: int = 5) -> float:
 
 
 def bench_full_placement(scales: List[float],
-                         repeats: int = 3) -> Dict[str, dict]:
+                         repeats: int = 5) -> Dict[str, dict]:
     """Wall-clock and per-stage seconds of Placer3D per scale.
 
-    Each scale runs two configurations — the default path (private
-    recorder, no ambient instrumentation) and a fully instrumented run
-    with a live ``Recorder`` installed — and each configuration runs
-    ``repeats`` times, keeping the best wall clock.  A single timing
-    pair made the telemetry-overhead gate a coin flip (scheduler noise
-    at the 0.025 scale is larger than the <= 2% budget being measured);
-    best-of-N compares two noise-robust minima instead.  The netlist is
-    regenerated between runs because placement mutates it (TRR nets).
+    Each scale runs ``repeats`` back-to-back *pairs*: the default path
+    (private recorder, no ambient instrumentation) immediately
+    followed by a fully instrumented run with a live ``Recorder``
+    installed.  The minimum plain wall is kept as ``wall_seconds``
+    (the noise-robust statistic the before/after speedup series
+    compares), and the telemetry overhead is the *median of per-pair
+    ratios*: pairing cancels slow machine drift that made
+    block-sequential measurements (all plain runs, then all telemetry
+    runs) read impossible negative overheads on shared machines, and
+    the median discards pairs a scheduler hiccup landed in.  The
+    netlist is regenerated between runs because placement mutates it
+    (TRR nets).
     """
     out: Dict[str, dict] = {}
     for scale in scales:
-        wall = float("inf")
+        walls: List[float] = []
+        telemetry_walls: List[float] = []
         result = None
+        wall = float("inf")
         for _ in range(repeats):
             netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
             start = time.perf_counter()
             attempt = Placer3D(netlist, PlacementConfig()).run()
             elapsed = time.perf_counter() - start
+            walls.append(elapsed)
             if elapsed < wall:
                 wall, result = elapsed, attempt
-
-        telemetry_wall = float("inf")
-        for _ in range(repeats):
             netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
             start = time.perf_counter()
             Placer3D(netlist, PlacementConfig(),
                      recorder=Recorder()).run()
-            telemetry_wall = min(telemetry_wall,
-                                 time.perf_counter() - start)
+            telemetry_walls.append(time.perf_counter() - start)
         assert result is not None
+        overhead = float(np.median(
+            [t / p - 1.0 for p, t in zip(walls, telemetry_walls)]))
         out[str(scale)] = {
             "num_cells": len(netlist.cells),
             "repeats": repeats,
             "wall_seconds": wall,
+            "wall_seconds_median": float(np.median(walls)),
             "stage_seconds": dict(result.stage_seconds),
             "round_seconds": [dict(r) for r in result.round_seconds],
-            "telemetry_wall_seconds": telemetry_wall,
-            "telemetry_overhead_pct":
-                100.0 * (telemetry_wall / wall - 1.0) if wall > 0 else 0.0,
+            "telemetry_wall_seconds": min(telemetry_walls),
+            "telemetry_wall_seconds_median":
+                float(np.median(telemetry_walls)),
+            "telemetry_overhead_pct": 100.0 * overhead,
         }
     return out
 
@@ -195,6 +217,79 @@ def bench_solve_powers(repeats: int = 10) -> dict:
     return {"first_seconds": first, "repeat_seconds": repeat}
 
 
+def bench_thermal_fidelity(scale: float = 0.1,
+                           repeats: int = 200) -> dict:
+    """Exact vs surrogate thermal evaluation in the move-loop path.
+
+    Three measurements on one netlist/chip at ``scale``:
+
+    - timing: a warm exact ``solve_powers`` (cached LU, the cost of
+      re-evaluating the field after a move) against one surrogate
+      ``move_delta`` (the precomputed-column update the inner loop
+      actually needs) and one surrogate full-field solve;
+    - accuracy: the calibrated surrogate's relative L2 error against
+      the exact solver on the live placement's power map;
+    - trajectory-neutrality: the same placement under ``exact`` and
+      ``adaptive`` fidelity, whose final objectives must be identical.
+    """
+    from repro.core.context import auto_chip
+    from repro.metrics.wirelength import compute_net_metrics
+    from repro.netlist.placement import Placement
+    from repro.thermal import (PowerModel, SurrogateThermalModel,
+                               ThermalSolver)
+    from repro.thermal.surrogate import power_map_of, relative_error
+
+    config = PlacementConfig(alpha_temp=1e-5)
+    netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
+    chip = auto_chip(netlist, config)
+    solver = ThermalSolver(chip, config.tech)
+    surrogate = SurrogateThermalModel(chip, config.tech)
+    placement = Placement.random(netlist, chip, seed=3)
+    powers = PowerModel(netlist, config.tech).cell_powers(
+        compute_net_metrics(placement))
+    pmap = power_map_of(placement, powers, surrogate.nx, surrogate.ny)
+
+    start = time.perf_counter()
+    coeffs = surrogate.calibrate(solver, extra_power_maps=[pmap])
+    calibration_seconds = time.perf_counter() - start
+    error = relative_error(surrogate.solve_powers(pmap),
+                           solver.solve_powers(pmap))
+
+    solver.solve_powers(pmap)  # warm the LU before timing
+    exact_eval = _best_of(lambda: solver.solve_powers(pmap), repeats)
+    surrogate_eval = _best_of(lambda: surrogate.solve_powers(pmap),
+                              repeats)
+    n_tiles = surrogate.nx * surrogate.ny
+    delta_eval = _best_of(
+        lambda: surrogate.move_delta(0, 0, n_tiles - 1,
+                                     chip.num_layers - 1, 1e-4),
+        repeats)
+
+    objectives = {}
+    for mode in ("exact", "adaptive"):
+        netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
+        mode_config = PlacementConfig(alpha_temp=1e-5,
+                                      thermal_fidelity=mode)
+        objectives[mode] = Placer3D(netlist, mode_config).run().objective
+
+    return {
+        "circuit": CIRCUIT,
+        "scale": scale,
+        "calibration_seconds": calibration_seconds,
+        "calibration_residual": float(coeffs.residual),
+        "calibrated_relative_error": error,
+        "exact_eval_seconds": exact_eval,
+        "surrogate_eval_seconds": surrogate_eval,
+        "surrogate_delta_seconds": delta_eval,
+        "move_loop_speedup": exact_eval / delta_eval,
+        "full_solve_speedup": exact_eval / surrogate_eval,
+        "exact_objective": float(objectives["exact"]),
+        "adaptive_objective": float(objectives["adaptive"]),
+        "objective_match":
+            bool(objectives["exact"] == objectives["adaptive"]),
+    }
+
+
 def run_bench(scales: Optional[List[float]] = None,
               workers: bool = False) -> dict:
     writer = SeriesWriter("bench_scaling")
@@ -203,6 +298,7 @@ def run_bench(scales: Optional[List[float]] = None,
         "placement": bench_full_placement(scales or SCALES),
         "rebuild": bench_rebuild(),
         "solve_powers": bench_solve_powers(),
+        "thermal_fidelity": bench_thermal_fidelity(),
     }
     if workers:
         measurement["workers_scaling"] = bench_workers()
@@ -220,6 +316,14 @@ def run_bench(scales: Optional[List[float]] = None,
                f"{rb['seconds'] * 1e3:.3f} ms")
     writer.row(f"solve_powers: first {sp['first_seconds'] * 1e3:.2f} ms, "
                f"repeat {sp['repeat_seconds'] * 1e3:.3f} ms")
+    tf = measurement["thermal_fidelity"]
+    writer.row(f"thermal_fidelity (scale {tf['scale']}): exact "
+               f"{tf['exact_eval_seconds'] * 1e6:.0f} us, surrogate "
+               f"{tf['surrogate_eval_seconds'] * 1e6:.0f} us, "
+               f"move_delta {tf['surrogate_delta_seconds'] * 1e6:.1f} "
+               f"us ({tf['move_loop_speedup']:.0f}x), rel_err "
+               f"{tf['calibrated_relative_error']:.4f}, adaptive=="
+               f"exact: {tf['objective_match']}")
     if workers:
         ws = measurement["workers_scaling"]
         for count, entry in ws["workers"].items():
@@ -251,7 +355,36 @@ def merge(before: dict, after: dict) -> dict:
         speedup["solve_powers_repeat"] = (
             before["solve_powers"]["repeat_seconds"]
             / after["solve_powers"]["repeat_seconds"])
+    if "thermal_fidelity" in after:
+        # self-contained comparison (exact vs surrogate within one
+        # tree), surfaced here so the headline document carries it
+        tf = after["thermal_fidelity"]
+        speedup["thermal_fidelity"] = {
+            "move_loop": tf["move_loop_speedup"],
+            "full_solve": tf["full_solve_speedup"],
+            "calibrated_relative_error":
+                tf["calibrated_relative_error"],
+            "adaptive_matches_exact": tf["objective_match"],
+        }
     return {"before": before, "after": after, "speedup": speedup}
+
+
+def check_overhead(measurement: dict, budget_pct: float) -> List[str]:
+    """CI gate: telemetry overhead must stay within budget.
+
+    Clamped at zero — only *positive* regressions flag.  A negative
+    reading (telemetry run faster than the plain run) is scheduler
+    noise and historically produced spurious gate states in both
+    directions.
+    """
+    failures = []
+    for scale, entry in measurement.get("placement", {}).items():
+        overhead = max(0.0, entry["telemetry_overhead_pct"])
+        if overhead > budget_pct:
+            failures.append(
+                f"scale {scale}: telemetry overhead "
+                f"{overhead:.2f}% exceeds budget {budget_pct:.2f}%")
+    return failures
 
 
 def main() -> None:
@@ -266,6 +399,10 @@ def main() -> None:
                         help="also measure execution-backend scaling "
                              "(workers 1/2/4 at scale 0.1, with a "
                              "bit-identity check)")
+    parser.add_argument("--check-overhead", type=float, metavar="PCT",
+                        help="exit nonzero when telemetry overhead at "
+                             "any scale exceeds this budget (negative "
+                             "readings clamp to zero and never flag)")
     args = parser.parse_args()
     baseline = None
     if args.baseline:
@@ -280,6 +417,14 @@ def main() -> None:
         with open(args.json, "w") as fh:
             json.dump(document, fh, indent=2, sort_keys=True)
             fh.write("\n")
+    if args.check_overhead is not None:
+        failures = check_overhead(measurement, args.check_overhead)
+        for line in failures:
+            print(f"OVERHEAD GATE: {line}", file=sys.stderr)
+        if failures:
+            raise SystemExit(1)
+        print(f"overhead gate passed (budget "
+              f"{args.check_overhead:.2f}%)")
 
 
 def test_bench_scaling(benchmark):

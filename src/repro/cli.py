@@ -55,6 +55,7 @@ from repro import (
 )
 from repro import obs
 from repro.core.checkpoint import CheckpointError
+from repro.core.config import THERMAL_FIDELITY_MODES
 from repro.core.pipeline import (PipelineHalted, PipelineSpec,
                                  default_pipeline_spec)
 from repro.netlist import bookshelf
@@ -90,6 +91,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="thermal coefficient (default 0 = off)")
     place.add_argument("--layers", type=int, default=4,
                        help="active layers (default 4)")
+    place.add_argument("--thermal-fidelity",
+                       choices=list(THERMAL_FIDELITY_MODES),
+                       default="adaptive",
+                       help="who computes temperature fields: the "
+                            "exact finite-volume solver, the "
+                            "calibrated closed-form surrogate, or "
+                            "adaptive (surrogate inside stages, "
+                            "exact + drift check at boundaries; "
+                            "default).  Trajectory-neutral: the "
+                            "placement and objective are identical "
+                            "in every mode")
     place.add_argument("--workers", type=int, default=None,
                        help="execution-backend workers (default: "
                             "REPRO_WORKERS or serial; results are "
@@ -160,6 +172,7 @@ def _cmd_place(args) -> int:
     config = PlacementConfig(
         alpha_ilv=args.alpha_ilv, alpha_temp=args.alpha_temp,
         num_layers=args.layers, seed=args.seed,
+        thermal_fidelity=args.thermal_fidelity,
         num_workers=0 if args.workers is None else args.workers)
     print(f"placing {netlist.name}: {netlist.num_cells} cells, "
           f"{netlist.num_nets} nets, {args.layers} layers")

@@ -8,6 +8,13 @@ from typing import Any, Dict, Mapping
 
 from repro.technology import TechnologyConfig
 
+__all__ = ["PlacementConfig", "THERMAL_FIDELITY_MODES"]
+
+#: Legal values of :attr:`PlacementConfig.thermal_fidelity`.  Lives
+#: here (not in :mod:`repro.thermal.fidelity`) so config validation
+#: needs no thermal imports; the policy module re-exports it.
+THERMAL_FIDELITY_MODES = ("exact", "surrogate", "adaptive")
+
 
 @dataclass
 class PlacementConfig:
@@ -26,6 +33,15 @@ class PlacementConfig:
     Thermal-mechanism toggles (for ablations):
         use_thermal_net_weights: apply Eq. 8 net weights in partitioning.
         use_trr_nets: add thermal-resistance-reduction nets (Eq. 12).
+        thermal_fidelity: which solver computes temperature *fields*
+            (``exact`` | ``surrogate`` | ``adaptive``; see
+            :mod:`repro.thermal.fidelity`).  Trajectory-neutral: the
+            Eq. 3 objective and the final placement are identical in
+            every mode, so this is an execution-only knob (excluded
+            from the scientific config hash, like ``num_workers``).
+        thermal_drift_tolerance: relative surrogate-vs-exact error at
+            a stage boundary above which ``adaptive`` recalibrates
+            the surrogate (and logs a telemetry event).
 
     Global placement:
         min_region_cells: stop recursing below this many cells.
@@ -72,6 +88,8 @@ class PlacementConfig:
     num_layers: int = 4
     use_thermal_net_weights: bool = True
     use_trr_nets: bool = True
+    thermal_fidelity: str = "adaptive"
+    thermal_drift_tolerance: float = 0.05
 
     min_region_cells: int = 3
     partition_starts: int = 3
@@ -102,6 +120,13 @@ class PlacementConfig:
             raise ValueError("alpha_temp cannot be negative")
         if self.num_layers < 1:
             raise ValueError("need at least one layer")
+        if self.thermal_fidelity not in THERMAL_FIDELITY_MODES:
+            raise ValueError(
+                f"thermal_fidelity must be one of "
+                f"{THERMAL_FIDELITY_MODES}, "
+                f"got {self.thermal_fidelity!r}")
+        if self.thermal_drift_tolerance <= 0:
+            raise ValueError("thermal_drift_tolerance must be positive")
         if self.min_region_cells < 1:
             raise ValueError("min_region_cells must be >= 1")
         if not 0 < self.shift_max_density:

@@ -12,7 +12,7 @@ describes runs against the same state without hidden coupling.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 import numpy as np
 
@@ -24,6 +24,11 @@ from repro.netlist.netlist import Netlist
 from repro.netlist.placement import Placement
 from repro.obs import NULL_RECORDER, Recorder, get_logger
 from repro.thermal.power import PowerModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.thermal.fidelity import ThermalFidelityPolicy
+    # lint: ok[RPL012] type-only; the context owns the fidelity policy
+    from repro.thermal.solver import TemperatureField
 
 __all__ = ["PlacementContext", "auto_chip"]
 
@@ -84,6 +89,7 @@ class PlacementContext:
         self.rng = np.random.default_rng(config.seed)
         self.trr_net_ids: Dict[int, int] = dict(trr_net_ids or {})
         self._objective: Optional[ObjectiveState] = None
+        self._thermal_policy: Optional["ThermalFidelityPolicy"] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -139,6 +145,51 @@ class PlacementContext:
         """Drop the objective state (a stage replaced the placement
         wholesale and the caches must be rebuilt on next access)."""
         self._objective = None
+
+    # ------------------------------------------------------------------
+    @property
+    def thermal_policy_built(self) -> bool:
+        """Whether the fidelity policy exists yet (it is lazy, so a
+        run that never evaluates a temperature field never builds
+        one)."""
+        return self._thermal_policy is not None
+
+    @property
+    def thermal_policy(self) -> "ThermalFidelityPolicy":
+        """The run's thermal fidelity policy, built on first access.
+
+        Stages and the pipeline route every temperature-field
+        evaluation through this policy — never through a directly
+        instantiated :class:`~repro.thermal.solver.ThermalSolver`
+        (enforced by lint rule RPL012) — so the ``thermal_fidelity``
+        config knob governs all of them.
+        """
+        if self._thermal_policy is None:
+            from repro.thermal.fidelity import ThermalFidelityPolicy
+            self._thermal_policy = ThermalFidelityPolicy(
+                self.chip, self.config.tech,
+                mode=self.config.thermal_fidelity,
+                drift_tolerance=self.config.thermal_drift_tolerance)
+        return self._thermal_policy
+
+    def record_thermal(self, boundary: bool = False
+                       ) -> Optional["TemperatureField"]:
+        """Evaluate the temperature field under the fidelity policy.
+
+        Called by the pipeline after inner-loop stages (``boundary
+        False`` — served by the surrogate under ``adaptive``) and at
+        round boundaries (``boundary True`` — exact, with drift
+        detection).  Records the field's peak into the ``thermal/peak``
+        gauge.  A no-op returning ``None`` when thermal placement is
+        disabled, keeping non-thermal runs at their historical cost.
+        """
+        if not self.config.thermal_enabled:
+            return None
+        objective = self.ensure_objective()
+        field = self.thermal_policy.evaluate(
+            self.placement, objective.cell_powers(), boundary=boundary)
+        self.recorder.gauge("thermal/peak", field.max_temperature)
+        return field
 
     # ------------------------------------------------------------------
     def rng_state(self) -> Dict[str, Any]:

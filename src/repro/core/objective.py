@@ -612,6 +612,14 @@ class ObjectiveState:
         """Current attributed dynamic power of one cell, watts."""
         return float(self._power[cell_id])
 
+    def cell_powers(self) -> FloatArray:
+        """Copy of every cell's attributed dynamic power, watts.
+
+        The fidelity policy bins these to the thermal grid; a copy so
+        callers cannot desynchronise the incremental power cache.
+        """
+        return self._power.copy()
+
     def cell_nets(self, cell_id: int) -> List[int]:
         """Internal indices of the nets incident to a cell.
 

@@ -421,9 +421,14 @@ class PlacementPipeline:
                     with rec.span(stage_entry.stage):
                         create_stage(stage_entry.stage,
                                      stage_entry.options).run(self.ctx)
+                    # inner-loop field telemetry: surrogate-served
+                    # under the adaptive/surrogate fidelity modes
+                    self.ctx.record_thermal(boundary=False)
                     self._complete(unit)
         if end_unit in self._completed:
             return
+        # round boundary: exact field + surrogate drift check
+        self.ctx.record_thermal(boundary=True)
         objective = self.ctx.objective
         if entry.snapshot_best:
             if self._best is None or objective.total < self._best[0]:

@@ -151,6 +151,8 @@ class Placer3D:
                 pipeline.resume()
             pipeline.run()
             objective = ctx.objective
+            # final reporting is a boundary: exact field + drift check
+            ctx.record_thermal(boundary=True)
 
             if check:
                 check_legal(ctx.placement)
@@ -167,4 +169,6 @@ class Placer3D:
             stage_seconds=stage_seconds,
             round_seconds=round_seconds,
             telemetry=rec.snapshot(),
+            thermal=(ctx.thermal_policy.metadata()
+                     if ctx.thermal_policy_built else None),
         )

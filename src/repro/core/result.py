@@ -11,7 +11,7 @@ working.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.netlist.placement import Placement
 from repro.obs import Telemetry
@@ -35,6 +35,9 @@ class PlacementResult:
             coarse+detailed round, in round order.
         telemetry: full recorder snapshot (span tree, counters,
             series) for the run.
+        thermal: the thermal fidelity policy's metadata document
+            (mode, calibration coefficients, drift events, call
+            counts); ``None`` for non-thermal runs.
     """
 
     placement: Placement
@@ -45,3 +48,4 @@ class PlacementResult:
     stage_seconds: Dict[str, float] = field(default_factory=dict)
     round_seconds: List[Dict[str, float]] = field(default_factory=list)
     telemetry: Optional[Telemetry] = None
+    thermal: Optional[Dict[str, Any]] = None

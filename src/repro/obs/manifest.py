@@ -80,8 +80,12 @@ def content_hash(document: Any) -> str:
 #: ``config`` section but are excluded from :func:`config_hash`, so a
 #: checkpoint taken at ``--workers 4`` resumes under ``--workers 1``
 #: (and vice versa) — the determinism contract of :mod:`repro.parallel`
-#: guarantees the science is identical.
-EXECUTION_ONLY_KEYS = ("num_workers",)
+#: guarantees the science is identical.  The thermal-fidelity knobs
+#: qualify because the fidelity policy is trajectory-neutral: it picks
+#: who computes temperature *fields*, never the Eq. 3 objective (see
+#: :mod:`repro.thermal.fidelity`).
+EXECUTION_ONLY_KEYS = ("num_workers", "thermal_fidelity",
+                       "thermal_drift_tolerance")
 
 
 def config_hash(config: "PlacementConfig") -> str:
@@ -134,6 +138,7 @@ def build_manifest(netlist: "Netlist", config: "PlacementConfig",
                    trace_path: Optional[str] = None,
                    peak_temperature: Optional[float] = None,
                    pipeline: Optional[Dict[str, Any]] = None,
+                   thermal: Optional[Dict[str, Any]] = None,
                    ) -> Dict[str, Any]:
     """Assemble the run manifest document.
 
@@ -148,6 +153,9 @@ def build_manifest(netlist: "Netlist", config: "PlacementConfig",
         pipeline: the serialized :class:`PipelineSpec` the run
             executed (``spec.to_dict()``), recorded so a manifest pins
             the exact stage composition, not just the config knobs.
+        thermal: the fidelity policy's metadata document
+            (``ThermalFidelityPolicy.metadata()``); defaults to
+            ``result.thermal``.  ``None`` for non-thermal runs.
 
     Returns:
         A JSON-serialisable dict matching ``manifest_schema.json``.
@@ -155,6 +163,8 @@ def build_manifest(netlist: "Netlist", config: "PlacementConfig",
     tele = telemetry if telemetry is not None else result.telemetry
     if tele is None:
         tele = Telemetry()
+    if thermal is None:
+        thermal = getattr(result, "thermal", None)
     rounds: List[Dict[str, float]] = [
         dict(point) for point in tele.series.get("placer/round", [])]
     return {
@@ -187,6 +197,7 @@ def build_manifest(netlist: "Netlist", config: "PlacementConfig",
         "gauges": dict(tele.gauges),
         "trace_path": trace_path,
         "pipeline": pipeline,
+        "thermal": thermal,
     }
 
 

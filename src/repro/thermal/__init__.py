@@ -9,12 +9,21 @@
 - :class:`~repro.thermal.solver.ThermalSolver` — a full-chip
   finite-volume temperature solver (the evaluation-side substitute for
   the paper's FEA, see DESIGN.md substitution #3).
+- :class:`~repro.thermal.surrogate.SurrogateThermalModel` — the
+  calibrated closed-form image-source surrogate of the exact solver.
+- :class:`~repro.thermal.fidelity.ThermalFidelityPolicy` — routes
+  temperature-field evaluations between the exact solver and the
+  surrogate by the ``thermal_fidelity`` config knob.
 - :mod:`~repro.thermal.analysis` — temperature summaries of placements.
 """
 
 from repro.thermal.power import PekoOptimal, PowerModel
 from repro.thermal.resistance import ResistanceModel, VerticalProfile
 from repro.thermal.solver import ThermalSolver, TemperatureField
+from repro.thermal.surrogate import (SurrogateCoefficients,
+                                     SurrogateThermalModel)
+from repro.thermal.fidelity import (THERMAL_FIDELITY_MODES,
+                                    ThermalFidelityPolicy)
 from repro.thermal.analysis import ThermalSummary, analyze_placement
 
 __all__ = [
@@ -24,6 +33,10 @@ __all__ = [
     "VerticalProfile",
     "ThermalSolver",
     "TemperatureField",
+    "SurrogateCoefficients",
+    "SurrogateThermalModel",
+    "THERMAL_FIDELITY_MODES",
+    "ThermalFidelityPolicy",
     "ThermalSummary",
     "analyze_placement",
 ]

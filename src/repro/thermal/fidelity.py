@@ -1,0 +1,233 @@
+"""Thermal fidelity policy: who computes temperature fields, when.
+
+One placement run wants two incompatible things from its thermal
+model: exactness where results are reported (stage boundaries,
+checkpoints, the final manifest) and speed where fields are evaluated
+often (inner-loop telemetry on every move/shift/refine stage).  The
+:class:`ThermalFidelityPolicy` arbitrates between the exact
+finite-volume :class:`~repro.thermal.solver.ThermalSolver` and the
+calibrated closed-form :class:`~repro.thermal.surrogate
+.SurrogateThermalModel` according to the ``thermal_fidelity`` config
+knob:
+
+``exact``
+    Every evaluation uses the finite-volume solver.  The surrogate is
+    never built.
+``surrogate``
+    Every evaluation uses the surrogate (calibrated lazily against
+    the exact solver on first use — the exact solver still answers
+    the calibration probes, nothing else).
+``adaptive`` (default)
+    Boundary evaluations (stage/round ends, final reporting) use the
+    exact solver and double as *drift checks*: the surrogate answers
+    the same power map, and if its relative error exceeds
+    ``thermal_drift_tolerance`` the policy recalibrates against the
+    live power map and logs a telemetry event.  Non-boundary
+    evaluations use the surrogate.
+
+The policy is deliberately *trajectory-neutral*: the Eq. 3 objective
+prices thermal resistance through the closed-form per-layer table in
+:class:`~repro.core.objective.ObjectiveState` in every mode, so the
+search trajectory — and therefore the final placement and reported
+objective — is bit-identical across fidelity modes.  Fidelity changes
+only who computes temperature *fields* and how often, which is why
+``thermal_fidelity`` and ``thermal_drift_tolerance`` are
+execution-only config keys (excluded from the scientific config
+hash, like ``num_workers``).
+
+Everything the policy does is observable: per-fidelity call counters
+(``thermal/fidelity/*``), calibration spans and residual gauges
+(``thermal/surrogate*``, emitted by the surrogate itself), a
+``thermal/surrogate`` series row per drift check, and a
+:meth:`~ThermalFidelityPolicy.metadata` document (fit coefficients,
+inputs hash, event log) recorded in the run manifest.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from repro.analysis import FloatArray
+from repro.core.config import THERMAL_FIDELITY_MODES
+from repro.geometry.chip import ChipGeometry
+from repro.netlist.placement import Placement
+from repro.obs import get_recorder
+from repro.obs.manifest import content_hash
+from repro.technology import TechnologyConfig
+from repro.thermal.solver import TemperatureField, ThermalSolver
+from repro.thermal.surrogate import (SurrogateThermalModel, power_map_of,
+                                     relative_error)
+
+__all__ = ["THERMAL_FIDELITY_MODES", "ThermalFidelityPolicy"]
+
+
+class ThermalFidelityPolicy:
+    """Routes temperature-field evaluations by fidelity mode.
+
+    Both underlying models are built lazily: an ``exact`` run never
+    pays for surrogate calibration, and a run that never evaluates a
+    field (``alpha_temp = 0``) never pays for either.
+
+    Args:
+        chip: the placement volume both models are bound to.
+        tech: technology parameters.
+        mode: one of :data:`THERMAL_FIDELITY_MODES`.
+        drift_tolerance: relative-error threshold above which a
+            boundary drift check triggers recalibration.
+        nx, ny: lateral grid resolution shared by both models.
+    """
+
+    def __init__(self, chip: ChipGeometry,
+                 tech: Optional[TechnologyConfig] = None,
+                 mode: str = "adaptive",
+                 drift_tolerance: float = 0.05,
+                 nx: int = 16, ny: int = 16) -> None:
+        if mode not in THERMAL_FIDELITY_MODES:
+            raise ValueError(
+                f"thermal_fidelity must be one of "
+                f"{THERMAL_FIDELITY_MODES}, got {mode!r}")
+        if drift_tolerance <= 0:
+            raise ValueError("thermal_drift_tolerance must be positive")
+        self.chip = chip
+        self.tech = tech or TechnologyConfig()
+        self.mode = mode
+        self.drift_tolerance = drift_tolerance
+        self.nx = nx
+        self.ny = ny
+        self._solver: Optional[ThermalSolver] = None
+        self._surrogate: Optional[SurrogateThermalModel] = None
+        self.exact_calls = 0
+        self.surrogate_calls = 0
+        self.calibrations = 0
+        self.recalibrations = 0
+        self.events: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def solver(self) -> ThermalSolver:
+        """The exact finite-volume solver, built on first use."""
+        if self._solver is None:
+            self._solver = ThermalSolver(self.chip, self.tech,
+                                         nx=self.nx, ny=self.ny)
+        return self._solver
+
+    @property
+    def surrogate(self) -> SurrogateThermalModel:
+        """The closed-form surrogate, built (uncalibrated) on first
+        use; :meth:`evaluate_map` calibrates it when first needed."""
+        if self._surrogate is None:
+            self._surrogate = SurrogateThermalModel(
+                self.chip, self.tech, nx=self.nx, ny=self.ny)
+        return self._surrogate
+
+    def inputs_hash(self) -> str:
+        """Content hash of everything calibration depends on.
+
+        Covers the chip geometry, the thermally relevant technology
+        parameters and the grid — recorded in the manifest so two runs
+        whose surrogates saw identical calibration inputs can be told
+        apart from runs that merely share a config.
+        """
+        chip = self.chip
+        tech = self.tech
+        return content_hash({
+            "width": chip.width,
+            "height": chip.height,
+            "num_layers": chip.num_layers,
+            "layer_thickness": chip.layer_thickness,
+            "interlayer_thickness": chip.interlayer_thickness,
+            "substrate_thickness": chip.substrate_thickness,
+            "thermal_conductivity": tech.thermal_conductivity,
+            "substrate_conductivity": tech.substrate_conductivity,
+            "heat_sink_convection": tech.heat_sink_convection,
+            "secondary_convection": tech.secondary_convection,
+            "substrate_in_thermal_path": tech.substrate_in_thermal_path,
+            "ambient_temperature": tech.ambient_temperature,
+            "nx": self.nx,
+            "ny": self.ny,
+        })
+
+    # ------------------------------------------------------------------
+    def _calibrate(self, power_map: FloatArray, *,
+                   recalibration: bool) -> None:
+        """(Re)fit the surrogate, including the live power map."""
+        rec = get_recorder()
+        self.surrogate.calibrate(self.solver,
+                                 extra_power_maps=[power_map])
+        self.calibrations += 1
+        if recalibration:
+            self.recalibrations += 1
+            rec.count("thermal/surrogate/recalibrations")
+
+    def _ensure_calibrated(self, power_map: FloatArray) -> None:
+        if not self.surrogate.calibrated:
+            self._calibrate(power_map, recalibration=False)
+
+    def evaluate(self, placement: Placement, cell_powers: FloatArray,
+                 boundary: bool = False) -> TemperatureField:
+        """Temperature field of a placement under the fidelity policy.
+
+        Args:
+            placement: the placement to evaluate.
+            cell_powers: per-cell attributed powers, watts.
+            boundary: whether this is a stage/round boundary (or final
+                reporting) evaluation — the points where ``adaptive``
+                uses the exact solver and runs its drift check.
+        """
+        return self.evaluate_map(
+            power_map_of(placement, cell_powers, self.nx, self.ny),
+            boundary=boundary)
+
+    def evaluate_map(self, power_map: FloatArray,
+                     boundary: bool = False) -> TemperatureField:
+        """Temperature field of a binned power map (see
+        :meth:`evaluate`)."""
+        rec = get_recorder()
+        if self.mode == "exact":
+            self.exact_calls += 1
+            rec.count("thermal/fidelity/exact_calls")
+            return self.solver.solve_powers(power_map)
+        if self.mode == "surrogate" or not boundary:
+            self._ensure_calibrated(power_map)
+            self.surrogate_calls += 1
+            rec.count("thermal/fidelity/surrogate_calls")
+            return self.surrogate.solve_powers(power_map)
+        # adaptive boundary: exact field, plus a surrogate drift check
+        self.exact_calls += 1
+        rec.count("thermal/fidelity/exact_calls")
+        exact = self.solver.solve_powers(power_map)
+        self._ensure_calibrated(power_map)
+        error = relative_error(self.surrogate.solve_powers(power_map),
+                               exact)
+        drifted = error > self.drift_tolerance
+        rec.gauge("thermal/surrogate/drift", error)
+        rec.record("thermal/surrogate", error=error,
+                   recalibrated=float(drifted))
+        self.events.append({"error": error, "recalibrated": drifted})
+        if drifted:
+            self._calibrate(power_map, recalibration=True)
+        return exact
+
+    # ------------------------------------------------------------------
+    def metadata(self) -> Dict[str, Any]:
+        """JSON-safe summary for the run manifest.
+
+        Includes the fit coefficients and residual (when the surrogate
+        was calibrated), the calibration inputs hash, per-fidelity
+        call counts and the drift-check event log.
+        """
+        calibration: Optional[Dict[str, Any]] = None
+        if self._surrogate is not None and self._surrogate.calibrated:
+            calibration = self._surrogate.coefficients.to_dict()
+        return {
+            "mode": self.mode,
+            "drift_tolerance": float(self.drift_tolerance),
+            "grid": [int(self.nx), int(self.ny)],
+            "inputs_hash": self.inputs_hash(),
+            "exact_calls": int(self.exact_calls),
+            "surrogate_calls": int(self.surrogate_calls),
+            "calibrations": int(self.calibrations),
+            "recalibrations": int(self.recalibrations),
+            "calibration": calibration,
+            "events": [dict(e) for e in self.events],
+        }

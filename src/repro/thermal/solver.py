@@ -23,6 +23,7 @@ triple Python loop.  Temperatures are reported relative to ambient.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
@@ -35,6 +36,15 @@ from repro.geometry.chip import ChipGeometry
 from repro.netlist.placement import Placement
 from repro.obs import get_recorder
 from repro.technology import TechnologyConfig
+
+#: Process-wide LU cache keyed by a content hash of the resistance
+#: -model inputs (chip geometry + layer stack + thermal technology +
+#: grid), not object identity: rebuilding a solver — or a
+#: ``ResistanceModel``/chip — with identical parameters reuses the warm
+#: factorization instead of re-running ``splu``.  Bounded LRU so sweeps
+#: over many geometries cannot grow it without limit.
+_LU_CACHE: "OrderedDict[str, Any]" = OrderedDict()
+_LU_CACHE_MAX = 8
 
 
 @contract(shapes={"x": ("n",), "y": ("n",)},
@@ -129,6 +139,30 @@ class ThermalSolver:
         # cached sparse LU of the conductance matrix (scipy SuperLU,
         # which ships no type stubs)
         self._factor: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    def factor_key(self) -> str:
+        """Content hash of everything the conductance matrix depends
+        on — the key of the process-wide LU cache."""
+        from repro.obs.manifest import content_hash
+        chip = self.chip
+        tech = self.tech
+        return content_hash({
+            "width": chip.width,
+            "height": chip.height,
+            "num_layers": chip.num_layers,
+            "layer_thickness": chip.layer_thickness,
+            "interlayer_thickness": chip.interlayer_thickness,
+            "substrate_thickness": chip.substrate_thickness,
+            "thermal_conductivity": tech.thermal_conductivity,
+            "substrate_conductivity": tech.substrate_conductivity,
+            "heat_sink_convection": tech.heat_sink_convection,
+            "secondary_convection": tech.secondary_convection,
+            "substrate_in_thermal_path": tech.substrate_in_thermal_path,
+            "nx": self.nx,
+            "ny": self.ny,
+            "n_substrate": self.n_substrate,
+        })
 
     # ------------------------------------------------------------------
     @property
@@ -240,14 +274,26 @@ class ThermalSolver:
 
     def _factorize(self) -> Any:
         """Sparse LU of the conductance matrix, computed once per
-        geometry and reused by every subsequent solve."""
+        *geometry* (not per solver object) and reused by every
+        subsequent solve.  Lookup order: this instance, then the
+        process-wide content-keyed cache, then a fresh ``splu``."""
         rec = get_recorder()
-        if self._factor is None:
-            rec.count("thermal/lu_miss")
-            with rec.span("thermal/factorize"):
-                self._factor = splu(self._assemble().tocsc())
-        else:
+        if self._factor is not None:
             rec.count("thermal/lu_hit")
+            return self._factor
+        key = self.factor_key()
+        cached = _LU_CACHE.get(key)
+        if cached is not None:
+            _LU_CACHE.move_to_end(key)
+            rec.count("thermal/lu_shared_hit")
+            self._factor = cached
+            return cached
+        rec.count("thermal/lu_miss")
+        with rec.span("thermal/factorize"):
+            self._factor = splu(self._assemble().tocsc())
+        _LU_CACHE[key] = self._factor
+        while len(_LU_CACHE) > _LU_CACHE_MAX:
+            _LU_CACHE.popitem(last=False)
         return self._factor
 
     # ------------------------------------------------------------------

@@ -382,6 +382,47 @@ class TestRPL011ProcessImports:
         """) == []
 
 
+class TestRPL012SolverInCoreHotPath:
+    CORE = "src/repro/core/moves.py"
+
+    def _core_rules(self, source: str) -> List[str]:
+        violations = check_source(textwrap.dedent(source), self.CORE)
+        return [v.rule for v in violations]
+
+    def test_direct_import_flagged(self):
+        assert self._core_rules("""
+            import repro.thermal.solver
+        """) == ["RPL012"]
+
+    def test_from_import_flagged(self):
+        assert self._core_rules("""
+            from repro.thermal.solver import ThermalSolver
+        """) == ["RPL012"]
+
+    def test_package_attr_import_flagged(self):
+        assert self._core_rules("""
+            from repro.thermal import ThermalSolver
+        """) == ["RPL012"]
+
+    def test_fidelity_policy_import_allowed(self):
+        assert self._core_rules("""
+            from repro.thermal.fidelity import ThermalFidelityPolicy
+        """) == []
+
+    def test_non_core_module_allowed(self):
+        src = textwrap.dedent("""
+            from repro.thermal.solver import ThermalSolver
+        """)
+        path = "src/repro/thermal/fidelity.py"
+        assert [v.rule for v in check_source(src, path)] == []
+
+    def test_waiver_suppresses(self):
+        assert self._core_rules("""
+            # lint: ok[RPL012] type-only import for annotations
+            from repro.thermal.solver import TemperatureField
+        """) == []
+
+
 class TestWaivers:
     def test_waiver_with_reason_suppresses(self):
         assert rules_of("""

@@ -1,0 +1,293 @@
+"""Tests for the closed-form thermal surrogate and fidelity policy.
+
+The tentpole contracts pinned here:
+
+- the calibrated surrogate stays within 5% relative L2 error of the
+  exact finite-volume solver on real placements, across generated
+  netlists at three scales;
+- ``move_delta`` agrees with the difference of two full surrogate
+  solves (the O(1) inner-loop path is exact w.r.t. the model);
+- fidelity modes are trajectory-neutral: ``adaptive`` and ``exact``
+  runs of the same seed report identical final objectives and
+  bit-identical placements;
+- the fidelity knobs are execution-only (excluded from the scientific
+  config hash);
+- the shared LU cache is keyed on content, so two solver objects over
+  identical geometry share one factorization;
+- the policy's manifest metadata validates against the manifest
+  schema's ``thermal`` subschema.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import THERMAL_FIDELITY_MODES, PlacementConfig
+from repro.core.placer import Placer3D
+from repro.geometry.chip import ChipGeometry
+from repro.metrics.wirelength import compute_net_metrics
+from repro.netlist.bookshelf import write_pl
+from repro.netlist.generator import GeneratorSpec, generate_netlist
+from repro.netlist.placement import Placement
+from repro.obs.manifest import config_hash
+from repro.obs.validate import validate
+from repro.technology import TechnologyConfig
+from repro.thermal.fidelity import ThermalFidelityPolicy
+from repro.thermal.power import PowerModel
+from repro.thermal.solver import ThermalSolver
+from repro.thermal.solver import _LU_CACHE  # noqa: the shared cache
+from repro.thermal.surrogate import (SurrogateThermalModel, power_map_of,
+                                     relative_error, spreading_kernel)
+
+SCHEMA_PATH = os.path.join(os.path.dirname(__file__), os.pardir, "src",
+                           "repro", "obs", "manifest_schema.json")
+
+
+def _chip(netlist, tech, num_layers=4):
+    return ChipGeometry.for_cell_area(
+        netlist.total_cell_area, num_layers,
+        netlist.average_cell_height,
+        whitespace=tech.whitespace,
+        inter_row_space=tech.inter_row_space,
+        min_row_width=24.0 * netlist.average_cell_width,
+        layer_thickness=tech.layer_thickness,
+        interlayer_thickness=tech.interlayer_thickness,
+        substrate_thickness=tech.substrate_thickness)
+
+
+def _power_map(netlist, chip, tech, nx, ny, seed=3):
+    placement = Placement.random(netlist, chip, seed=seed)
+    powers = PowerModel(netlist, tech).cell_powers(
+        compute_net_metrics(placement))
+    return power_map_of(placement, powers, nx, ny)
+
+
+class TestSpreadingKernel:
+    def test_finite_everywhere(self):
+        g = np.linspace(0.0, 3.0, 7)
+        a, b, c = np.meshgrid(g, g, g, indexing="ij")
+        out = spreading_kernel(a, b, c)
+        assert np.all(np.isfinite(out))
+
+    def test_symmetric_in_lateral_args(self):
+        a = np.full((4,), 0.5)
+        b = np.linspace(0.1, 2.0, 4)
+        c = np.linspace(2.0, 0.1, 4)
+        assert np.allclose(spreading_kernel(a, b, c),
+                           spreading_kernel(a, c, b))
+
+
+class TestSurrogateAccuracy:
+    @pytest.mark.parametrize("num_cells", [60, 120, 240])
+    def test_calibrated_error_under_five_percent(self, tech, num_cells):
+        spec = GeneratorSpec(name=f"sur{num_cells}",
+                             num_cells=num_cells,
+                             total_area=num_cells * 5e-12, seed=17)
+        netlist = generate_netlist(spec)
+        chip = _chip(netlist, tech)
+        solver = ThermalSolver(chip, tech)
+        surrogate = SurrogateThermalModel(chip, tech)
+        pmap = _power_map(netlist, chip, tech,
+                          surrogate.nx, surrogate.ny)
+        surrogate.calibrate(solver, extra_power_maps=[pmap])
+        error = relative_error(surrogate.solve_powers(pmap),
+                               solver.solve_powers(pmap))
+        assert error < 0.05
+
+    def test_out_of_sample_placement(self, tech):
+        """A placement the calibration never saw stays accurate."""
+        spec = GeneratorSpec(name="oos", num_cells=120,
+                             total_area=120 * 5e-12, seed=17)
+        netlist = generate_netlist(spec)
+        chip = _chip(netlist, tech)
+        solver = ThermalSolver(chip, tech)
+        surrogate = SurrogateThermalModel(chip, tech)
+        surrogate.calibrate(solver)  # probe sources only
+        pmap = _power_map(netlist, chip, tech,
+                          surrogate.nx, surrogate.ny, seed=99)
+        error = relative_error(surrogate.solve_powers(pmap),
+                               solver.solve_powers(pmap))
+        assert error < 0.05
+
+    def test_move_delta_matches_solve_difference(self, tech):
+        spec = GeneratorSpec(name="delta", num_cells=60,
+                             total_area=60 * 5e-12, seed=17)
+        netlist = generate_netlist(spec)
+        chip = _chip(netlist, tech)
+        solver = ThermalSolver(chip, tech)
+        surrogate = SurrogateThermalModel(chip, tech)
+        surrogate.calibrate(solver)
+        nx, ny, nl = surrogate.nx, surrogate.ny, chip.num_layers
+        pmap = np.zeros((nx, ny, nl), dtype=np.float64)
+        pmap[2, 3, 0] = 1e-4
+        before = surrogate.solve_powers(pmap).active.ravel()
+        old_tile = 2 * ny + 3
+        new_tile = (nx - 2) * ny + (ny - 2)
+        pmap[2, 3, 0] = 0.0
+        pmap[nx - 2, ny - 2, nl - 1] = 1e-4
+        after = surrogate.solve_powers(pmap).active.ravel()
+        delta = surrogate.move_delta(old_tile, 0, new_tile, nl - 1,
+                                     1e-4)
+        assert np.allclose(after - before, delta, atol=1e-12)
+
+    def test_deterministic_calibration(self, tech):
+        spec = GeneratorSpec(name="detcal", num_cells=60,
+                             total_area=60 * 5e-12, seed=17)
+        netlist = generate_netlist(spec)
+        chip = _chip(netlist, tech)
+        fits = []
+        for _ in range(2):
+            surrogate = SurrogateThermalModel(chip, tech)
+            fits.append(surrogate.calibrate(ThermalSolver(chip, tech)))
+        assert fits[0].to_dict() == fits[1].to_dict()
+
+
+class TestFidelityPolicy:
+    def _setup(self, tech, mode, **kwargs):
+        spec = GeneratorSpec(name="pol", num_cells=60,
+                             total_area=60 * 5e-12, seed=17)
+        netlist = generate_netlist(spec)
+        chip = _chip(netlist, tech)
+        policy = ThermalFidelityPolicy(chip, tech, mode=mode, **kwargs)
+        pmap = _power_map(netlist, chip, tech, policy.nx, policy.ny)
+        return policy, pmap
+
+    def test_exact_mode_never_builds_surrogate(self, tech):
+        policy, pmap = self._setup(tech, "exact")
+        policy.evaluate_map(pmap, boundary=False)
+        policy.evaluate_map(pmap, boundary=True)
+        assert policy._surrogate is None
+        assert policy.exact_calls == 2
+        assert policy.surrogate_calls == 0
+
+    def test_surrogate_mode_never_exact_fields(self, tech):
+        policy, pmap = self._setup(tech, "surrogate")
+        policy.evaluate_map(pmap, boundary=False)
+        policy.evaluate_map(pmap, boundary=True)
+        assert policy.exact_calls == 0
+        assert policy.surrogate_calls == 2
+        assert policy.calibrations == 1
+
+    def test_adaptive_routes_by_boundary(self, tech):
+        policy, pmap = self._setup(tech, "adaptive")
+        policy.evaluate_map(pmap, boundary=False)
+        policy.evaluate_map(pmap, boundary=True)
+        assert policy.exact_calls == 1
+        assert policy.surrogate_calls == 1
+        assert len(policy.events) == 1
+        assert policy.events[0]["error"] < 0.05
+
+    def test_drift_triggers_recalibration(self, tech):
+        policy, pmap = self._setup(tech, "adaptive",
+                                   drift_tolerance=1e-9)
+        policy.evaluate_map(pmap, boundary=True)
+        assert policy.recalibrations == 1
+        assert policy.events[0]["recalibrated"] is True
+
+    def test_adaptive_boundary_field_is_exact(self, tech):
+        policy, pmap = self._setup(tech, "adaptive")
+        field = policy.evaluate_map(pmap, boundary=True)
+        exact = policy.solver.solve_powers(pmap)
+        assert np.array_equal(field.active, exact.active)
+
+    def test_bad_mode_rejected(self, tech):
+        spec = GeneratorSpec(name="bad", num_cells=60,
+                             total_area=60 * 5e-12, seed=17)
+        chip = _chip(generate_netlist(spec), tech)
+        with pytest.raises(ValueError):
+            ThermalFidelityPolicy(chip, tech, mode="fast")
+        with pytest.raises(ValueError):
+            ThermalFidelityPolicy(chip, tech, drift_tolerance=0.0)
+
+    def test_metadata_validates_against_schema(self, tech):
+        policy, pmap = self._setup(tech, "adaptive",
+                                   drift_tolerance=1e-9)
+        policy.evaluate_map(pmap, boundary=False)
+        policy.evaluate_map(pmap, boundary=True)
+        with open(SCHEMA_PATH) as fh:
+            schema = json.load(fh)["properties"]["thermal"]
+        meta = policy.metadata()
+        assert validate(meta, schema) == []
+        assert meta["recalibrations"] == 1
+        assert meta["calibration"] is not None
+
+
+class TestConfigKnobs:
+    def test_bad_fidelity_mode_rejected(self):
+        with pytest.raises(ValueError):
+            PlacementConfig(thermal_fidelity="approximate")
+        with pytest.raises(ValueError):
+            PlacementConfig(thermal_drift_tolerance=-1.0)
+
+    def test_all_modes_accepted(self):
+        for mode in THERMAL_FIDELITY_MODES:
+            PlacementConfig(thermal_fidelity=mode)
+
+    def test_fidelity_knobs_are_execution_only(self):
+        base = PlacementConfig(alpha_temp=4e-5)
+        variant = PlacementConfig(alpha_temp=4e-5,
+                                  thermal_fidelity="surrogate",
+                                  thermal_drift_tolerance=0.01)
+        assert config_hash(base) == config_hash(variant)
+
+
+class TestLUSharedCache:
+    def test_identical_geometry_shares_factorization(self, tech):
+        chip = ChipGeometry(width=100e-6, height=100e-6, num_layers=4,
+                            row_height=2e-6, row_pitch=2.5e-6)
+        a = ThermalSolver(chip, tech, nx=8, ny=8)
+        b = ThermalSolver(chip, tech, nx=8, ny=8)
+        assert a.factor_key() == b.factor_key()
+        p = np.zeros((8, 8, 4))
+        p[4, 4, 2] = 1e-3
+        fa = a.solve_powers(p)
+        entries = len(_LU_CACHE)
+        fb = b.solve_powers(p)
+        assert len(_LU_CACHE) == entries  # b reused a's factorization
+        assert np.array_equal(fa.active, fb.active)
+
+    def test_different_geometry_new_entry(self, tech):
+        chip1 = ChipGeometry(width=100e-6, height=100e-6, num_layers=4,
+                             row_height=2e-6, row_pitch=2.5e-6)
+        chip2 = ChipGeometry(width=200e-6, height=100e-6, num_layers=4,
+                             row_height=2e-6, row_pitch=2.5e-6)
+        a = ThermalSolver(chip1, tech, nx=8, ny=8)
+        b = ThermalSolver(chip2, tech, nx=8, ny=8)
+        assert a.factor_key() != b.factor_key()
+
+
+class TestTrajectoryNeutrality:
+    def test_adaptive_equals_exact(self, tmp_path):
+        """Same seed, different fidelity: identical final results."""
+        results = {}
+        for mode in ("exact", "adaptive"):
+            spec = GeneratorSpec(name="traj", num_cells=90,
+                                 total_area=90 * 5e-12, seed=11)
+            netlist = generate_netlist(spec)
+            config = PlacementConfig(alpha_ilv=1e-5, alpha_temp=4e-5,
+                                     num_layers=3, seed=3,
+                                     thermal_fidelity=mode)
+            result = Placer3D(netlist, config).run()
+            path = tmp_path / f"{mode}.pl"
+            write_pl(str(path), netlist, result.placement)
+            results[mode] = (result.objective, path.read_bytes())
+        assert results["exact"][0] == results["adaptive"][0]
+        assert results["exact"][1] == results["adaptive"][1]
+
+    def test_result_carries_thermal_metadata(self):
+        spec = GeneratorSpec(name="meta", num_cells=60,
+                             total_area=60 * 5e-12, seed=11)
+        netlist = generate_netlist(spec)
+        config = PlacementConfig(alpha_ilv=1e-5, alpha_temp=4e-5,
+                                 num_layers=3, seed=3,
+                                 thermal_fidelity="adaptive")
+        result = Placer3D(netlist, config).run()
+        assert result.thermal is not None
+        assert result.thermal["mode"] == "adaptive"
+        assert result.thermal["exact_calls"] >= 1
+        assert result.thermal["surrogate_calls"] >= 1
+        assert result.thermal["calibration"] is not None

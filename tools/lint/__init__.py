@@ -47,6 +47,13 @@ RPL011   No direct ``multiprocessing`` / ``concurrent.futures``
          behind the execution-backend abstraction so worker counts,
          seeding and telemetry merging stay consistent; an ad-hoc pool
          silently breaks the bit-identical-results contract.
+RPL012   No direct ``repro.thermal.solver`` imports from ``repro.core``
+         hot paths.  Temperature-field evaluations route through the
+         thermal fidelity policy (``PlacementContext.thermal_policy``)
+         so the ``thermal_fidelity`` config knob governs every
+         evaluation; a directly instantiated ``ThermalSolver`` in a
+         stage or move loop silently bypasses the surrogate, the drift
+         checks and the per-fidelity telemetry.
 ======== ==============================================================
 
 Any rule can be waived on a specific line with an inline comment
@@ -80,6 +87,7 @@ KERNEL_MODULE_SUFFIXES: Tuple[str, ...] = (
     "core/refine.py",
     "partition/fm.py",
     "thermal/solver.py",
+    "thermal/surrogate.py",
     "geometry/density.py",
 )
 
@@ -112,6 +120,8 @@ RULES: Dict[str, str] = {
               "(use repro.core.stages.create_stage)",
     "RPL011": "direct multiprocessing/concurrent.futures import outside "
               "repro.parallel (use the execution-backend abstraction)",
+    "RPL012": "direct repro.thermal.solver import in a repro.core hot "
+              "path (route through the thermal fidelity policy)",
 }
 
 #: Top-level modules only ``repro.parallel`` may import (RPL011).
@@ -199,6 +209,18 @@ def is_parallel_backend(path: str) -> bool:
     return normalized.endswith(PARALLEL_BACKEND_SUFFIXES)
 
 
+def is_core_hot_path(path: str) -> bool:
+    """Whether a path belongs to ``repro.core`` (RPL012 scope).
+
+    The whole engine package counts as hot-path territory: the only
+    sanctioned exact-solver entry point inside it is the fidelity
+    policy held by the placement context, which itself lives in
+    ``repro.thermal`` and is therefore out of scope.
+    """
+    normalized = "/" + path.replace("\\", "/")
+    return "/core/" in normalized
+
+
 def is_timing_exempt(path: str) -> bool:
     """Whether a path may call ``time.perf_counter`` directly (RPL009).
 
@@ -218,7 +240,8 @@ class _Checker(ast.NodeVisitor):
                  time_aliases: Optional[Set[str]] = None,
                  timer_names: Optional[Set[str]] = None,
                  stage_factory: bool = False,
-                 parallel_backend: bool = False) -> None:
+                 parallel_backend: bool = False,
+                 core_hot_path: bool = False) -> None:
         self.path = path
         self.kernel = kernel
         self.numpy_aliases = numpy_aliases
@@ -227,6 +250,7 @@ class _Checker(ast.NodeVisitor):
         self.timer_names = timer_names or set()
         self.stage_factory = stage_factory
         self.parallel_backend = parallel_backend
+        self.core_hot_path = core_hot_path
         self.violations: List[Violation] = []
         self._hot_depth = 0
 
@@ -327,14 +351,37 @@ class _Checker(ast.NodeVisitor):
                        f"dispatch work through an ExecutionBackend so "
                        f"seeding and telemetry merging stay uniform")
 
+    # -- RPL012: exact-solver imports in core hot paths ----------------
+    def _flag_solver_import(self, node: ast.AST, module: str) -> None:
+        self._flag(node, "RPL012",
+                   f"import of {module!r} in a repro.core hot path — "
+                   f"evaluate temperature fields through the thermal "
+                   f"fidelity policy (PlacementContext.thermal_policy) "
+                   f"so the thermal_fidelity knob governs them")
+
+    def _check_solver_import(self, node: ast.AST,
+                             module: Optional[str]) -> None:
+        if not self.core_hot_path or not module:
+            return
+        if module == "repro.thermal.solver" \
+                or module.startswith("repro.thermal.solver."):
+            self._flag_solver_import(node, module)
+
     def visit_Import(self, node: ast.Import) -> None:
         for item in node.names:
             self._check_process_import(node, item.name)
+            self._check_solver_import(node, item.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.level == 0:
             self._check_process_import(node, node.module)
+            self._check_solver_import(node, node.module)
+            if self.core_hot_path and node.module == "repro.thermal":
+                for item in node.names:
+                    if item.name in ("ThermalSolver", "solver"):
+                        self._flag_solver_import(
+                            node, f"repro.thermal.{item.name}")
         self.generic_visit(node)
 
     # -- RPL002 / RPL004 / RPL009 / RPL010: calls ----------------------
@@ -501,7 +548,8 @@ def check_source(source: str, path: str = "<string>",
                        time_aliases=time_aliases,
                        timer_names=timer_names,
                        stage_factory=is_stage_factory(path),
-                       parallel_backend=is_parallel_backend(path))
+                       parallel_backend=is_parallel_backend(path),
+                       core_hot_path=is_core_hot_path(path))
     checker.visit(tree)
     kept: List[Violation] = []
     for violation in checker.violations:
@@ -540,7 +588,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m tools.lint",
-        description="Kernel-contract AST linter (rules RPL001-RPL011).")
+        description="Kernel-contract AST linter (rules RPL001-RPL012).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "
                              "(default: src/repro)")
