@@ -27,7 +27,6 @@ from __future__ import annotations
 
 import json
 import os
-import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -36,6 +35,7 @@ import numpy as np
 
 from repro.analysis import FloatArray, IntArray
 from repro.core.context import PlacementContext
+from repro.obs.clock import wall_time
 from repro.obs.manifest import (CHECKPOINT_KIND, config_hash, content_hash,
                                 validate_checkpoint_meta)
 
@@ -141,7 +141,7 @@ def save_checkpoint(directory: Union[str, Path], ctx: PlacementContext,
     meta: Dict[str, Any] = {
         "kind": CHECKPOINT_KIND,
         "schema_version": CHECKPOINT_VERSION,
-        "created_unix": time.time(),
+        "created_unix": wall_time(),
         "seed": int(ctx.config.seed),
         "config": ctx.config.to_dict(),
         "config_hash": config_hash(ctx.config),

@@ -340,7 +340,9 @@ class GlobalPlacer:
                 if len(ext_sides) == 2:
                     continue  # cut regardless of the partition: constant
                 pins = list(internal)
-                for s in ext_sides:
+                # sorted: terminal numbering follows iteration order,
+                # and set order is arbitrary (determinism pass RPA103)
+                for s in sorted(ext_sides):
                     pins.append(terminal(s))
                 if len(pins) < 2:
                     continue

@@ -708,7 +708,9 @@ class ObjectiveState:
             power = self._power
             thermal_cells = set(moved)
             thermal_cells.update(p_delta)
-            for c in thermal_cells:
+            # sorted: float accumulation below is order-sensitive, and
+            # set order is arbitrary (determinism pass RPA103)
+            for c in sorted(thermal_cells):
                 old_r = float(r[zs[c], c])
                 pos = moved.get(c)
                 new_r = (float(r[pos[2], c]) if pos is not None

@@ -19,10 +19,13 @@ reports through:
 - :func:`render` — plain-text telemetry reports (``report.py``).
 
 Design note: ``repro.obs`` is the only part of ``src/repro`` allowed
-to touch ``time.perf_counter`` directly (linter rule RPL009); all
-other timing goes through spans or :class:`Stopwatch`.
+to touch the clocks directly — ``time.perf_counter`` (linter rule
+RPL009) and the wall clock (RPL013).  All other timing goes through
+spans or :class:`Stopwatch`, and timestamps through
+:func:`wall_time` (``clock.py``).
 """
 
+from repro.obs.clock import wall_time
 from repro.obs.events import EventSink, read_events
 from repro.obs.log import configure_cli_logging, get_logger
 from repro.obs.manifest import (build_manifest, config_hash, load_schema,
@@ -52,5 +55,6 @@ __all__ = [
     "render_spans",
     "use_recorder",
     "validate_manifest",
+    "wall_time",
     "write_manifest",
 ]

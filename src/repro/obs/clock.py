@@ -1,0 +1,24 @@
+"""Wall-clock access for the rest of the pipeline.
+
+``repro.obs`` owns every clock read (linter rules RPL009/RPL013):
+placement code that needs a timestamp — checkpoint metadata, manifest
+stamps — calls :func:`wall_time` instead of ``time.time()`` so the
+single wall-clock touchpoint stays in the observability layer, where
+tests can see (and audits can grep) every source of nondeterminism.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["wall_time"]
+
+
+def wall_time() -> float:
+    """Seconds since the Unix epoch (``time.time()``).
+
+    Wall-clock values are observability metadata only: nothing derived
+    from them may feed back into placement state (the determinism pass
+    RPA102 enforces this for everything reachable from the pipeline).
+    """
+    return time.time()

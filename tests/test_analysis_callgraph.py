@@ -1,0 +1,255 @@
+"""Symbol-table and call-graph construction tests (``tools.analysis``).
+
+Fixture packages are written to ``tmp_path`` so each test controls the
+full module layout: the loader derives the package name from the root
+directory's basename, so a tree written under ``tmp_path/app`` becomes
+the ``app.*`` module namespace.
+"""
+
+from __future__ import annotations
+
+import sys
+import textwrap
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.analysis import build_callgraph, load_program
+from tools.analysis.passes import build_context, enclosing_symbol
+
+
+def write_package(root: Path, files: Dict[str, str]) -> Path:
+    """Write ``files`` (relative paths -> source) under ``root``."""
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+@pytest.fixture()
+def app(tmp_path: Path) -> Path:
+    return tmp_path / "app"
+
+
+class TestSymbolTable:
+    def test_functions_classes_and_methods_indexed(self, app):
+        write_package(app, {
+            "__init__.py": "",
+            "mod.py": """
+                class Greeter:
+                    def hello(self) -> str:
+                        return "hi"
+
+                def top() -> None:
+                    def inner() -> None:
+                        pass
+                    inner()
+            """,
+        })
+        program = load_program([str(app)])
+        assert "app.mod.Greeter.hello" in program.functions
+        assert "app.mod.top" in program.functions
+        assert "app.mod.top.<locals>.inner" in program.functions
+        assert "app.mod.Greeter" in program.classes
+
+    def test_same_module_base_classes_resolve(self, app):
+        write_package(app, {
+            "__init__.py": "",
+            "mod.py": """
+                class Base:
+                    def run(self) -> None: ...
+
+                class Child(Base):
+                    def run(self) -> None: ...
+            """,
+        })
+        program = load_program([str(app)])
+        assert program.subclasses["app.mod.Base"] == {"app.mod.Child"}
+        overrides = program.overrides("app.mod.Base", "run")
+        assert [f.qualname for f in overrides] \
+            == ["app.mod.Child.run"]
+
+    def test_attr_types_from_init_params(self, app):
+        write_package(app, {
+            "__init__.py": "",
+            "a.py": """
+                class Engine:
+                    def spin(self) -> None: ...
+            """,
+            "b.py": """
+                from app.a import Engine
+
+                class Car:
+                    def __init__(self, engine: Engine) -> None:
+                        self.engine = engine
+            """,
+        })
+        program = load_program([str(app)])
+        cls = program.lookup_class("app.b.Car")
+        assert cls.attr_types["engine"] == "Engine"
+        assert program.resolve_type("app.b", "Engine") == "app.a.Engine"
+
+    def test_mutable_globals_detected(self, app):
+        write_package(app, {
+            "__init__.py": "",
+            "mod.py": """
+                CACHE = {}
+                NAMES = []
+                LIMIT = 8
+            """,
+        })
+        program = load_program([str(app)])
+        mod = program.modules["app.mod"]
+        assert "CACHE" in mod.mutable_globals
+        assert "NAMES" in mod.mutable_globals
+        assert "LIMIT" not in mod.mutable_globals
+
+
+class TestCallGraph:
+    def test_direct_and_method_edges(self, app):
+        write_package(app, {
+            "__init__.py": "",
+            "mod.py": """
+                class Worker:
+                    def step(self) -> None:
+                        self.cleanup()
+
+                    def cleanup(self) -> None: ...
+
+                def drive(w: Worker) -> None:
+                    w.step()
+            """,
+        })
+        program = load_program([str(app)])
+        graph = build_callgraph(program)
+        drive_callees = {s.callee for s in graph.callees("app.mod.drive")}
+        assert "app.mod.Worker.step" in drive_callees
+        step_callees = {s.callee
+                        for s in graph.callees("app.mod.Worker.step")}
+        assert "app.mod.Worker.cleanup" in step_callees
+
+    def test_virtual_expansion_over_factory_return(self, app):
+        write_package(app, {
+            "__init__.py": "",
+            "stages.py": """
+                class Stage:
+                    def run(self) -> None:
+                        raise NotImplementedError
+
+                class AStage(Stage):
+                    def run(self) -> None: ...
+
+                class BStage(Stage):
+                    def run(self) -> None: ...
+
+                def create(name: str) -> Stage:
+                    raise KeyError(name)
+            """,
+            "pipe.py": """
+                from app.stages import create
+
+                def main() -> None:
+                    create("a").run()
+            """,
+        })
+        program = load_program([str(app)])
+        graph = build_callgraph(program)
+        callees = {s.callee for s in graph.callees("app.pipe.main")}
+        # the factory's return annotation types the receiver, and the
+        # base-class call fans out to every override
+        assert "app.stages.AStage.run" in callees
+        assert "app.stages.BStage.run" in callees
+
+    def test_function_reference_edges(self, app):
+        write_package(app, {
+            "__init__.py": "",
+            "mod.py": """
+                def worker(item: int) -> int:
+                    return item + 1
+
+                def dispatch(items) -> list:
+                    return list(map(worker, items))
+            """,
+        })
+        program = load_program([str(app)])
+        graph = build_callgraph(program)
+        refs = [s for s in graph.callees("app.mod.dispatch")
+                if s.is_reference]
+        assert any(s.callee == "app.mod.worker" for s in refs)
+
+    def test_reachability_and_stop_modules(self, app):
+        write_package(app, {
+            "__init__.py": "",
+            "obs/__init__.py": "",
+            "obs/log.py": """
+                def emit() -> None:
+                    fmt()
+
+                def fmt() -> str:
+                    return ""
+            """,
+            "mod.py": """
+                from app.obs.log import emit
+
+                def top() -> None:
+                    mid()
+
+                def mid() -> None:
+                    emit()
+            """,
+        })
+        program = load_program([str(app)])
+        graph = build_callgraph(program)
+        closure = graph.reachable(["app.mod.top"])
+        assert "app.obs.log.fmt" in closure
+        stopped = graph.reachable(["app.mod.top"],
+                                  stop_modules=("app.obs",))
+        # the stop module's entry is included but not descended into
+        assert "app.obs.log.emit" in stopped
+        assert "app.obs.log.fmt" not in stopped
+
+    def test_nested_function_edge(self, app):
+        write_package(app, {
+            "__init__.py": "",
+            "mod.py": """
+                def outer() -> None:
+                    def helper() -> None:
+                        leaf()
+                    helper()
+
+                def leaf() -> None: ...
+            """,
+        })
+        program = load_program([str(app)])
+        graph = build_callgraph(program)
+        closure = graph.reachable(["app.mod.outer"])
+        assert "app.mod.outer.<locals>.helper" in closure
+        assert "app.mod.leaf" in closure
+
+
+class TestEnclosingSymbol:
+    def test_innermost_function_wins(self, app):
+        write_package(app, {
+            "__init__.py": "",
+            "mod.py": """
+                def outer() -> None:
+                    def inner() -> None:
+                        x = 1
+                    inner()
+
+                TOP = 1
+            """,
+        })
+        program = load_program([str(app)])
+        ctx = build_context(program)
+        # line 3 is inside inner()
+        assert enclosing_symbol(ctx, "app.mod", 3) \
+            == "app.mod.outer.<locals>.inner"
+        # the module-level assignment maps to the module itself
+        assert enclosing_symbol(ctx, "app.mod", 6) == "app.mod"

@@ -1,0 +1,226 @@
+"""CLI, baseline round-trip and SARIF output tests for
+``python -m tools.analysis``."""
+
+from __future__ import annotations
+
+import json
+import sys
+import textwrap
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.analysis import main
+from tools.analysis.baseline import (Baseline, BaselineError,
+                                     apply_baseline)
+from tools.analysis.findings import Finding
+from tools.analysis.sarif import to_sarif
+
+
+def write_package(root: Path, files: Dict[str, str]) -> Path:
+    for rel, source in files.items():
+        path = root / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+#: A fixture tree with one seeded determinism violation (RPA101) and
+#: one RPL013 wall-clock read.
+def violation_package(tmp_path: Path) -> Path:
+    return write_package(tmp_path / "repro", {
+        "__init__.py": "",
+        "core/__init__.py": "",
+        "core/pipeline.py": """
+            from repro.core.work import step
+
+            class PlacementPipeline:
+                def run(self) -> None:
+                    step()
+        """,
+        "core/work.py": """
+            import time
+            import numpy as np
+
+            def step() -> float:
+                rng = np.random.default_rng()
+                return rng.random() + time.time()
+        """,
+    })
+
+
+def clean_package(tmp_path: Path) -> Path:
+    return write_package(tmp_path / "repro", {
+        "__init__.py": "",
+        "core/__init__.py": "",
+        "core/pipeline.py": """
+            from repro.core.work import step
+
+            class PlacementPipeline:
+                def run(self) -> None:
+                    step()
+        """,
+        "core/work.py": """
+            import numpy as np
+
+            def step() -> float:
+                rng = np.random.default_rng(3)
+                return rng.random()
+        """,
+    })
+
+
+class TestExitCodes:
+    def test_nonzero_on_seeded_violation_fixture(self, tmp_path,
+                                                 capsys):
+        root = violation_package(tmp_path)
+        code = main([str(root), "--no-baseline"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "RPA101" in out
+        assert "RPL013" in out
+
+    def test_zero_on_clean_fixture(self, tmp_path):
+        root = clean_package(tmp_path)
+        assert main([str(root), "--no-baseline"]) == 0
+
+    def test_zero_on_shipped_tree_with_committed_baseline(self):
+        assert main([str(REPO_ROOT / "src" / "repro"),
+                     "--baseline",
+                     str(REPO_ROOT / "tools" / "analysis"
+                         / "baseline.json")]) == 0
+
+    def test_unknown_pass_is_usage_error(self, tmp_path):
+        root = clean_package(tmp_path)
+        assert main([str(root), "--pass", "nope"]) == 2
+
+    def test_max_seconds_guard_trips(self, tmp_path, capsys):
+        root = clean_package(tmp_path)
+        code = main([str(root), "--no-baseline",
+                     "--max-seconds", "0.0"])
+        assert code == 1
+        assert "bench guard" in capsys.readouterr().err
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_suppress(self, tmp_path, capsys):
+        root = violation_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(root), "--baseline", str(baseline),
+                     "--write-baseline", "fixture accepts these"]) == 0
+        assert baseline.exists()
+        # the same findings are now suppressed and the run passes
+        assert main([str(root), "--baseline", str(baseline)]) == 0
+        err = capsys.readouterr().err
+        assert "suppressed" in err
+
+    def test_line_drift_keeps_fingerprints(self, tmp_path):
+        root = violation_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert main([str(root), "--baseline", str(baseline),
+                     "--write-baseline", "fixture accepts these"]) == 0
+        # prepend a comment block: every line number shifts
+        work = root / "core" / "work.py"
+        work.write_text("# banner\n# banner\n# banner\n"
+                        + work.read_text())
+        assert main([str(root), "--baseline", str(baseline)]) == 0
+
+    def test_stale_entries_reported_not_fatal(self, tmp_path, capsys):
+        root = clean_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "findings": {"deadbeefdeadbeef": {
+                "rule": "RPA101", "reason": "obsolete"}},
+        }))
+        assert main([str(root), "--baseline", str(baseline)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().err
+
+    def test_entry_without_reason_rejected(self, tmp_path, capsys):
+        root = clean_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "findings": {"deadbeefdeadbeef": {"rule": "RPA101"}},
+        }))
+        assert main([str(root), "--baseline", str(baseline)]) == 2
+        assert "justification" in capsys.readouterr().err
+
+    def test_malformed_baseline_rejected(self, tmp_path):
+        with pytest.raises(BaselineError):
+            bad = tmp_path / "b.json"
+            bad.write_text("[]")
+            Baseline.load(bad)
+
+    def test_apply_baseline_split(self):
+        f1 = Finding(rule="RPA101", path="a.py", line=1, col=0,
+                     symbol="a.f", message="m1")
+        f2 = Finding(rule="RPA102", path="a.py", line=2, col=0,
+                     symbol="a.g", message="m2")
+        baseline = Baseline(entries={
+            f1.fingerprint(): {"reason": "known"}})
+        active, suppressed, stale = apply_baseline([f1, f2], baseline)
+        assert active == [f2]
+        assert suppressed == [f1]
+        assert stale == []
+
+
+class TestSarifOutput:
+    def test_sarif_written_and_valid(self, tmp_path):
+        root = violation_package(tmp_path)
+        sarif_path = tmp_path / "out" / "analysis.sarif"
+        code = main([str(root), "--no-baseline",
+                     "--sarif", str(sarif_path)])
+        assert code == 1
+        log = json.loads(sarif_path.read_text())
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-analysis"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        result_rules = {r["ruleId"] for r in run["results"]}
+        assert result_rules <= rule_ids
+        for result in run["results"]:
+            loc = result["locations"][0]["physicalLocation"]
+            assert loc["region"]["startLine"] >= 1
+            assert "uri" in loc["artifactLocation"]
+            assert "reproAnalysis/v1" in result["partialFingerprints"]
+
+    def test_suppressed_findings_marked(self, tmp_path):
+        root = violation_package(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        sarif_path = tmp_path / "analysis.sarif"
+        assert main([str(root), "--baseline", str(baseline),
+                     "--write-baseline", "accepted"]) == 0
+        assert main([str(root), "--baseline", str(baseline),
+                     "--sarif", str(sarif_path)]) == 0
+        log = json.loads(sarif_path.read_text())
+        results = log["runs"][0]["results"]
+        assert results, "suppressed findings must still be emitted"
+        assert all(r.get("suppressions") for r in results)
+
+    def test_to_sarif_unit(self):
+        finding = Finding(rule="RPA101", path="src\\x.py", line=3,
+                          col=2, symbol="x.f", message="m",
+                          pass_name="determinism")
+        log = to_sarif([finding], rule_docs={"RPA101": "doc"})
+        result = log["runs"][0]["results"][0]
+        assert result["level"] == "error"
+        loc = result["locations"][0]
+        assert loc["physicalLocation"]["artifactLocation"]["uri"] \
+            == "src/x.py"
+        assert loc["logicalLocations"][0]["fullyQualifiedName"] == "x.f"
+        assert result["properties"]["pass"] == "determinism"
+
+
+class TestListPasses:
+    def test_all_passes_listed(self, capsys):
+        assert main(["--list-passes"]) == 0
+        out = capsys.readouterr().out
+        for name in ("lint", "determinism", "purity", "fork-safety",
+                     "contracts"):
+            assert name in out

@@ -115,6 +115,18 @@ class TestCheckpointFormat:
         assert meta["completed"] == ["0:global", "1:round1/moves"]
         assert meta["objective_built"] is True
 
+    def test_created_unix_comes_from_obs_wall_time(self, tmp_path,
+                                                   monkeypatch):
+        # pins the RPL013 fix: checkpoint timestamps route through the
+        # observability layer's single wall-clock touchpoint
+        import repro.core.checkpoint as ckpt_mod
+        monkeypatch.setattr(ckpt_mod, "wall_time",
+                            lambda: 1181260800.0)
+        ckpt_dir, _ = self._halted_checkpoint(tmp_path)
+        meta_path, _ = checkpoint_paths(ckpt_dir)
+        meta = json.loads(meta_path.read_text())
+        assert meta["created_unix"] == 1181260800.0
+
     def test_loaded_checkpoint_matches_run(self, tmp_path):
         ckpt_dir, config = self._halted_checkpoint(tmp_path)
         data = load_checkpoint(ckpt_dir)

@@ -269,11 +269,13 @@ class TestRPL009RawClockCalls:
         assert rules_of(src) == ["RPL009", "RPL009"]
 
     def test_other_time_functions_allowed(self):
+        # time.time() is RPL013's business now; monotonic() is neither
+        # a timer (RPL009) nor a wall clock (RPL013)
         assert rules_of("""
             import time
 
             def f() -> float:
-                return time.time()
+                return time.monotonic()
         """) == []
 
     def test_obs_modules_exempt(self):
@@ -294,6 +296,62 @@ class TestRPL009RawClockCalls:
 
             def f() -> float:
                 return perf_counter()
+        """) == []
+
+
+class TestRPL013WallClockReads:
+    def test_time_time_flagged(self):
+        assert rules_of("""
+            import time
+
+            def f() -> float:
+                return time.time()
+        """) == ["RPL013"]
+
+    def test_time_ns_and_aliased_module_flagged(self):
+        src = """
+            import time as t
+            from time import time as now
+
+            def f() -> float:
+                return t.time_ns() + now()
+        """
+        assert rules_of(src) == ["RPL013", "RPL013"]
+
+    def test_datetime_class_methods_flagged(self):
+        src = """
+            from datetime import datetime, date
+
+            def f() -> str:
+                return datetime.now().isoformat() + str(date.today())
+        """
+        assert rules_of(src) == ["RPL013", "RPL013"]
+
+    def test_datetime_module_path_flagged(self):
+        assert rules_of("""
+            import datetime
+
+            def f() -> str:
+                return datetime.datetime.utcnow().isoformat()
+        """) == ["RPL013"]
+
+    def test_obs_modules_exempt(self):
+        src = textwrap.dedent("""
+            import time
+
+            def f() -> float:
+                return time.time()
+        """)
+        exempt = check_source(src, "src/repro/obs/clock.py")
+        assert [v.rule for v in exempt] == []
+
+    def test_datetime_construction_allowed(self):
+        # constructing a datetime from explicit values reads no clock
+        assert rules_of("""
+            from datetime import datetime
+
+            def f() -> datetime:
+                return datetime(2007, 6, 4)
         """) == []
 
 

@@ -1,0 +1,10 @@
+"""``python -m tools.analysis`` entry point."""
+
+from __future__ import annotations
+
+import sys
+
+from tools.analysis import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

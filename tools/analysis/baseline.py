@@ -1,0 +1,112 @@
+"""Committed baseline / suppression file for analyzer findings.
+
+The baseline is a JSON document mapping finding fingerprints (stable
+under line drift — see :meth:`Finding.fingerprint`) to a required,
+non-empty justification.  A gating finding whose fingerprint appears
+in the baseline is reported as suppressed and does not fail the run;
+an entry without a justification is itself an error, mirroring the
+RPL000 waiver rule.
+
+Stale entries (fingerprints no longer produced) are reported so the
+baseline shrinks as violations are fixed, but they do not fail the
+run — a fix should not force a lockstep baseline edit in the same
+commit.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from tools.analysis.findings import Finding
+
+__all__ = ["Baseline", "BaselineError", "apply_baseline"]
+
+_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """Malformed baseline file."""
+
+
+@dataclass
+class Baseline:
+    """fingerprint -> entry (rule/symbol are informational; only the
+    fingerprint and the justification are load-bearing)."""
+
+    entries: Dict[str, Dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            raw = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise BaselineError(f"{path}: invalid JSON: {exc}") from exc
+        if not isinstance(raw, dict) or "findings" not in raw:
+            raise BaselineError(
+                f"{path}: expected an object with a 'findings' key")
+        version = raw.get("version")
+        if version != _VERSION:
+            raise BaselineError(
+                f"{path}: unsupported baseline version {version!r}")
+        entries = raw["findings"]
+        if not isinstance(entries, dict):
+            raise BaselineError(f"{path}: 'findings' must be an object")
+        for fingerprint, entry in entries.items():
+            if not isinstance(entry, dict) \
+                    or not str(entry.get("reason", "")).strip():
+                raise BaselineError(
+                    f"{path}: baseline entry {fingerprint} has no "
+                    f"justification 'reason' — suppressions must say "
+                    f"why (like RPL000 waivers)")
+        return cls(dict(entries))
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding],
+                      reason: str) -> "Baseline":
+        """Baseline every gating finding with one shared reason."""
+        entries: Dict[str, Dict[str, str]] = {}
+        for finding in findings:
+            if not finding.gating:
+                continue
+            entries[finding.fingerprint()] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "message": finding.message,
+                "reason": reason,
+            }
+        return cls(entries)
+
+    def dump(self, path: Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "findings": {k: self.entries[k]
+                         for k in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2,
+                                   sort_keys=False) + "\n")
+
+
+def apply_baseline(findings: Sequence[Finding], baseline: Baseline
+                   ) -> Tuple[List[Finding], List[Finding], List[str]]:
+    """Split findings against the baseline.
+
+    Returns ``(active, suppressed, stale_fingerprints)``: gating
+    findings not in the baseline, findings matched by it, and baseline
+    fingerprints that matched nothing this run.
+    """
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    matched: set = set()
+    for finding in findings:
+        fingerprint = finding.fingerprint()
+        if fingerprint in baseline.entries:
+            matched.add(fingerprint)
+            suppressed.append(finding)
+        else:
+            active.append(finding)
+    stale = sorted(set(baseline.entries) - matched)
+    return active, suppressed, stale

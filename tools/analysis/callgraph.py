@@ -1,0 +1,340 @@
+"""Module-resolved call graph over a :class:`~tools.analysis.symbols.Program`.
+
+Every function body is scanned once.  Each ``ast.Call`` is resolved to
+a dotted callee name using, in order: local variables typed by
+parameter annotations, annotated assignments and constructor calls;
+``self``/``cls`` receivers; imported modules and symbols; chained calls
+typed by the inner callee's return annotation; and instance-attribute
+types harvested by the symbol table (``ctx.thermal_policy.evaluate``).
+
+Dynamic dispatch is modelled by *virtual expansion*: a call that
+resolves to a method of a class with known subclasses fans out to every
+override, so ``create_stage(...).run(ctx)`` reaches every registered
+stage and ``backend.map(fn, …)`` reaches both execution backends.
+Function references passed as call arguments (``backend.map(solve, …)``)
+produce reference edges, so worker entry points are reachable from
+their dispatch sites.
+
+Unresolvable callees are kept with a ``?.`` prefix (e.g. ``?.write``)
+— passes must treat them as unknown, never as safe.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from tools.analysis.symbols import (ClassInfo, FunctionInfo, Program)
+
+__all__ = ["CallGraph", "CallSite", "build_callgraph"]
+
+#: Builtin container constructors whose results we do not type.
+_UNTYPED_BUILTINS = {"list", "dict", "set", "tuple", "frozenset", "str",
+                     "int", "float", "bool", "bytes", "sorted", "len",
+                     "zip", "enumerate", "range", "min", "max", "sum"}
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved (or unresolved) call inside a function.
+
+    Attributes:
+        caller: qualname of the calling function.
+        callee: dotted callee name.  Internal program symbols carry
+            their full qualname; external calls keep the best-effort
+            dotted path (``numpy.random.default_rng``); unresolvable
+            receivers yield ``?.<attr>``.
+        node: the ``ast.Call`` (or the referencing expression for
+            function-reference edges).
+        internal: whether ``callee`` names a function in the program.
+        is_reference: True for a function *reference* passed as an
+            argument rather than a direct invocation.
+    """
+
+    caller: str
+    callee: str
+    node: ast.AST
+    internal: bool
+    is_reference: bool = False
+
+
+class CallGraph:
+    """Call sites per function plus reachability queries."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        #: caller qualname -> call sites in body order
+        self.sites: Dict[str, List[CallSite]] = {}
+
+    def callees(self, qualname: str) -> List[CallSite]:
+        """Call sites inside one function (empty if unknown)."""
+        return self.sites.get(qualname, [])
+
+    def reachable(self, roots: Iterable[str],
+                  stop_modules: Tuple[str, ...] = ()) -> Set[str]:
+        """Internal functions reachable from ``roots`` (inclusive).
+
+        Args:
+            roots: function qualnames to start from.
+            stop_modules: module-qualname prefixes the traversal does
+                not descend *into* (their functions are still included
+                when directly called, but their own callees are not
+                followed — used to keep e.g. the observability layer
+                out of a closure).
+        """
+        seen: Set[str] = set()
+        stack = [r for r in roots if r in self.program.functions]
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            fn = self.program.functions.get(current)
+            if fn is not None and any(
+                    fn.module == p or fn.module.startswith(p + ".")
+                    for p in stop_modules):
+                continue
+            for site in self.sites.get(current, ()):
+                if site.internal and site.callee not in seen:
+                    stack.append(site.callee)
+        return seen
+
+
+# ----------------------------------------------------------------------
+class _FunctionScanner:
+    """Resolves every call in one function body."""
+
+    def __init__(self, program: Program, fn: FunctionInfo) -> None:
+        self.program = program
+        self.fn = fn
+        self.module = fn.module
+        #: local variable -> type qualname
+        self.env: Dict[str, str] = {}
+        self.sites: List[CallSite] = []
+        self._build_env()
+
+    # -- local environment --------------------------------------------
+    def _build_env(self) -> None:
+        fn = self.fn
+        node = fn.node
+        args = getattr(node, "args", None)
+        if args is not None:
+            all_args = (list(args.posonlyargs) + list(args.args)
+                        + list(args.kwonlyargs))
+            for arg in all_args:
+                if arg.annotation is not None:
+                    resolved = self._type_of_annotation(arg.annotation)
+                    if resolved:
+                        self.env[arg.arg] = resolved
+            if fn.class_qualname and all_args:
+                first = all_args[0].arg
+                if first in ("self", "cls"):
+                    self.env[first] = fn.class_qualname
+        # forward scan of assignments: first typing wins
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.AnnAssign) \
+                    and isinstance(stmt.target, ast.Name):
+                resolved = self._type_of_annotation(stmt.annotation)
+                if resolved:
+                    self.env.setdefault(stmt.target.id, resolved)
+            elif isinstance(stmt, ast.Assign) \
+                    and len(stmt.targets) == 1 \
+                    and isinstance(stmt.targets[0], ast.Name) \
+                    and isinstance(stmt.value, ast.Call):
+                inferred = self._type_of_call(stmt.value)
+                if inferred:
+                    self.env.setdefault(stmt.targets[0].id, inferred)
+
+    def _type_of_annotation(self, node: ast.AST) -> Optional[str]:
+        try:
+            text = ast.unparse(node)
+        except Exception:  # pragma: no cover
+            return None
+        return self.program.resolve_type(self.module, text)
+
+    def _type_of_call(self, call: ast.Call) -> Optional[str]:
+        """Type of a call's result: a class for constructors, the
+        resolved return annotation for known functions."""
+        callee = self._resolve_callable(call.func)
+        if callee is None:
+            return None
+        if self.program.lookup_class(callee) is not None:
+            return callee
+        target = self.program.functions.get(callee)
+        if target is None:
+            return None
+        returns = getattr(target.node, "returns", None)
+        if returns is None:
+            return None
+        try:
+            text = ast.unparse(returns)
+        except Exception:  # pragma: no cover
+            return None
+        return self.program.resolve_type(target.module, text)
+
+    # -- expression typing --------------------------------------------
+    def _type_of_expr(self, node: ast.AST) -> Optional[str]:
+        """Best-effort type qualname of an expression."""
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id)
+        if isinstance(node, ast.Call):
+            return self._type_of_call(node)
+        if isinstance(node, ast.Attribute):
+            base_type = self._type_of_expr(node.value)
+            if base_type is not None:
+                cls = self.program.lookup_class(base_type)
+                if cls is not None:
+                    ann = self._attr_annotation(cls, node.attr)
+                    if ann is not None:
+                        return self.program.resolve_type(cls.module, ann)
+            return None
+        return None
+
+    def _attr_annotation(self, cls: ClassInfo,
+                         attr: str) -> Optional[str]:
+        """Attribute type annotation text, searching the class MRO."""
+        seen: Set[str] = set()
+        stack = [cls.qualname]
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            info = self.program.lookup_class(qual)
+            if info is None:
+                continue
+            if attr in info.attr_types:
+                return info.attr_types[attr]
+            stack.extend(info.bases)
+        return None
+
+    # -- call resolution ----------------------------------------------
+    def _resolve_callable(self, func: ast.AST) -> Optional[str]:
+        """Dotted name of the function/class a call expression targets."""
+        if isinstance(func, ast.Name):
+            name = func.id
+            # nested function defined in this (or an enclosing) scope
+            nested = f"{self.fn.qualname}.<locals>.{name}"
+            if nested in self.program.functions:
+                return nested
+            if self.fn.parent:
+                sibling = f"{self.fn.parent}.<locals>.{name}"
+                if sibling in self.program.functions:
+                    return sibling
+            resolved = self.program.resolve(self.module, name)
+            if resolved != name:
+                return resolved
+            return name  # builtin or truly global
+        if isinstance(func, ast.Attribute):
+            # 1) receiver with a known type -> method on that class
+            recv_type = self._type_of_expr(func.value)
+            if recv_type is not None \
+                    and self.program.lookup_class(recv_type) is not None:
+                return f"{recv_type}.{func.attr}"
+            # 2) dotted module/class path (np.random.default_rng,
+            #    repro.obs.get_recorder, SomeClass.method)
+            try:
+                full = ast.unparse(func)
+            except Exception:  # pragma: no cover
+                full = None
+            if full is not None and _is_dotted(full):
+                return self.program.resolve(self.module, full)
+            # 3) chained/opaque receiver: keep the attr as unknown
+            return f"?.{func.attr}"
+        return None
+
+    def _canonical_method(self, callee: str
+                          ) -> Tuple[str, bool, Optional[str],
+                                     Optional[str]]:
+        """Resolve a ``Class.method`` callee through the MRO.
+
+        Returns ``(canonical_name, internal, class_qualname, method)``
+        where ``class_qualname``/``method`` are set when the callee is
+        a method call eligible for virtual expansion.
+        """
+        program = self.program
+        if callee in program.functions:
+            fn = program.functions[callee]
+            return callee, True, fn.class_qualname, fn.name
+        head, _, attr = callee.rpartition(".")
+        if head and program.lookup_class(head) is not None:
+            found = program.resolve_method(head, attr)
+            if found is not None:
+                return found.qualname, True, head, attr
+            return callee, False, head, attr
+        # constructor: resolve a class name to its __init__
+        cls = program.lookup_class(callee)
+        if cls is not None:
+            init = program.resolve_method(cls.qualname, "__init__")
+            if init is not None:
+                return init.qualname, True, None, None
+            return cls.qualname, False, None, None
+        # package re-export of a function: repro.obs.get_recorder
+        mod = program.modules.get(head)
+        if mod is not None and attr in mod.imports:
+            target = mod.imports[attr]
+            if target in program.functions:
+                return target, True, None, None
+            if program.lookup_class(target) is not None:
+                return self._canonical_method(target)[0:2] + (None, None)
+        return callee, False, None, None
+
+    # -- scanning ------------------------------------------------------
+    def scan(self) -> List[CallSite]:
+        for node in ast.walk(self.fn.node):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not self.fn.node:
+                # nested defs are separate FunctionInfos; add an edge
+                # (defining implies potential execution on this path)
+                nested = f"{self.fn.qualname}.<locals>.{node.name}"
+                if nested in self.program.functions:
+                    self.sites.append(CallSite(
+                        self.fn.qualname, nested, node, True))
+                continue
+            if not isinstance(node, ast.Call):
+                continue
+            self._scan_call(node)
+        return self.sites
+
+    def _scan_call(self, call: ast.Call) -> None:
+        callee = self._resolve_callable(call.func)
+        if callee is None:
+            callee = "?.<unknown>"
+        canonical, internal, cls_qual, method = \
+            self._canonical_method(callee)
+        self.sites.append(CallSite(self.fn.qualname, canonical, call,
+                                   internal))
+        # virtual expansion over subclass overrides
+        if cls_qual is not None and method is not None:
+            for override in self.program.overrides(cls_qual, method):
+                if override.qualname != canonical:
+                    self.sites.append(CallSite(
+                        self.fn.qualname, override.qualname, call, True))
+        # function references passed as arguments
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            if isinstance(arg, (ast.Name, ast.Attribute)):
+                try:
+                    text = ast.unparse(arg)
+                except Exception:  # pragma: no cover
+                    continue
+                if not _is_dotted(text):
+                    continue
+                resolved = self.program.resolve(self.module, text)
+                ref, internal_ref, _, _ = self._canonical_method(resolved)
+                if internal_ref:
+                    self.sites.append(CallSite(
+                        self.fn.qualname, ref, arg, True,
+                        is_reference=True))
+
+
+def _is_dotted(text: str) -> bool:
+    return all(part.isidentifier() for part in text.split("."))
+
+
+def build_callgraph(program: Program) -> CallGraph:
+    """Scan every function in the program and return the call graph."""
+    graph = CallGraph(program)
+    for fn in program.functions.values():
+        graph.sites[fn.qualname] = _FunctionScanner(program, fn).scan()
+    return graph

@@ -1,0 +1,89 @@
+"""Finding model shared by every analysis pass.
+
+A :class:`Finding` is one rule violation at a source location, tagged
+with the *symbol* (enclosing function or module qualname) it lives in.
+Fingerprints deliberately exclude line/column — so a committed
+baseline survives unrelated edits above the finding — and the file
+path — so absolute vs relative invocation roots agree; the symbol
+qualname already pins the module.  They cover rule, symbol and
+message text.
+
+Severity levels:
+
+``error``
+    A proven invariant violation.  Gates the exit code.
+``warning``
+    A violation the analysis cannot prove harmless (e.g. mutation of
+    module-level state from a fork-dispatched closure).  Gates the
+    exit code; baseline entries need a justification.
+``note``
+    Informational (e.g. ``dict.keys()`` iteration feeding an ordering
+    output: insertion-ordered in CPython, flagged for review only).
+    Never gates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["Finding", "GATING_LEVELS", "LEVELS"]
+
+LEVELS: Tuple[str, ...] = ("error", "warning", "note")
+GATING_LEVELS: Tuple[str, ...] = ("error", "warning")
+
+
+def _normalize_path(path: str) -> str:
+    return path.replace("\\", "/")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location.
+
+    Attributes:
+        rule: rule id (``RPL004``, ``RPA103`` …).
+        path: source file path.
+        line: 1-based line number.
+        col: 0-based column.
+        symbol: qualname of the enclosing function, class or module.
+        message: human-readable description (line-number free, so the
+            fingerprint is stable under drift).
+        level: ``error`` | ``warning`` | ``note``.
+        pass_name: the pass that produced the finding.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    symbol: str
+    message: str
+    level: str = "error"
+    pass_name: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.level not in LEVELS:
+            raise ValueError(f"unknown finding level {self.level!r}")
+
+    @property
+    def gating(self) -> bool:
+        """Whether this finding can fail the run (unless baselined)."""
+        return self.level in GATING_LEVELS
+
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (no line numbers,
+        no file path)."""
+        key = "|".join((self.rule, self.symbol, self.message))
+        return hashlib.sha256(key.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        tag = "" if self.level == "error" else f" [{self.level}]"
+        return (f"{self.path}:{self.line}:{self.col}: {self.rule}"
+                f"{tag} {self.message}  ({self.symbol})")
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (_normalize_path(self.path), self.line, self.col,
+                self.rule)

@@ -1,0 +1,239 @@
+"""Contract-consistency pass (RPA4xx).
+
+``@contract(shapes=..., dtypes=...)`` declares the runtime-checkable
+array interface of a kernel (checked when ``REPRO_CONTRACTS=1``).
+This pass checks the *static* side: at every internal call site of a
+contracted function, arguments whose construction is statically
+visible (``np.zeros((n, 3), dtype=...)`` and friends) are compared
+against the spec, so shape/dtype drift is caught at lint time instead
+of in the one CI job that runs with contracts enabled.
+
+======== ==============================================================
+RPA401   Caller passes an array whose statically-known rank (number
+         of dimensions) differs from the ``shapes`` spec.  [error]
+RPA402   Caller passes an array whose statically-known dtype family
+         (floating vs integer vs bool) differs from the ``dtypes``
+         spec.  [error]
+======== ==============================================================
+
+Only provable mismatches are reported: an argument whose construction
+the analysis cannot see is skipped, never guessed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from tools.analysis.findings import Finding
+from tools.analysis.passes import (AnalysisContext, AnalysisPass,
+                                   finding_at, iter_own_nodes,
+                                   register_pass)
+from tools.analysis.symbols import FunctionInfo
+
+#: dtype expression suffix -> abstract family name.
+DTYPE_FAMILIES: Dict[str, str] = {
+    "float16": "floating", "float32": "floating",
+    "float64": "floating", "float128": "floating",
+    "floating": "floating", "double": "floating",
+    "int8": "integer", "int16": "integer", "int32": "integer",
+    "int64": "integer", "uint8": "integer", "uint16": "integer",
+    "uint32": "integer", "uint64": "integer", "intp": "integer",
+    "integer": "integer", "signedinteger": "integer",
+    "int": "integer", "float": "floating", "bool": "bool",
+    "bool_": "bool",
+}
+
+#: Constructors whose first positional argument is the shape.
+SHAPE_CONSTRUCTORS = ("zeros", "empty", "ones", "full")
+
+
+class ContractSpec:
+    """Parsed ``@contract`` decorator of one function."""
+
+    def __init__(self) -> None:
+        #: param name -> declared rank
+        self.ranks: Dict[str, int] = {}
+        #: param name -> dtype family ("floating" | "integer" | "bool")
+        self.dtypes: Dict[str, str] = {}
+
+
+def parse_contract(fn: FunctionInfo) -> Optional[ContractSpec]:
+    """Extract the spec from a ``@contract(...)`` decorator AST."""
+    node = fn.node
+    for dec in getattr(node, "decorator_list", ()):
+        if not isinstance(dec, ast.Call):
+            continue
+        name = dec.func.attr if isinstance(dec.func, ast.Attribute) \
+            else getattr(dec.func, "id", None)
+        if name != "contract":
+            continue
+        spec = ContractSpec()
+        for kw in dec.keywords:
+            if kw.arg == "shapes" and isinstance(kw.value, ast.Dict):
+                for key, value in zip(kw.value.keys, kw.value.values):
+                    if isinstance(key, ast.Constant) \
+                            and isinstance(key.value, str) \
+                            and isinstance(value, ast.Tuple):
+                        spec.ranks[key.value] = len(value.elts)
+            elif kw.arg == "dtypes" and isinstance(kw.value, ast.Dict):
+                for key, value in zip(kw.value.keys, kw.value.values):
+                    if isinstance(key, ast.Constant) \
+                            and isinstance(key.value, str):
+                        family = _dtype_family(value)
+                        if family is not None:
+                            spec.dtypes[key.value] = family
+        return spec
+    return None
+
+
+def _dtype_family(node: ast.AST) -> Optional[str]:
+    """Abstract family of a dtype expression (``np.floating`` …)."""
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover
+        return None
+    return DTYPE_FAMILIES.get(text.rsplit(".", 1)[-1])
+
+
+def _param_names(fn: FunctionInfo) -> List[str]:
+    args = getattr(fn.node, "args", None)
+    if args is None:
+        return []
+    names = [a.arg for a in
+             list(args.posonlyargs) + list(args.args)]
+    if names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return names
+
+
+class _ArrayFacts:
+    """Statically-known rank/dtype of locals in one function."""
+
+    def __init__(self, ctx: AnalysisContext,
+                 fn: FunctionInfo) -> None:
+        self.ranks: Dict[str, int] = {}
+        self.dtypes: Dict[str, str] = {}
+        numpy_names = {name for name, target
+                       in ctx.program.modules[fn.module].imports.items()
+                       if target == "numpy"} | {"numpy"}
+        for node in iter_own_nodes(fn.node):
+            if not (isinstance(node, ast.Assign)
+                    and len(node.targets) == 1
+                    and isinstance(node.targets[0], ast.Name)
+                    and isinstance(node.value, ast.Call)):
+                continue
+            name = node.targets[0].id
+            facts = _call_facts(node.value, numpy_names)
+            if facts is None:
+                continue
+            rank, family = facts
+            # re-assignment with different facts -> unknowable
+            if rank is not None:
+                if name in self.ranks and self.ranks[name] != rank:
+                    self.ranks[name] = -1
+                else:
+                    self.ranks.setdefault(name, rank)
+            if family is not None:
+                if name in self.dtypes and self.dtypes[name] != family:
+                    self.dtypes[name] = "?"
+                else:
+                    self.dtypes.setdefault(name, family)
+
+
+def _call_facts(call: ast.Call, numpy_names: set
+                ) -> Optional[Tuple[Optional[int], Optional[str]]]:
+    """(rank, dtype family) of a numpy constructor call, if visible."""
+    func = call.func
+    if not (isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in numpy_names):
+        return None
+    rank: Optional[int] = None
+    family: Optional[str] = None
+    if func.attr in SHAPE_CONSTRUCTORS and call.args:
+        shape = call.args[0]
+        if isinstance(shape, (ast.Tuple, ast.List)):
+            rank = len(shape.elts)
+        elif isinstance(shape, (ast.Constant, ast.Name, ast.Attribute,
+                                ast.BinOp)):
+            rank = 1
+    elif func.attr in ("arange", "linspace", "fromiter"):
+        rank = 1
+    for kw in call.keywords:
+        if kw.arg == "dtype":
+            family = _dtype_family(kw.value)
+    if rank is None and family is None:
+        return None
+    return rank, family
+
+
+@register_pass
+class ContractPass(AnalysisPass):
+    name = "contracts"
+    description = ("@contract shape/dtype specs vs caller-side array "
+                   "construction (RPA401-RPA402)")
+
+    def run(self, ctx: AnalysisContext) -> List[Finding]:
+        specs: Dict[str, Tuple[FunctionInfo, ContractSpec,
+                               List[str]]] = {}
+        for fn in ctx.program.functions.values():
+            if not fn.has_decorator("contract"):
+                continue
+            spec = parse_contract(fn)
+            if spec is not None and (spec.ranks or spec.dtypes):
+                specs[fn.qualname] = (fn, spec, _param_names(fn))
+        findings: List[Finding] = []
+        for caller_qual, sites in sorted(ctx.graph.sites.items()):
+            caller = ctx.program.functions.get(caller_qual)
+            if caller is None:
+                continue
+            facts: Optional[_ArrayFacts] = None
+            for site in sites:
+                if site.is_reference or site.callee not in specs \
+                        or not isinstance(site.node, ast.Call):
+                    continue
+                if facts is None:
+                    facts = _ArrayFacts(ctx, caller)
+                target, spec, params = specs[site.callee]
+                findings.extend(self._check_site(
+                    ctx, caller, site.node, target, spec, params,
+                    facts))
+        return findings
+
+    def _check_site(self, ctx: AnalysisContext, caller: FunctionInfo,
+                    call: ast.Call, target: FunctionInfo,
+                    spec: ContractSpec, params: List[str],
+                    facts: _ArrayFacts) -> List[Finding]:
+        findings: List[Finding] = []
+        bound: Dict[str, ast.AST] = {}
+        for index, arg in enumerate(call.args):
+            if index < len(params):
+                bound[params[index]] = arg
+        for kw in call.keywords:
+            if kw.arg is not None:
+                bound[kw.arg] = kw.value
+        for param, arg in bound.items():
+            if not isinstance(arg, ast.Name):
+                continue
+            want_rank = spec.ranks.get(param)
+            have_rank = facts.ranks.get(arg.id)
+            if want_rank is not None and have_rank is not None \
+                    and have_rank >= 0 and have_rank != want_rank:
+                findings.append(finding_at(
+                    ctx, caller, call, "RPA401",
+                    f"argument {param!r} of {target.name}() is "
+                    f"{have_rank}-d here but the @contract declares "
+                    f"rank {want_rank}", "error", self.name))
+            want_family = spec.dtypes.get(param)
+            have_family = facts.dtypes.get(arg.id)
+            if want_family is not None and have_family is not None \
+                    and have_family != "?" \
+                    and have_family != want_family:
+                findings.append(finding_at(
+                    ctx, caller, call, "RPA402",
+                    f"argument {param!r} of {target.name}() is "
+                    f"constructed as {have_family} here but the "
+                    f"@contract declares {want_family}", "error",
+                    self.name))
+        return findings

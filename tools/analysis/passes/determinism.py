@@ -1,0 +1,208 @@
+"""Determinism closure from ``PlacementPipeline.run`` (RPA1xx).
+
+Everything reachable from the pipeline entry point must derive its
+randomness from the seeded, path-keyed ``SeedSequence`` tree (PR 5) and
+must not let unordered-container iteration decide placement order:
+
+======== ==============================================================
+RPA101   Unseeded RNG construction (``default_rng()`` with no seed,
+         ``random.Random()``, the ``random`` module's hidden global
+         state) reachable from the pipeline.  [error]
+RPA102   Entropy / wall-clock source (``os.urandom``, ``uuid.*``,
+         ``secrets.*``, ``time.*``) reachable from the pipeline
+         outside ``repro.obs``.  [error]
+RPA103   ``for`` iteration over a ``set``-typed value — set order is
+         arbitrary (hash- and history-dependent), so anything
+         accumulated across the loop is trajectory-visible.  Wrap the
+         iterable in ``sorted(...)``.  [error]
+RPA104   Iteration over ``dict.keys()`` feeding an array constructor
+         or ordered accumulation — insertion-ordered in CPython, so
+         deterministic today, but fragile; flagged for review.  [note]
+======== ==============================================================
+
+``repro.obs`` is a traversal stop: the observability layer owns
+timestamps and its output never feeds back into placement state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from tools.analysis.findings import Finding
+from tools.analysis.passes import (AnalysisContext, AnalysisPass,
+                                   finding_at, iter_own_nodes,
+                                   register_pass)
+from tools.analysis.symbols import FunctionInfo
+
+#: Entry points whose transitive closure is analysed.
+ROOTS = ("repro.core.pipeline.PlacementPipeline.run",)
+
+#: Module prefixes the closure does not descend into.
+STOP_MODULES = ("repro.obs",)
+
+#: Dotted call targets that are entropy sources (RPA102).
+ENTROPY_PREFIXES = ("os.urandom", "uuid.", "secrets.", "time.")
+
+#: RNG constructors that are unseeded when called with no arguments.
+SEEDED_CONSTRUCTORS = ("numpy.random.default_rng", "random.Random",
+                       "numpy.random.SeedSequence")
+
+#: ``random``-module functions that use the hidden global state.
+GLOBAL_RANDOM_PREFIX = "random."
+
+
+def _is_set_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id in ("set", "frozenset"):
+        return True
+    return False
+
+
+class _BodyScanner(ast.NodeVisitor):
+    """Single-function scan for RPA101-RPA104 patterns."""
+
+    def __init__(self, ctx: AnalysisContext, fn: FunctionInfo,
+                 pass_name: str) -> None:
+        self.ctx = ctx
+        self.fn = fn
+        self.pass_name = pass_name
+        self.findings: List[Finding] = []
+        #: local names bound to set values
+        self.set_locals: Set[str] = set()
+        self._harvest_set_locals()
+
+    def _harvest_set_locals(self) -> None:
+        for node in iter_own_nodes(self.fn.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) \
+                            and _is_set_literal(node.value):
+                        self.set_locals.add(target.id)
+            elif isinstance(node, ast.AnnAssign) \
+                    and isinstance(node.target, ast.Name):
+                try:
+                    ann = ast.unparse(node.annotation)
+                except Exception:  # pragma: no cover
+                    continue
+                head = ann.split("[", 1)[0].rsplit(".", 1)[-1]
+                if head in ("Set", "set", "FrozenSet", "frozenset",
+                            "MutableSet"):
+                    self.set_locals.add(node.target.id)
+
+    def _flag(self, node: ast.AST, rule: str, message: str,
+              level: str = "error") -> None:
+        self.findings.append(finding_at(self.ctx, self.fn, node, rule,
+                                        message, level, self.pass_name))
+
+    # -- RPA103/RPA104: unordered iteration ---------------------------
+    def visit_For(self, node: ast.For) -> None:
+        it = node.iter
+        if isinstance(it, ast.Name) and it.id in self.set_locals:
+            self._flag(node, "RPA103",
+                       f"iteration over set {it.id!r} on a pipeline "
+                       f"path — set order is arbitrary; iterate "
+                       f"sorted({it.id})")
+        elif _is_keys_call(it):
+            self._flag(node, "RPA104",
+                       "iteration over dict.keys() on a pipeline path "
+                       "— insertion-ordered in CPython but fragile; "
+                       "prefer an explicit ordering",
+                       level="note")
+        self.generic_visit(node)
+
+    # nested defs are separate closure members; scan them separately
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is self.fn.node:
+            self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self,
+                               node: ast.AsyncFunctionDef) -> None:
+        if node is self.fn.node:
+            self.generic_visit(node)
+
+    # -- RPA101/RPA102/RPA104: calls ----------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._dotted(node.func)
+        if dotted is not None:
+            self._check_rng(node, dotted)
+            self._check_entropy(node, dotted)
+            if dotted.rsplit(".", 1)[-1] in ("fromiter", "array",
+                                             "asarray", "list",
+                                             "tuple"):
+                for arg in node.args:
+                    if _is_keys_call(arg):
+                        self._flag(node, "RPA104",
+                                   "dict.keys() feeding an ordered "
+                                   "constructor on a pipeline path — "
+                                   "insertion-ordered in CPython but "
+                                   "fragile; prefer an explicit "
+                                   "ordering", level="note")
+        self.generic_visit(node)
+
+    def _check_rng(self, node: ast.Call, dotted: str) -> None:
+        if dotted in SEEDED_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                self._flag(node, "RPA101",
+                           f"{dotted}() constructed without a seed on "
+                           f"a pipeline path — derive seeds from the "
+                           f"run's SeedSequence tree")
+            return
+        if dotted.startswith(GLOBAL_RANDOM_PREFIX) \
+                and not dotted.startswith("random.Random"):
+            self._flag(node, "RPA101",
+                       f"{dotted}() uses the hidden global RNG state "
+                       f"on a pipeline path — use a seeded Generator")
+
+    def _check_entropy(self, node: ast.Call, dotted: str) -> None:
+        for prefix in ENTROPY_PREFIXES:
+            if dotted == prefix.rstrip(".") or dotted.startswith(prefix):
+                self._flag(node, "RPA102",
+                           f"{dotted}() is an entropy/wall-clock "
+                           f"source on a pipeline path — route "
+                           f"through repro.obs or a seeded Generator")
+                return
+
+    def _dotted(self, func: ast.AST) -> Optional[str]:
+        try:
+            text = ast.unparse(func)
+        except Exception:  # pragma: no cover
+            return None
+        if not all(p.isidentifier() for p in text.split(".")):
+            return None
+        return self.ctx.program.resolve(self.fn.module, text)
+
+
+def _is_keys_call(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "keys"
+            and not node.args)
+
+
+@register_pass
+class DeterminismPass(AnalysisPass):
+    name = "determinism"
+    description = ("RNG seeding, entropy sources and unordered "
+                   "iteration reachable from PlacementPipeline.run "
+                   "(RPA101-RPA104)")
+
+    roots = ROOTS
+    stop_modules = STOP_MODULES
+
+    def run(self, ctx: AnalysisContext) -> List[Finding]:
+        findings: List[Finding] = []
+        closure = ctx.graph.reachable(self.roots, self.stop_modules)
+        for qualname in sorted(closure):
+            fn = ctx.program.functions.get(qualname)
+            if fn is None:
+                continue
+            if any(fn.module == p or fn.module.startswith(p + ".")
+                   for p in self.stop_modules):
+                continue
+            scanner = _BodyScanner(ctx, fn, self.name)
+            scanner.visit(fn.node)
+            findings.extend(scanner.findings)
+        return findings

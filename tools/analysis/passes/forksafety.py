@@ -1,0 +1,296 @@
+"""Fork-safety of ``repro.parallel`` dispatch (RPA3xx).
+
+Worker functions shipped through ``ExecutionBackend.map`` run in
+separate processes: their payloads must pickle, and their transitive
+closure must not depend on module-level mutable state that forked
+workers would silently diverge on.
+
+======== ==============================================================
+RPA301   Task-payload field whose type is known-unpicklable (callable,
+         lambda, thread/process handle, open file, generator).  [error]
+RPA302   Task-payload field whose type cannot be proven picklable by
+         construction (not a scalar, str/bytes, tuple, ndarray, or a
+         recursively-checked internal dataclass).  [warning]
+RPA303   Write to module-level mutable state from the worker closure
+         (``global`` rebinding, or a mutating method / subscript
+         store on a module-level container).  Reads are fine — fork
+         inherits a copy; writes diverge between workers.  [warning]
+======== ==============================================================
+
+Payloads are discovered structurally: every function *reference*
+passed to a ``map`` implementation in ``repro.parallel`` is a worker
+entry point, and its first parameter annotation names the payload
+type.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from tools.analysis.findings import Finding
+from tools.analysis.passes import (AnalysisContext, AnalysisPass,
+                                   finding_at, iter_own_nodes,
+                                   register_pass)
+from tools.analysis.symbols import ClassInfo, FunctionInfo
+
+#: Annotation heads that are picklable by construction.
+PICKLABLE_HEADS = {
+    "int", "float", "complex", "bool", "str", "bytes", "None",
+    "NoneType", "tuple", "Tuple", "typing.Tuple", "frozenset",
+    "FrozenSet", "typing.FrozenSet", "numpy.ndarray", "ndarray",
+    "npt.NDArray", "numpy.typing.NDArray", "NDArray", "FloatArray",
+    "IntArray", "Optional", "typing.Optional", "Sequence",
+    "typing.Sequence", "List", "list", "Dict", "dict", "Mapping",
+    "typing.Mapping",
+}
+
+#: Annotation heads that are known-unpicklable (RPA301).
+UNPICKLABLE_HEADS = {
+    "Callable", "typing.Callable", "collections.abc.Callable",
+    "lambda", "Lock", "RLock", "threading.Lock", "threading.RLock",
+    "Thread", "threading.Thread", "Process",
+    "multiprocessing.Process", "Pool", "Generator",
+    "typing.Generator", "Iterator", "typing.Iterator", "IO",
+    "typing.IO", "TextIO", "BinaryIO",
+}
+
+#: Mutating container methods (RPA303).
+MUTATING_METHODS = ("append", "extend", "insert", "remove", "pop",
+                    "popitem", "clear", "update", "add", "discard",
+                    "setdefault", "move_to_end", "appendleft",
+                    "sort", "reverse")
+
+
+def _annotation_heads(text: str) -> List[str]:
+    """Flatten an annotation into its identifier heads
+    (``Optional[Tuple[int, ...]]`` -> Optional, Tuple, int)."""
+    heads: List[str] = []
+    token = ""
+    for ch in text:
+        if ch.isalnum() or ch in "._":
+            token += ch
+        else:
+            if token:
+                heads.append(token)
+            token = ""
+    if token:
+        heads.append(token)
+    return [h for h in heads if h and not h[0].isdigit()
+            and h != "..."]
+
+
+def find_workers(ctx: AnalysisContext) -> List[Tuple[FunctionInfo,
+                                                     FunctionInfo]]:
+    """(dispatching function, worker function) pairs: function
+    references passed to a ``repro.parallel`` ``map`` implementation."""
+    map_impls = {
+        fn.qualname for fn in ctx.program.functions.values()
+        if fn.name == "map" and fn.module.startswith("repro.parallel")
+    }
+    pairs: List[Tuple[FunctionInfo, FunctionInfo]] = []
+    for caller, sites in sorted(ctx.graph.sites.items()):
+        map_calls = [s.node for s in sites
+                     if s.callee in map_impls
+                     and isinstance(s.node, ast.Call)]
+        if not map_calls:
+            continue
+        arg_ids = {id(call.args[0]) for call in map_calls
+                   if call.args}
+        for site in sites:
+            if site.is_reference and id(site.node) in arg_ids:
+                worker = ctx.program.functions.get(site.callee)
+                dispatcher = ctx.program.functions.get(caller)
+                if worker is not None and dispatcher is not None:
+                    pairs.append((dispatcher, worker))
+    return pairs
+
+
+def payload_class(ctx: AnalysisContext,
+                  worker: FunctionInfo) -> Optional[ClassInfo]:
+    """The internal class annotating the worker's first parameter."""
+    args = getattr(worker.node, "args", None)
+    if args is None:
+        return None
+    all_args = list(args.posonlyargs) + list(args.args)
+    if not all_args or all_args[0].annotation is None:
+        return None
+    try:
+        text = ast.unparse(all_args[0].annotation)
+    except Exception:  # pragma: no cover
+        return None
+    resolved = ctx.program.resolve_type(worker.module, text)
+    if resolved is None:
+        return None
+    return ctx.program.lookup_class(resolved)
+
+
+@register_pass
+class ForkSafetyPass(AnalysisPass):
+    name = "fork-safety"
+    description = ("picklability of repro.parallel task payloads and "
+                   "module-state writes in worker closures "
+                   "(RPA301-RPA303)")
+
+    def run(self, ctx: AnalysisContext) -> List[Finding]:
+        findings: List[Finding] = []
+        pairs = find_workers(ctx)
+        checked_payloads: Set[str] = set()
+        worker_roots = []
+        for _dispatcher, worker in pairs:
+            worker_roots.append(worker.qualname)
+            payload = payload_class(ctx, worker)
+            if payload is not None \
+                    and payload.qualname not in checked_payloads:
+                checked_payloads.add(payload.qualname)
+                self._check_payload(ctx, payload, worker, findings,
+                                    set())
+        closure = ctx.graph.reachable(sorted(set(worker_roots)))
+        for qualname in sorted(closure):
+            fn = ctx.program.functions.get(qualname)
+            if fn is not None:
+                self._check_global_writes(ctx, fn, findings)
+        return findings
+
+    # -- RPA301/RPA302: payload field types ---------------------------
+    def _check_payload(self, ctx: AnalysisContext, payload: ClassInfo,
+                       worker: FunctionInfo,
+                       findings: List[Finding], seen: Set[str]) -> None:
+        if payload.qualname in seen:
+            return
+        seen.add(payload.qualname)
+        for field_name, annotation in payload.fields.items():
+            if annotation is None:
+                findings.append(Finding(
+                    rule="RPA302", path=str(payload.path),
+                    line=payload.node.lineno, col=0,
+                    symbol=payload.qualname,
+                    message=(f"payload field {field_name!r} has no "
+                             f"annotation — picklability cannot be "
+                             f"proven for {worker.name}() dispatch"),
+                    level="warning", pass_name=self.name))
+                continue
+            self._check_field(ctx, payload, worker, field_name,
+                              annotation, findings, seen)
+
+    def _check_field(self, ctx: AnalysisContext, payload: ClassInfo,
+                     worker: FunctionInfo, field_name: str,
+                     annotation: str, findings: List[Finding],
+                     seen: Set[str]) -> None:
+        for head in _annotation_heads(annotation):
+            short = head.rsplit(".", 1)[-1]
+            if head in UNPICKLABLE_HEADS or short in UNPICKLABLE_HEADS:
+                findings.append(Finding(
+                    rule="RPA301", path=str(payload.path),
+                    line=payload.node.lineno, col=0,
+                    symbol=payload.qualname,
+                    message=(f"payload field {field_name!r}: "
+                             f"{annotation} is not picklable — "
+                             f"{worker.name}() dispatch would fail "
+                             f"under the process backend"),
+                    level="error", pass_name=self.name))
+                continue
+            if head in PICKLABLE_HEADS or short in PICKLABLE_HEADS:
+                continue
+            resolved = ctx.program.resolve_type(payload.module, head)
+            inner = ctx.program.lookup_class(resolved) \
+                if resolved else None
+            if inner is not None:
+                if inner.is_dataclass:
+                    self._check_payload(ctx, inner, worker, findings,
+                                        seen)
+                    continue
+                findings.append(Finding(
+                    rule="RPA302", path=str(payload.path),
+                    line=payload.node.lineno, col=0,
+                    symbol=payload.qualname,
+                    message=(f"payload field {field_name!r}: "
+                             f"{head} is not a dataclass — "
+                             f"picklability not provable by "
+                             f"construction for {worker.name}()"),
+                    level="warning", pass_name=self.name))
+                continue
+            findings.append(Finding(
+                rule="RPA302", path=str(payload.path),
+                line=payload.node.lineno, col=0,
+                symbol=payload.qualname,
+                message=(f"payload field {field_name!r}: unknown "
+                         f"type {head} — picklability not provable "
+                         f"for {worker.name}() dispatch"),
+                level="warning", pass_name=self.name))
+
+    # -- RPA303: module-state writes in the worker closure ------------
+    def _check_global_writes(self, ctx: AnalysisContext,
+                             fn: FunctionInfo,
+                             findings: List[Finding]) -> None:
+        mod = ctx.program.modules.get(fn.module)
+        if mod is None or not mod.mutable_globals:
+            return
+        declared_global: Set[str] = set()
+        local_names: Set[str] = set()
+        for node in iter_own_nodes(fn.node):
+            if isinstance(node, ast.Global):
+                declared_global.update(node.names)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        local_names.add(target.id)
+        shadowed = local_names - declared_global
+        args = getattr(fn.node, "args", None)
+        if args is not None:
+            for arg in (list(args.posonlyargs) + list(args.args)
+                        + list(args.kwonlyargs)):
+                shadowed.add(arg.arg)
+
+        def is_module_state(name: str) -> bool:
+            return (name in mod.mutable_globals
+                    and name not in shadowed) \
+                or name in declared_global
+
+        for node in iter_own_nodes(fn.node):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    base = _store_base(target)
+                    if base is not None and is_module_state(base) \
+                            and not isinstance(target, ast.Name):
+                        self._flag_write(ctx, fn, node, base, findings)
+                    elif isinstance(target, ast.Name) \
+                            and target.id in declared_global:
+                        self._flag_write(ctx, fn, node, target.id,
+                                         findings)
+            elif isinstance(node, ast.AugAssign):
+                base = _store_base(node.target)
+                if base is not None and is_module_state(base):
+                    self._flag_write(ctx, fn, node, base, findings)
+            elif isinstance(node, ast.Delete):
+                for target in node.targets:
+                    base = _store_base(target)
+                    if base is not None and is_module_state(base):
+                        self._flag_write(ctx, fn, node, base, findings)
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in MUTATING_METHODS \
+                    and isinstance(node.func.value, ast.Name) \
+                    and is_module_state(node.func.value.id):
+                self._flag_write(ctx, fn, node, node.func.value.id,
+                                 findings)
+
+    def _flag_write(self, ctx: AnalysisContext, fn: FunctionInfo,
+                    node: ast.AST, name: str,
+                    findings: List[Finding]) -> None:
+        findings.append(finding_at(
+            ctx, fn, node, "RPA303",
+            f"write to module-level mutable {name!r} inside the "
+            f"worker closure — forked workers diverge silently; "
+            f"pass state through the task payload",
+            "warning", self.name))
+
+
+def _store_base(target: ast.AST) -> Optional[str]:
+    """Base name of a subscript/attribute store target."""
+    node = target
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None

@@ -1,0 +1,196 @@
+"""Hot-path purity closure (RPA2xx).
+
+``@hot_path`` marks the kernels on the incremental-objective fast
+path (Eq. 3 delta evaluation, bin density updates, move loops).  Their
+*transitive closure* must stay free of anything that would turn an
+O(1) delta into an I/O- or allocation-bound call:
+
+======== ==============================================================
+RPA201   Logging / printing (``logging.*``, ``print``,
+         ``warnings.warn``) called from the hot-path closure.  [error]
+RPA202   File I/O (``open``, ``Path.read_text``/``write_text``,
+         ``np.save``/``load``, ``json``/``pickle`` dump/load) called
+         from the hot-path closure.  [error]
+RPA203   Exact thermal factorization (``repro.thermal.solver``
+         assembly/``splu`` path) called from the hot-path closure —
+         exact solves are scheduled by the fidelity policy, never
+         inline in a kernel.  Generalizes RPL012 from import-level to
+         call-level.  [error]
+RPA204   Allocation-heavy numpy idiom (``np.concatenate`` /
+         ``hstack`` / ``vstack`` / ``append`` / ``tile`` /
+         ``repeat``) inside a loop in the hot-path closure — each
+         call reallocates; preallocate outside the loop.  [warning]
+======== ==============================================================
+
+``repro.obs`` and ``repro.thermal.fidelity`` are traversal stops:
+recorder counters are the sanctioned instrumentation channel, and the
+fidelity policy is the *only* sanctioned scheduler of exact solves —
+calling it from a kernel is the designed escape hatch, calling the
+solver directly is not.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Set, Tuple
+
+from tools.analysis.findings import Finding
+from tools.analysis.passes import (AnalysisContext, AnalysisPass,
+                                   finding_at, register_pass)
+from tools.analysis.symbols import FunctionInfo
+
+STOP_MODULES = ("repro.obs", "repro.thermal.fidelity")
+
+#: Logging-ish callables (dotted prefixes or exact names).
+LOGGING_CALLS = ("logging.", "print", "warnings.warn", "sys.stdout",
+                 "sys.stderr")
+
+#: File-I/O callables.
+IO_CALLS = ("open", "numpy.save", "numpy.savez", "numpy.load",
+            "numpy.savetxt", "numpy.loadtxt", "json.dump",
+            "json.dumps", "json.load", "json.loads", "pickle.dump",
+            "pickle.dumps", "pickle.load", "pickle.loads")
+
+#: Method names that are file I/O on any receiver (pathlib etc.).
+IO_METHODS = ("read_text", "write_text", "read_bytes", "write_bytes",
+              "mkdir", "unlink", "rename")
+
+#: Exact-factorization entry points (RPA203): the solver's assembly +
+#: LU path and scipy's factorizer itself.
+EXACT_SOLVER_CALLS = ("repro.thermal.solver.ThermalSolver._factorize",
+                      "repro.thermal.solver.ThermalSolver._assemble",
+                      "repro.thermal.solver.ThermalSolver.solve_powers",
+                      "repro.thermal.solver.ThermalSolver"
+                      ".solve_placement",
+                      "scipy.sparse.linalg.splu")
+
+#: Reallocating numpy calls that must not sit inside a loop (RPA204).
+ALLOC_HEAVY = ("concatenate", "hstack", "vstack", "append", "tile",
+               "repeat", "insert", "delete")
+
+
+def hot_path_roots(ctx: AnalysisContext) -> List[str]:
+    """Qualnames of every ``@hot_path``-decorated function."""
+    return sorted(fn.qualname
+                  for fn in ctx.program.functions.values()
+                  if fn.has_decorator("hot_path"))
+
+
+def _dotted(ctx: AnalysisContext, fn: FunctionInfo,
+            func: ast.AST) -> Optional[str]:
+    try:
+        text = ast.unparse(func)
+    except Exception:  # pragma: no cover
+        return None
+    if not all(p.isidentifier() for p in text.split(".")):
+        return None
+    return ctx.program.resolve(fn.module, text)
+
+
+@register_pass
+class PurityPass(AnalysisPass):
+    name = "purity"
+    description = ("logging, file I/O, exact thermal factorization "
+                   "and allocation-heavy numpy reachable from "
+                   "@hot_path kernels (RPA201-RPA204)")
+
+    stop_modules = STOP_MODULES
+
+    def run(self, ctx: AnalysisContext) -> List[Finding]:
+        findings: List[Finding] = []
+        roots = hot_path_roots(ctx)
+        closure = ctx.graph.reachable(roots, self.stop_modules)
+        for qualname in sorted(closure):
+            fn = ctx.program.functions.get(qualname)
+            if fn is None:
+                continue
+            if any(fn.module == p or fn.module.startswith(p + ".")
+                   for p in self.stop_modules):
+                continue
+            findings.extend(self._scan(ctx, fn))
+        return findings
+
+    def _scan(self, ctx: AnalysisContext,
+              fn: FunctionInfo) -> List[Finding]:
+        findings: List[Finding] = []
+        loop_nodes = _nodes_inside_loops(fn.node)
+        for site in ctx.graph.callees(fn.qualname):
+            if site.is_reference \
+                    or not isinstance(site.node, ast.Call):
+                continue
+            call = site.node
+            callee = site.callee
+            dotted = callee if site.internal \
+                else (_dotted(ctx, fn, call.func) or callee)
+            self._check_logging(ctx, fn, call, dotted, findings)
+            self._check_io(ctx, fn, call, dotted, findings)
+            self._check_solver(ctx, fn, call, dotted, findings)
+            self._check_alloc(ctx, fn, call, dotted, loop_nodes,
+                              findings)
+        return findings
+
+    def _check_logging(self, ctx, fn, call, dotted, findings) -> None:
+        for entry in LOGGING_CALLS:
+            if dotted == entry.rstrip(".") \
+                    or (entry.endswith(".")
+                        and dotted.startswith(entry)):
+                findings.append(finding_at(
+                    ctx, fn, call, "RPA201",
+                    f"{dotted}() in the hot-path closure — kernels "
+                    f"must not log; use a Recorder counter",
+                    "error", self.name))
+                return
+
+    def _check_io(self, ctx, fn, call, dotted, findings) -> None:
+        if dotted in IO_CALLS:
+            findings.append(finding_at(
+                ctx, fn, call, "RPA202",
+                f"{dotted}() performs file I/O in the hot-path "
+                f"closure", "error", self.name))
+            return
+        if isinstance(call.func, ast.Attribute) \
+                and call.func.attr in IO_METHODS:
+            findings.append(finding_at(
+                ctx, fn, call, "RPA202",
+                f".{call.func.attr}() performs file I/O in the "
+                f"hot-path closure", "error", self.name))
+
+    def _check_solver(self, ctx, fn, call, dotted, findings) -> None:
+        if dotted in EXACT_SOLVER_CALLS:
+            findings.append(finding_at(
+                ctx, fn, call, "RPA203",
+                f"{dotted}() runs an exact thermal solve in the "
+                f"hot-path closure — route through the thermal "
+                f"fidelity policy", "error", self.name))
+
+    def _check_alloc(self, ctx, fn, call, dotted, loop_nodes,
+                     findings) -> None:
+        head, _, attr = dotted.rpartition(".")
+        if head in ("numpy", "numpy.ma") and attr in ALLOC_HEAVY \
+                and id(call) in loop_nodes:
+            findings.append(finding_at(
+                ctx, fn, call, "RPA204",
+                f"np.{attr}() inside a loop in the hot-path closure "
+                f"— reallocates every iteration; preallocate",
+                "warning", self.name))
+
+
+def _nodes_inside_loops(root: ast.AST) -> Set[int]:
+    """ids of AST nodes lexically inside a for/while loop of ``root``
+    (nested function bodies excluded)."""
+    inside: Set[int] = set()
+
+    def walk(node: ast.AST, in_loop: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef,
+                                  ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                continue
+            child_in_loop = in_loop or isinstance(
+                node, (ast.For, ast.AsyncFor, ast.While))
+            if child_in_loop:
+                inside.add(id(child))
+            walk(child, child_in_loop)
+
+    walk(root, False)
+    return inside

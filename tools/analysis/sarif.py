@@ -1,0 +1,95 @@
+"""SARIF 2.1.0 serialization of analyzer findings.
+
+One run, one driver (``repro-analysis``); every rule that produced a
+finding gets a ``reportingDescriptor`` so viewers can group by rule.
+Suppressed (baselined) findings are emitted with a ``suppressions``
+entry instead of being dropped — SARIF consumers show them greyed out
+rather than losing the information.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from tools.analysis.findings import Finding
+
+__all__ = ["to_sarif"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/"
+                "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+_LEVEL_MAP = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def to_sarif(findings: Sequence[Finding],
+             suppressed: Sequence[Finding] = (),
+             rule_docs: Optional[Dict[str, str]] = None,
+             tool_version: str = "1.0.0") -> dict:
+    """Build the SARIF log object (serialize with ``json.dumps``)."""
+    rule_docs = rule_docs or {}
+    rule_ids: List[str] = []
+    for finding in list(findings) + list(suppressed):
+        if finding.rule not in rule_ids:
+            rule_ids.append(finding.rule)
+    rule_ids.sort()
+    rule_index = {rule: i for i, rule in enumerate(rule_ids)}
+    rules = [{
+        "id": rule,
+        "shortDescription": {
+            "text": rule_docs.get(rule, rule),
+        },
+    } for rule in rule_ids]
+
+    def result(finding: Finding, is_suppressed: bool) -> dict:
+        entry = {
+            "ruleId": finding.rule,
+            "ruleIndex": rule_index[finding.rule],
+            "level": _LEVEL_MAP[finding.level],
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+                "logicalLocations": [{
+                    "fullyQualifiedName": finding.symbol,
+                }],
+            }],
+            "partialFingerprints": {
+                "reproAnalysis/v1": finding.fingerprint(),
+            },
+        }
+        if finding.pass_name:
+            entry["properties"] = {"pass": finding.pass_name}
+        if is_suppressed:
+            entry["suppressions"] = [{"kind": "external",
+                                      "status": "accepted"}]
+        return entry
+
+    results = [result(f, False) for f in findings]
+    results += [result(f, True) for f in suppressed]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-analysis",
+                    "version": tool_version,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def dumps(log: dict) -> str:
+    return json.dumps(log, indent=2, sort_keys=False) + "\n"

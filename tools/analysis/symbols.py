@@ -1,0 +1,546 @@
+"""Module loading and symbol tables for the whole-program analyzer.
+
+The analyzer works on a *program*: every module of a Python package
+tree parsed into ASTs, with a qualified-name symbol table over the
+functions, classes and imports each module defines.  Names are fully
+qualified dotted paths (``repro.core.objective.ObjectiveState.rebuild``)
+so that passes can speak about symbols unambiguously across modules.
+
+Resolution is deliberately syntactic and best-effort: the goal is a
+call graph precise enough to prove repo-specific invariants over
+``src/repro`` (see :mod:`tools.analysis.callgraph`), not a general
+type checker.  Anything the resolver cannot pin down stays *external*
+and is reported as such — passes must treat unresolved names as
+"unknown", never as "safe".
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = ["ClassInfo", "FunctionInfo", "ModuleInfo", "Program",
+           "load_program"]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method definition.
+
+    Attributes:
+        qualname: fully qualified name, e.g.
+            ``repro.core.moves.MoveOptimizer.global_pass``.  Nested
+            functions append their own name to the enclosing
+            function's qualname.
+        module: qualified name of the defining module.
+        name: bare function name.
+        node: the defining AST node.
+        class_qualname: qualified name of the enclosing class, if any.
+        parent: qualname of the enclosing *function* for nested defs.
+        decorators: resolved decorator names (dotted, best effort).
+        path: source file path (for findings).
+    """
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    class_qualname: Optional[str] = None
+    parent: Optional[str] = None
+    decorators: Tuple[str, ...] = ()
+    path: str = ""
+
+    @property
+    def lineno(self) -> int:
+        """Definition line (1-based)."""
+        return getattr(self.node, "lineno", 0)
+
+    def has_decorator(self, suffix: str) -> bool:
+        """Whether any decorator's dotted name ends with ``suffix``."""
+        return any(d == suffix or d.endswith("." + suffix)
+                   for d in self.decorators)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its statically visible members.
+
+    Attributes:
+        qualname: fully qualified class name.
+        module: qualified name of the defining module.
+        name: bare class name.
+        node: the ``ast.ClassDef``.
+        bases: resolved base-class qualnames (best effort).
+        methods: bare method name -> :class:`FunctionInfo`.
+        fields: dataclass/annotated class-level fields, in declaration
+            order: name -> annotation source text (``None`` when the
+            assignment carries no annotation).
+        attr_types: instance attribute name -> resolved type qualname,
+            harvested from class-level annotations, ``self.x = Cls(...)``
+            constructor assignments and ``@property`` return
+            annotations.
+        is_dataclass: whether a ``dataclass`` decorator is present.
+        path: source file path.
+    """
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    bases: Tuple[str, ...] = ()
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    fields: Dict[str, Optional[str]] = field(default_factory=dict)
+    attr_types: Dict[str, str] = field(default_factory=dict)
+    is_dataclass: bool = False
+    path: str = ""
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed module with its local symbol table.
+
+    Attributes:
+        qualname: dotted module name (``repro.core.objective``).
+        path: source file path.
+        source: the module text (kept so single-file passes can re-lint
+            without re-reading).
+        tree: the parsed AST.
+        imports: local binding -> imported target qualname
+            (``np`` -> ``numpy``, ``create_stage`` ->
+            ``repro.core.stages.create_stage``).
+        functions: bare name -> module-level :class:`FunctionInfo`.
+        classes: bare name -> :class:`ClassInfo`.
+        var_types: module-level variable -> resolved type qualname for
+            ``X = SomeClass(...)`` / annotated module-level assignments.
+        mutable_globals: module-level names bound to mutable literals
+            or mutable constructor calls (``{}``, ``[]``, ``set()``,
+            ``OrderedDict()`` …) — candidate process-local state for
+            the fork-safety pass.
+    """
+
+    qualname: str
+    path: str
+    source: str
+    tree: ast.Module
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    var_types: Dict[str, str] = field(default_factory=dict)
+    mutable_globals: Set[str] = field(default_factory=set)
+
+
+#: Constructor names whose module-level result is mutable state.
+_MUTABLE_FACTORIES = ("dict", "list", "set", "OrderedDict", "defaultdict",
+                      "deque", "Counter", "bytearray")
+
+
+def _annotation_text(node: Optional[ast.AST]) -> Optional[str]:
+    """Source text of an annotation expression (``None`` if absent)."""
+    if node is None:
+        return None
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on exprs
+        return None
+
+
+def _dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_mutable_literal(value: ast.AST) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.DictComp,
+                          ast.ListComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = _dotted_name(value.func)
+        if name is not None \
+                and name.split(".")[-1] in _MUTABLE_FACTORIES:
+            return True
+    return False
+
+
+class Program:
+    """All modules of one or more package trees, with lookup helpers."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        #: every function in the program, including methods and
+        #: nested functions, by qualname
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: every class, by qualname
+        self.classes: Dict[str, ClassInfo] = {}
+        #: class qualname -> direct subclasses' qualnames
+        self.subclasses: Dict[str, Set[str]] = {}
+
+    # -- construction --------------------------------------------------
+    def add_module(self, info: ModuleInfo) -> None:
+        self.modules[info.qualname] = info
+
+    def finalize(self) -> None:
+        """Build the cross-module indexes after all modules are added."""
+        self.functions.clear()
+        self.classes.clear()
+        self.subclasses.clear()
+        for mod in self.modules.values():
+            for fn in _iter_functions(mod):
+                self.functions[fn.qualname] = fn
+            for cls in mod.classes.values():
+                self.classes[cls.qualname] = cls
+        for cls in self.classes.values():
+            # bases named without a module prefix (defined in the same
+            # module) only become resolvable once every module is
+            # loaded, so qualify them here
+            cls.bases = tuple(
+                base if base in self.classes
+                else self.resolve(cls.module, base)
+                for base in cls.bases)
+            for base in cls.bases:
+                self.subclasses.setdefault(base, set()).add(cls.qualname)
+
+    # -- name resolution -----------------------------------------------
+    def resolve(self, module: str, dotted: str) -> str:
+        """Resolve a dotted name as seen from ``module``.
+
+        The first segment is looked up in the module's imports and
+        local definitions; the remainder is appended verbatim.  Names
+        that resolve to nothing local come back unchanged (external).
+        """
+        mod = self.modules.get(module)
+        if mod is None:
+            return dotted
+        head, _, rest = dotted.partition(".")
+        target: Optional[str] = None
+        if head in mod.imports:
+            target = mod.imports[head]
+        elif head in mod.functions or head in mod.classes \
+                or head in mod.var_types:
+            target = f"{module}.{head}"
+        if target is None:
+            return dotted
+        resolved = target if not rest else f"{target}.{rest}"
+        # an imported *module* member may itself be a re-export; one
+        # more hop covers the common ``from repro import obs`` pattern
+        return resolved
+
+    def resolve_type(self, module: str, annotation: Optional[str]
+                     ) -> Optional[str]:
+        """Resolve an annotation's core class name to a qualname.
+
+        Strips ``Optional[...]`` / quotes, so ``Optional["Foo"]``
+        resolves like ``Foo``.  Container annotations resolve to the
+        container head (``Tuple``, ``List`` …) and are left to the
+        passes that care about element types.
+        """
+        if not annotation:
+            return None
+        text = annotation.strip().strip("\"'")
+        if text.startswith("Optional[") and text.endswith("]"):
+            text = text[len("Optional["):-1].strip().strip("\"'")
+        # leave subscripted containers to the caller
+        if "[" in text:
+            text = text.split("[", 1)[0]
+        resolved = self.resolve(module, text)
+        return resolved
+
+    def lookup_class(self, qualname: Optional[str]) -> Optional[ClassInfo]:
+        """The class for a qualname, following one import indirection."""
+        if qualname is None:
+            return None
+        cls = self.classes.get(qualname)
+        if cls is not None:
+            return cls
+        # maybe it resolves through a package re-export:
+        # repro.thermal.ThermalSolver -> repro.thermal.solver.ThermalSolver
+        head, _, name = qualname.rpartition(".")
+        mod = self.modules.get(head)
+        if mod is not None and name in mod.imports:
+            return self.classes.get(mod.imports[name])
+        return None
+
+    def resolve_method(self, class_qualname: str, method: str,
+                       _seen: Optional[Set[str]] = None
+                       ) -> Optional[FunctionInfo]:
+        """Find ``method`` on a class or its statically known bases."""
+        seen = _seen if _seen is not None else set()
+        if class_qualname in seen:
+            return None
+        seen.add(class_qualname)
+        cls = self.lookup_class(class_qualname)
+        if cls is None:
+            return None
+        if method in cls.methods:
+            return cls.methods[method]
+        for base in cls.bases:
+            found = self.resolve_method(base, method, seen)
+            if found is not None:
+                return found
+        return None
+
+    def overrides(self, class_qualname: str, method: str
+                  ) -> List[FunctionInfo]:
+        """Every subclass override of ``method`` (transitively).
+
+        This is how the call graph models dynamic dispatch: a call on a
+        base-typed receiver (``Stage.run``, ``ExecutionBackend.map``)
+        fans out to every registered implementation.
+        """
+        out: List[FunctionInfo] = []
+        stack = list(self.subclasses.get(class_qualname, ()))
+        seen: Set[str] = set()
+        while stack:
+            sub = stack.pop()
+            if sub in seen:
+                continue
+            seen.add(sub)
+            cls = self.classes.get(sub)
+            if cls is not None and method in cls.methods:
+                out.append(cls.methods[method])
+            stack.extend(self.subclasses.get(sub, ()))
+        out.sort(key=lambda f: f.qualname)
+        return out
+
+
+# ----------------------------------------------------------------------
+# module parsing
+# ----------------------------------------------------------------------
+def _collect_imports(tree: ast.Module, module: str) -> Dict[str, str]:
+    package_parts = module.split(".")
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for item in node.names:
+                if item.asname is not None:
+                    imports[item.asname] = item.name
+                else:
+                    # ``import a.b`` binds ``a``; attribute chains on it
+                    # resolve naturally because the binding equals the
+                    # top-level package name
+                    top = item.name.split(".", 1)[0]
+                    imports[top] = top
+        elif isinstance(node, ast.ImportFrom):
+            if node.level > 0:
+                # relative import: resolve against this module's package
+                base_parts = package_parts[:-node.level] \
+                    if node.level <= len(package_parts) else []
+                if node.module:
+                    base_parts = base_parts + node.module.split(".")
+                base = ".".join(base_parts)
+            else:
+                base = node.module or ""
+            for item in node.names:
+                if item.name == "*":
+                    continue
+                bound = item.asname or item.name
+                imports[bound] = f"{base}.{item.name}" if base \
+                    else item.name
+    return imports
+
+
+def _decorator_names(node: ast.AST, module: str,
+                     imports: Dict[str, str]) -> Tuple[str, ...]:
+    names: List[str] = []
+    for deco in getattr(node, "decorator_list", []):
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        dotted = _dotted_name(target)
+        if dotted is None:
+            continue
+        head, _, rest = dotted.partition(".")
+        resolved = imports.get(head)
+        if resolved is None:
+            names.append(dotted)
+        else:
+            names.append(f"{resolved}.{rest}" if rest else resolved)
+    return tuple(names)
+
+
+def _harvest_attr_types(cls: ClassInfo, module: str,
+                        program_imports: Dict[str, str]) -> None:
+    """Fill ``cls.attr_types`` from annotations, ``__init__`` and
+    properties.  Resolution of the type *names* happens lazily in
+    :meth:`Program.resolve_type`; here we record annotation text."""
+    # class-level annotated fields double as instance attribute types
+    for name, ann in cls.fields.items():
+        if ann:
+            cls.attr_types.setdefault(name, ann)
+    for method in cls.methods.values():
+        node = method.node
+        decorators = method.decorators
+        returns = getattr(node, "returns", None)
+        if any(d == "property" or d.endswith(".property")
+               or d.endswith(".cached_property") for d in decorators):
+            text = _annotation_text(returns)
+            if text:
+                cls.attr_types.setdefault(method.name, text)
+            continue
+        args = getattr(node, "args", None)
+        param_anns: Dict[str, str] = {}
+        if args is not None:
+            for arg in (list(args.posonlyargs) + list(args.args)
+                        + list(args.kwonlyargs)):
+                text = _annotation_text(arg.annotation)
+                if text:
+                    param_anns[arg.arg] = text
+        for stmt in ast.walk(node):  # self.x assignments in any method
+            target: Optional[ast.expr] = None
+            ann_text: Optional[str] = None
+            if isinstance(stmt, ast.AnnAssign):
+                target = stmt.target
+                ann_text = _annotation_text(stmt.annotation)
+            elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(stmt.value, ast.Call):
+                    ann_text = _dotted_name(stmt.value.func)
+                elif isinstance(stmt.value, ast.Name):
+                    # self.x = <annotated parameter>
+                    ann_text = param_anns.get(stmt.value.id)
+            if not (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                continue
+            if ann_text:
+                cls.attr_types.setdefault(target.attr, ann_text)
+
+
+def _parse_class(node: ast.ClassDef, module: str, path: str,
+                 imports: Dict[str, str]) -> ClassInfo:
+    qualname = f"{module}.{node.name}"
+    bases: List[str] = []
+    for base in node.bases:
+        dotted = _dotted_name(base)
+        if dotted is None:
+            continue
+        head, _, rest = dotted.partition(".")
+        resolved = imports.get(head)
+        bases.append((f"{resolved}.{rest}" if rest else resolved)
+                     if resolved else dotted)
+    decorators = _decorator_names(node, module, imports)
+    is_dataclass = any(d == "dataclass" or d.endswith(".dataclass")
+                       for d in decorators)
+    cls = ClassInfo(qualname=qualname, module=module, name=node.name,
+                    node=node, bases=tuple(bases),
+                    is_dataclass=is_dataclass, path=path)
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name):
+            cls.fields[stmt.target.id] = _annotation_text(stmt.annotation)
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = FunctionInfo(
+                qualname=f"{qualname}.{stmt.name}", module=module,
+                name=stmt.name, node=stmt, class_qualname=qualname,
+                decorators=_decorator_names(stmt, module, imports),
+                path=path)
+            cls.methods[stmt.name] = fn
+    _harvest_attr_types(cls, module, imports)
+    return cls
+
+
+def _parse_module(path: Path, qualname: str) -> ModuleInfo:
+    source = path.read_text()
+    tree = ast.parse(source, filename=str(path))
+    imports = _collect_imports(tree, qualname)
+    info = ModuleInfo(qualname=qualname, path=str(path), source=source,
+                      tree=tree, imports=imports)
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            info.functions[stmt.name] = FunctionInfo(
+                qualname=f"{qualname}.{stmt.name}", module=qualname,
+                name=stmt.name, node=stmt,
+                decorators=_decorator_names(stmt, qualname, imports),
+                path=str(path))
+        elif isinstance(stmt, ast.ClassDef):
+            info.classes[stmt.name] = _parse_class(stmt, qualname,
+                                                   str(path), imports)
+        elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 \
+                and isinstance(stmt.targets[0], ast.Name):
+            name = stmt.targets[0].id
+            if _is_mutable_literal(stmt.value):
+                info.mutable_globals.add(name)
+            if isinstance(stmt.value, ast.Call):
+                ctor = _dotted_name(stmt.value.func)
+                if ctor:
+                    info.var_types[name] = ctor
+        elif isinstance(stmt, ast.AnnAssign) \
+                and isinstance(stmt.target, ast.Name):
+            name = stmt.target.id
+            if stmt.value is not None \
+                    and _is_mutable_literal(stmt.value):
+                info.mutable_globals.add(name)
+            ann = _annotation_text(stmt.annotation)
+            if ann:
+                info.var_types[name] = ann
+    return info
+
+
+def _iter_functions(mod: ModuleInfo) -> Iterable[FunctionInfo]:
+    """Every function in a module: top-level, methods, and nested."""
+    pending: List[FunctionInfo] = list(mod.functions.values())
+    for cls in mod.classes.values():
+        pending.extend(cls.methods.values())
+    seen: Set[str] = set()
+    while pending:
+        fn = pending.pop()
+        if fn.qualname in seen:
+            continue
+        seen.add(fn.qualname)
+        yield fn
+        for stmt in ast.walk(fn.node):
+            if stmt is fn.node:
+                continue
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested_qual = f"{fn.qualname}.<locals>.{stmt.name}"
+                if nested_qual in seen:
+                    continue
+                pending.append(FunctionInfo(
+                    qualname=nested_qual, module=fn.module,
+                    name=stmt.name, node=stmt,
+                    class_qualname=fn.class_qualname,
+                    parent=fn.qualname,
+                    decorators=_decorator_names(stmt, fn.module,
+                                                mod.imports),
+                    path=fn.path))
+
+
+def _module_qualname(file_path: Path, root: Path, package: str) -> str:
+    rel = file_path.relative_to(root)
+    parts = list(rel.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join([package] + parts) if parts else package
+
+
+def load_program(roots: Sequence[str]) -> Program:
+    """Parse every ``.py`` file under the given package directories.
+
+    Each root directory is treated as one package whose name is the
+    directory's basename (``src/repro`` -> package ``repro``), matching
+    how the repository is laid out on ``PYTHONPATH=src``.  A root that
+    is a single file becomes a top-level module.
+    """
+    program = Program()
+    for root in roots:
+        root_path = Path(root)
+        if root_path.is_file():
+            program.add_module(_parse_module(root_path, root_path.stem))
+            continue
+        package = root_path.name
+        for file_path in sorted(root_path.rglob("*.py")):
+            qualname = _module_qualname(file_path, root_path, package)
+            try:
+                program.add_module(_parse_module(file_path, qualname))
+            except SyntaxError:
+                # single-file lint reports the syntax error; the
+                # whole-program passes simply skip the module
+                continue
+    program.finalize()
+    return program
