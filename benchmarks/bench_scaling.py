@@ -58,14 +58,14 @@ import argparse
 import json
 import os
 import sys
-import time
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from common import SeriesWriter
 from repro import Placer3D, PlacementConfig, load_benchmark
-from repro.obs import Recorder
+from repro.obs import (Recorder, SamplingProfiler, Stopwatch,
+                       peak_rss_bytes)
 
 #: instance-size ladder (fractions of published ibm01 cell count)
 SCALES = [0.025, 0.05, 0.1]
@@ -75,10 +75,11 @@ CIRCUIT = "ibm01"
 def _best_of(fn, repeats: int = 5) -> float:
     """Minimum wall-clock of several calls (noise-robust statistic)."""
     best = float("inf")
+    watch = Stopwatch()
     for _ in range(repeats):
-        start = time.perf_counter()
+        watch.restart()
         fn()
-        best = min(best, time.perf_counter() - start)
+        best = min(best, watch.elapsed())
     return best
 
 
@@ -100,27 +101,42 @@ def bench_full_placement(scales: List[float],
     (TRR nets).
     """
     out: Dict[str, dict] = {}
+    watch = Stopwatch()
     for scale in scales:
         walls: List[float] = []
         telemetry_walls: List[float] = []
+        profile_walls: List[float] = []
         result = None
         wall = float("inf")
         for _ in range(repeats):
             netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
-            start = time.perf_counter()
+            watch.restart()
             attempt = Placer3D(netlist, PlacementConfig()).run()
-            elapsed = time.perf_counter() - start
+            elapsed = watch.elapsed()
             walls.append(elapsed)
             if elapsed < wall:
                 wall, result = elapsed, attempt
             netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
-            start = time.perf_counter()
+            watch.restart()
             Placer3D(netlist, PlacementConfig(),
                      recorder=Recorder()).run()
-            telemetry_walls.append(time.perf_counter() - start)
+            telemetry_walls.append(watch.elapsed())
+            # third leg of the pair: full deep-observability stack
+            # (resource tracking + sampling profiler at the default
+            # rate), gated by --check-profile-overhead
+            netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
+            watch.restart()
+            recorder = Recorder(track_resources=True)
+            with SamplingProfiler(tracer=recorder.tracer):
+                Placer3D(netlist, PlacementConfig(),
+                         recorder=recorder).run()
+            recorder.finish_resources()
+            profile_walls.append(watch.elapsed())
         assert result is not None
         overhead = float(np.median(
             [t / p - 1.0 for p, t in zip(walls, telemetry_walls)]))
+        profile_overhead = float(np.median(
+            [t / p - 1.0 for p, t in zip(walls, profile_walls)]))
         out[str(scale)] = {
             "num_cells": len(netlist.cells),
             "repeats": repeats,
@@ -132,6 +148,11 @@ def bench_full_placement(scales: List[float],
             "telemetry_wall_seconds_median":
                 float(np.median(telemetry_walls)),
             "telemetry_overhead_pct": 100.0 * overhead,
+            "profile_overhead_pct": 100.0 * profile_overhead,
+            # process high-water mark after this scale's runs — a
+            # monotone per-process statistic; the largest scale's row
+            # is the one the ledger watches
+            "peak_rss_bytes": peak_rss_bytes(),
         }
     return out
 
@@ -150,12 +171,13 @@ def bench_workers(scale: float = 0.1,
     counts = counts or [1, 2, 4]
     entries: Dict[str, dict] = {}
     reference = None
+    watch = Stopwatch()
     for workers in counts:
         netlist = load_benchmark(CIRCUIT, scale=scale, seed=0)
         config = PlacementConfig(num_workers=workers)
-        start = time.perf_counter()
+        watch.restart()
         result = Placer3D(netlist, config).run()
-        wall = time.perf_counter() - start
+        wall = watch.elapsed()
         coords = (result.placement.x.tobytes(),
                   result.placement.y.tobytes(),
                   result.placement.z.tobytes())
@@ -210,9 +232,9 @@ def bench_solve_powers(repeats: int = 10) -> dict:
     solver = ThermalSolver(chip, nx=16, ny=16)
     rng = np.random.default_rng(0)
     power = rng.random((16, 16, 4)) * 1e6
-    start = time.perf_counter()
+    watch = Stopwatch()
     solver.solve_powers(power)
-    first = time.perf_counter() - start
+    first = watch.elapsed()
     repeat = _best_of(lambda: solver.solve_powers(power), repeats)
     return {"first_seconds": first, "repeat_seconds": repeat}
 
@@ -249,9 +271,9 @@ def bench_thermal_fidelity(scale: float = 0.1,
         compute_net_metrics(placement))
     pmap = power_map_of(placement, powers, surrogate.nx, surrogate.ny)
 
-    start = time.perf_counter()
+    watch = Stopwatch()
     coeffs = surrogate.calibrate(solver, extra_power_maps=[pmap])
-    calibration_seconds = time.perf_counter() - start
+    calibration_seconds = watch.elapsed()
     error = relative_error(surrogate.solve_powers(pmap),
                            solver.solve_powers(pmap))
 
@@ -303,13 +325,14 @@ def run_bench(scales: Optional[List[float]] = None,
     if workers:
         measurement["workers_scaling"] = bench_workers()
     writer.row(f"{'scale':>7} {'cells':>7} {'wall (s)':>9} "
-               f"{'tele %':>7}  stages")
+               f"{'tele %':>7} {'prof %':>7}  stages")
     for scale, entry in measurement["placement"].items():
         stages = " ".join(f"{k}={v:.3f}"
                           for k, v in entry["stage_seconds"].items())
         writer.row(f"{scale:>7} {entry['num_cells']:>7} "
                    f"{entry['wall_seconds']:>9.3f} "
-                   f"{entry['telemetry_overhead_pct']:>+6.1f}%  {stages}")
+                   f"{entry['telemetry_overhead_pct']:>+6.1f}% "
+                   f"{entry['profile_overhead_pct']:>+6.1f}%  {stages}")
     rb = measurement["rebuild"]
     sp = measurement["solve_powers"]
     writer.row(f"rebuild ({rb['num_nets']} nets): "
@@ -369,13 +392,17 @@ def merge(before: dict, after: dict) -> dict:
     return {"before": before, "after": after, "speedup": speedup}
 
 
-def check_overhead(measurement: dict, budget_pct: float) -> List[str]:
-    """CI gate: telemetry overhead must stay within budget.
+def check_overhead(measurement: dict, budget_pct: float,
+                   profile_budget_pct: Optional[float] = None,
+                   ) -> List[str]:
+    """CI gate: telemetry (and profiling) overhead within budget.
 
     Clamped at zero — only *positive* regressions flag.  A negative
     reading (telemetry run faster than the plain run) is scheduler
     noise and historically produced spurious gate states in both
-    directions.
+    directions.  ``profile_budget_pct`` additionally gates the third
+    pair leg (resource tracking + sampling profiler at the default
+    rate) against its own, larger budget.
     """
     failures = []
     for scale, entry in measurement.get("placement", {}).items():
@@ -384,6 +411,14 @@ def check_overhead(measurement: dict, budget_pct: float) -> List[str]:
             failures.append(
                 f"scale {scale}: telemetry overhead "
                 f"{overhead:.2f}% exceeds budget {budget_pct:.2f}%")
+        if profile_budget_pct is not None \
+                and "profile_overhead_pct" in entry:
+            profiled = max(0.0, entry["profile_overhead_pct"])
+            if profiled > profile_budget_pct:
+                failures.append(
+                    f"scale {scale}: profiling overhead "
+                    f"{profiled:.2f}% exceeds budget "
+                    f"{profile_budget_pct:.2f}%")
     return failures
 
 
@@ -403,6 +438,12 @@ def main() -> None:
                         help="exit nonzero when telemetry overhead at "
                              "any scale exceeds this budget (negative "
                              "readings clamp to zero and never flag)")
+    parser.add_argument("--check-profile-overhead", type=float,
+                        metavar="PCT",
+                        help="also gate the profiled-run overhead "
+                             "(sampling profiler + resource tracking "
+                             "at the default rate) against this "
+                             "budget")
     args = parser.parse_args()
     baseline = None
     if args.baseline:
@@ -417,14 +458,21 @@ def main() -> None:
         with open(args.json, "w") as fh:
             json.dump(document, fh, indent=2, sort_keys=True)
             fh.write("\n")
-    if args.check_overhead is not None:
-        failures = check_overhead(measurement, args.check_overhead)
+    if args.check_overhead is not None \
+            or args.check_profile_overhead is not None:
+        budget = (args.check_overhead
+                  if args.check_overhead is not None else 100.0)
+        failures = check_overhead(
+            measurement, budget,
+            profile_budget_pct=args.check_profile_overhead)
         for line in failures:
             print(f"OVERHEAD GATE: {line}", file=sys.stderr)
         if failures:
             raise SystemExit(1)
-        print(f"overhead gate passed (budget "
-              f"{args.check_overhead:.2f}%)")
+        print(f"overhead gate passed (budget {budget:.2f}%"
+              + (f", profiled {args.check_profile_overhead:.2f}%"
+                 if args.check_profile_overhead is not None else "")
+              + ")")
 
 
 def test_bench_scaling(benchmark):

@@ -5,6 +5,16 @@ Commands:
     sweep        sweep the via coefficient and print the tradeoff curve
     suite        list the built-in benchmark profiles (Table 1)
     config-dump  print the effective placement config as JSON
+    obs          observability tools: report / diff / history
+
+Profiling and perf watch::
+
+    python -m repro place --circuit ibm01 --scale 0.025 --profile \
+        --telemetry-out /tmp/run
+    python -m repro obs report /tmp/run.manifest.json
+    python -m repro obs diff baseline.manifest.json run.manifest.json
+    python -m repro obs history --append BENCH_scaling.json \
+        --label nightly && python -m repro obs history --check
 
 Examples::
 
@@ -130,6 +140,22 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="stop after the named pipeline unit "
                             "(e.g. round1/detailed), leaving the "
                             "checkpoint behind")
+    place.add_argument("--profile", action="store_true",
+                       help="enable the sampling profiler and resource "
+                            "tracking (also via REPRO_PROFILE=1); "
+                            "prints memory/hot-function sections and, "
+                            "with --telemetry-out, writes "
+                            "PREFIX.collapsed.txt (flamegraph-ready) "
+                            "plus manifest resources/profile sections")
+    place.add_argument("--profile-interval", type=float, default=None,
+                       metavar="SECONDS",
+                       help="profiler sample interval (default "
+                            "REPRO_PROFILE_INTERVAL or 0.01)")
+    place.add_argument("--profile-alloc", action="store_true",
+                       help="with --profile: also trace allocation "
+                            "sites via tracemalloc (also via "
+                            "REPRO_PROFILE_ALLOC=1); hooks every "
+                            "allocation, expect ~8x slower runs")
 
     sweep = sub.add_parser("sweep",
                            help="alpha_ILV tradeoff sweep (Figure 3)")
@@ -159,6 +185,65 @@ def _build_parser() -> argparse.ArgumentParser:
     dump.add_argument("--out", metavar="FILE",
                       help="also write the JSON to FILE")
 
+    obs_parser = sub.add_parser(
+        "obs", help="observability tools: report, diff, history")
+    obs_sub = obs_parser.add_subparsers(dest="obs_command",
+                                        required=True)
+
+    report_p = obs_sub.add_parser(
+        "report", help="render a run manifest (or raw telemetry "
+                       "trace snapshot) as a text report")
+    report_p.add_argument("document",
+                          help="manifest JSON written by "
+                               "--telemetry-out")
+
+    diff_p = obs_sub.add_parser(
+        "diff", help="compare two manifests/telemetry files; exit "
+                     "nonzero when any metric regressed beyond its "
+                     "budget")
+    diff_p.add_argument("before", help="baseline document (A)")
+    diff_p.add_argument("after", help="candidate document (B)")
+    diff_p.add_argument("--wall-pct", type=float, default=10.0,
+                        help="allowed wall-time increase "
+                             "(default 10%%)")
+    diff_p.add_argument("--rss-pct", type=float, default=10.0,
+                        help="allowed peak-RSS increase "
+                             "(default 10%%)")
+    diff_p.add_argument("--quality-pct", type=float, default=1.0,
+                        help="allowed objective/WL/ILV/temperature "
+                             "increase (default 1%%)")
+
+    hist_p = obs_sub.add_parser(
+        "history", help="append bench results to the committed perf "
+                        "ledger and watch for regressions against a "
+                        "rolling baseline")
+    hist_p.add_argument("--ledger",
+                        default="benchmarks/results/ledger.jsonl",
+                        help="JSONL ledger path (default "
+                             "benchmarks/results/ledger.jsonl)")
+    hist_p.add_argument("--append", metavar="MEASUREMENT.json",
+                        help="convert a bench measurement (or merged "
+                             "before/after document) into a ledger "
+                             "entry and append it")
+    hist_p.add_argument("--label",
+                        help="label for the appended entry "
+                             "(required with --append)")
+    hist_p.add_argument("--commit",
+                        help="commit hash recorded on the appended "
+                             "entry")
+    hist_p.add_argument("--check", action="store_true",
+                        help="compare the newest entry against the "
+                             "rolling-median baseline; exit nonzero "
+                             "on regression")
+    hist_p.add_argument("--window", type=int, default=5,
+                        help="baseline window, entries (default 5)")
+    hist_p.add_argument("--threshold", type=float, default=20.0,
+                        help="allowed increase over the rolling "
+                             "median (default 20%%)")
+    hist_p.add_argument("--metric",
+                        help="show this metric's trajectory instead "
+                             "of the entry table")
+
     sub.add_parser("suite", help="list benchmark profiles (Table 1)")
     return parser
 
@@ -176,14 +261,29 @@ def _cmd_place(args) -> int:
         num_workers=0 if args.workers is None else args.workers)
     print(f"placing {netlist.name}: {netlist.num_cells} cells, "
           f"{netlist.num_nets} nets, {args.layers} layers")
+    # --profile flips the environment opt-in *before* the recorder is
+    # built (so it auto-attaches a ResourceTracker) and before any
+    # worker processes fork (so they inherit the opt-in too).
+    profile_env_set = False
+    if args.profile and not obs.profile_enabled():
+        os.environ[obs.PROFILE_ENV] = "1"
+        profile_env_set = True
+    alloc_env_set = False
+    if args.profile_alloc and not obs.alloc_enabled():
+        os.environ[obs.ALLOC_ENV] = "1"
+        alloc_env_set = True
     recorder: Optional[obs.Recorder] = None
     trace_path: Optional[str] = None
-    if args.trace or args.telemetry_out:
+    if args.trace or args.telemetry_out or args.profile:
         sink = None
         if args.telemetry_out:
             trace_path = f"{args.telemetry_out}.trace.jsonl"
             sink = obs.EventSink(trace_path)
         recorder = obs.Recorder(sink=sink)
+    profiler: Optional[obs.SamplingProfiler] = None
+    if args.profile and recorder is not None:
+        profiler = obs.SamplingProfiler(
+            tracer=recorder.tracer, interval=args.profile_interval)
     spec = (PipelineSpec.from_json_file(args.pipeline)
             if args.pipeline else default_pipeline_spec(config))
     if args.resume and not args.checkpoint_dir:
@@ -191,6 +291,8 @@ def _cmd_place(args) -> int:
         return 2
     placer = Placer3D(netlist, config, recorder=recorder, spec=spec)
     try:
+        if profiler is not None:
+            profiler.start()
         result = placer.run(check=True,
                             checkpoint_dir=args.checkpoint_dir,
                             resume=args.resume,
@@ -204,8 +306,17 @@ def _cmd_place(args) -> int:
         print(f"checkpoint error: {exc}", file=sys.stderr)
         return 1
     finally:
+        if profiler is not None:
+            profiler.stop()
         if recorder is not None:
             recorder.close()
+        if profile_env_set:
+            os.environ.pop(obs.PROFILE_ENV, None)
+        if alloc_env_set:
+            os.environ.pop(obs.ALLOC_ENV, None)
+    resources_doc = (recorder.finish_resources()
+                     if recorder is not None else None)
+    profile_doc = profiler.summary() if profiler is not None else None
     report = evaluate_placement(result.placement, config.tech,
                                 runtime_seconds=result.runtime_seconds,
                                 stage_seconds=result.stage_seconds)
@@ -214,6 +325,11 @@ def _cmd_place(args) -> int:
     if args.trace and result.telemetry is not None:
         print()
         print(obs.render(result.telemetry, title=netlist.name))
+    if args.profile:
+        print()
+        print(obs.render_resources(resources_doc))
+        print()
+        print(obs.render_profile(profile_doc))
     if args.maps:
         pm = PowerModel(netlist, config.tech)
         powers = pm.cell_powers(compute_net_metrics(result.placement))
@@ -229,9 +345,14 @@ def _cmd_place(args) -> int:
         manifest = obs.build_manifest(
             netlist, config, result, trace_path=trace_path,
             peak_temperature=report.max_temperature,
-            pipeline=spec.to_dict())
+            pipeline=spec.to_dict(), resources=resources_doc,
+            profile=profile_doc)
         manifest_path = obs.write_manifest(
             f"{args.telemetry_out}.manifest.json", manifest)
+        if profiler is not None:
+            collapsed_path = f"{args.telemetry_out}.collapsed.txt"
+            profiler.data.write_collapsed(collapsed_path)
+            print(f"wrote {collapsed_path}")
         errors = obs.validate_manifest(manifest)
         if errors:
             for error in errors:
@@ -381,6 +502,107 @@ def _cmd_config_dump(args) -> int:
     return 0
 
 
+def _load_json_document(path: str) -> Optional[dict]:
+    """Load a JSON object from ``path``; ``None`` (with a message on
+    stderr) on any load failure — obs commands exit 2, not traceback."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            document = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"cannot read {path}: {exc}", file=sys.stderr)
+        return None
+    if not isinstance(document, dict):
+        print(f"{path}: expected a JSON object", file=sys.stderr)
+        return None
+    return document
+
+
+def _cmd_obs_report(args) -> int:
+    document = _load_json_document(args.document)
+    if document is None:
+        return 2
+    if "spans" in document and "kind" not in document:
+        # raw Telemetry snapshot (e.g. a worker's shipped telemetry)
+        telemetry = obs.Telemetry(
+            spans=document.get("spans") or {},
+            counters=document.get("counters") or {},
+            gauges=document.get("gauges") or {},
+            series=document.get("series") or {},
+            wall_seconds=float(document.get("wall_seconds") or 0.0))
+        print(obs.render(telemetry, title=args.document))
+        return 0
+    print(obs.render_manifest(document))
+    return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    from repro.obs.diffing import (DiffThresholds, diff_documents,
+                                   has_regressions, render_diff)
+    before = _load_json_document(args.before)
+    after = _load_json_document(args.after)
+    if before is None or after is None:
+        return 2
+    thresholds = DiffThresholds(wall_pct=args.wall_pct,
+                                rss_pct=args.rss_pct,
+                                quality_pct=args.quality_pct)
+    deltas = diff_documents(before, after, thresholds)
+    print(render_diff(deltas, label_a=os.path.basename(args.before),
+                      label_b=os.path.basename(args.after)))
+    return 1 if has_regressions(deltas) else 0
+
+
+def _cmd_obs_history(args) -> int:
+    from repro.obs import history
+    try:
+        entries = history.load_ledger(args.ledger)
+    except ValueError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.append:
+        if not args.label:
+            print("--append requires --label", file=sys.stderr)
+            return 2
+        measurement = _load_json_document(args.append)
+        if measurement is None:
+            return 2
+        try:
+            entry = history.entry_from_measurement(
+                measurement, label=args.label, commit=args.commit)
+        except ValueError as exc:
+            print(f"{args.append}: {exc}", file=sys.stderr)
+            return 2
+        history.append_entry(args.ledger, entry)
+        entries.append(entry)
+        print(f"appended entry '{args.label}' "
+              f"({len(entry['metrics'])} metrics) to {args.ledger}")
+    if args.check:
+        regressions = history.check_latest(
+            entries, window=args.window,
+            threshold_pct=args.threshold)
+        if regressions:
+            for reg in regressions:
+                print(f"REGRESSION {reg.metric}: {reg.value:.6g} vs "
+                      f"baseline {reg.baseline:.6g} ({reg.pct:+.1f}% > "
+                      f"{args.threshold:.0f}%)")
+            return 1
+        print(f"no regressions in latest of {len(entries)} entries "
+              f"(window {args.window}, threshold {args.threshold:.0f}%)")
+        return 0
+    if not args.append:
+        print(history.render_history(entries, metric=args.metric))
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    if args.obs_command == "report":
+        return _cmd_obs_report(args)
+    if args.obs_command == "diff":
+        return _cmd_obs_diff(args)
+    if args.obs_command == "history":
+        return _cmd_obs_history(args)
+    raise AssertionError(f"unhandled obs command {args.obs_command!r}")
+
+
 def _cmd_suite() -> int:
     print(f"{'name':<8} {'cells':>8} {'area (mm^2)':>12}")
     for profile in SUITE_PROFILES.values():
@@ -399,6 +621,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_sweep(args)
     if args.command == "config-dump":
         return _cmd_config_dump(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "suite":
         return _cmd_suite()
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -405,6 +405,7 @@ class PlacementPipeline:
             return
         with self.ctx.recorder.span(entry.stage):
             create_stage(entry.stage, entry.options).run(self.ctx)
+        self.ctx.recorder.sample_resources(entry.stage)
         self._complete(unit)
 
     def _run_round(self, idx: int, entry: RepeatEntry,
@@ -421,6 +422,8 @@ class PlacementPipeline:
                     with rec.span(stage_entry.stage):
                         create_stage(stage_entry.stage,
                                      stage_entry.options).run(self.ctx)
+                    rec.sample_resources(
+                        f"round{round_no}/{stage_entry.stage}")
                     # inner-loop field telemetry: surrogate-served
                     # under the adaptive/surrogate fidelity modes
                     self.ctx.record_thermal(boundary=False)

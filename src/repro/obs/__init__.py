@@ -9,6 +9,11 @@ reports through:
   time-series behind one object; the ambient recorder
   (:func:`get_recorder` / :func:`use_recorder`) is a no-op unless a
   caller opts in (``recorder.py``);
+- :class:`SamplingProfiler` / :class:`ProfileData` — opt-in sampling
+  profiler attributing stacks to open span paths, with collapsed-stack
+  export (``profile.py``);
+- :class:`ResourceTracker` — opt-in peak-RSS and tracemalloc
+  tracking feeding the recorder (``resources.py``);
 - :class:`EventSink` / :func:`read_events` — structured JSONL event
   stream (``events.py``);
 - :func:`build_manifest` / :func:`write_manifest` /
@@ -16,7 +21,9 @@ reports through:
   schema (``manifest.py``, ``manifest_schema.json``, ``validate.py``);
 - :func:`get_logger` / :func:`configure_cli_logging` — namespaced
   ``repro.*`` logging (``log.py``);
-- :func:`render` — plain-text telemetry reports (``report.py``).
+- :func:`render` / :func:`render_manifest` — plain-text telemetry and
+  manifest reports (``report.py``); run-to-run comparison lives in
+  ``diffing.py`` and the committed perf ledger in ``history.py``.
 
 Design note: ``repro.obs`` is the only part of ``src/repro`` allowed
 to touch the clocks directly — ``time.perf_counter`` (linter rule
@@ -30,29 +37,48 @@ from repro.obs.events import EventSink, read_events
 from repro.obs.log import configure_cli_logging, get_logger
 from repro.obs.manifest import (build_manifest, config_hash, load_schema,
                                 validate_manifest, write_manifest)
+from repro.obs.profile import (PROFILE_ENV, ProfileData,
+                               SamplingProfiler, profile_enabled)
 from repro.obs.recorder import (NULL_RECORDER, NullRecorder, Recorder,
                                 Telemetry, get_recorder, use_recorder)
-from repro.obs.report import render, render_spans
+from repro.obs.report import (render, render_manifest, render_profile,
+                              render_resources, render_spans)
+from repro.obs.resources import (ALLOC_ENV, ResourceTracker,
+                                 alloc_enabled, peak_rss_bytes,
+                                 resources_enabled, rss_bytes)
 from repro.obs.trace import SpanStats, Stopwatch, Tracer
 
 __all__ = [
+    "ALLOC_ENV",
     "EventSink",
     "NULL_RECORDER",
     "NullRecorder",
+    "PROFILE_ENV",
+    "ProfileData",
     "Recorder",
+    "ResourceTracker",
+    "SamplingProfiler",
     "SpanStats",
     "Stopwatch",
     "Telemetry",
     "Tracer",
+    "alloc_enabled",
     "build_manifest",
     "config_hash",
     "configure_cli_logging",
     "get_logger",
     "get_recorder",
     "load_schema",
+    "peak_rss_bytes",
+    "profile_enabled",
     "read_events",
     "render",
+    "render_manifest",
+    "render_profile",
+    "render_resources",
     "render_spans",
+    "resources_enabled",
+    "rss_bytes",
     "use_recorder",
     "validate_manifest",
     "wall_time",

@@ -1,0 +1,232 @@
+"""Run-to-run comparison of manifests and telemetry documents.
+
+``repro obs diff A B`` answers the question every optimisation PR and
+every head-to-head (bisection vs analytical global placement) has to
+answer honestly: *did wall time, memory or quality regress, and by how
+much?*  The comparison is threshold-gated per metric family —
+
+- **wall**: ``result.wall_seconds`` (and per-stage breakdowns,
+  reported but not gated — stage noise is much larger than total
+  noise);
+- **rss**: the ``resources/peak_rss_bytes`` gauge / ``resources``
+  manifest section;
+- **quality**: objective, wirelength, ILV count and peak temperature.
+
+A metric missing on either side is reported as ``n/a`` and never
+counts as a regression (older manifests predate the resources
+section); a metric whose increase exceeds its family threshold is a
+:class:`MetricDelta` with ``regressed=True``, and the CLI exits
+nonzero when any exists.
+
+Documents may be run manifests (``kind: repro.placement.run``) or raw
+telemetry snapshots (the ``{"spans", "counters", "gauges", ...}``
+shape ``Recorder.snapshot`` serialises to); the extractor sniffs the
+shape instead of demanding one.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+__all__ = ["DiffThresholds", "MetricDelta", "diff_documents",
+           "diff_files", "extract_metrics", "has_regressions",
+           "render_diff"]
+
+
+@dataclass(frozen=True)
+class DiffThresholds:
+    """Per-family regression budgets, percent increase over ``A``.
+
+    Attributes:
+        wall_pct: allowed wall-time increase (noisy; default 10 %).
+        rss_pct: allowed peak-RSS increase.
+        quality_pct: allowed objective/wirelength/ILV/temperature
+            increase (tight; quality is deterministic per seed).
+    """
+
+    wall_pct: float = 10.0
+    rss_pct: float = 10.0
+    quality_pct: float = 1.0
+
+
+#: metric name -> threshold family.  Metrics outside this table are
+#: informational (reported, never gated).
+_GATED_FAMILIES: Dict[str, str] = {
+    "wall_seconds": "wall",
+    "peak_rss_bytes": "rss",
+    "objective": "quality",
+    "wirelength": "quality",
+    "ilv": "quality",
+    "peak_temperature": "quality",
+}
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric.
+
+    Attributes:
+        name: metric name (``wall_seconds``, ``stage/global`` …).
+        before: value in document A (``None`` when absent).
+        after: value in document B (``None`` when absent).
+        pct: percent change B vs A (``None`` when not computable).
+        threshold_pct: gating budget (``None`` for informational rows).
+        regressed: ``pct`` exceeds ``threshold_pct``.
+    """
+
+    name: str
+    before: Optional[float]
+    after: Optional[float]
+    pct: Optional[float]
+    threshold_pct: Optional[float]
+    regressed: bool
+
+
+def _as_float(value: Any) -> Optional[float]:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return None
+    return float(value)
+
+
+def extract_metrics(document: Mapping[str, Any]) -> Dict[str, float]:
+    """Pull the comparable metrics out of a manifest or telemetry doc.
+
+    Returns:
+        ``{metric_name: value}``; gated metrics use the names in the
+        family table, per-stage wall times appear as
+        ``stage/<path>`` informational rows.
+    """
+    metrics: Dict[str, float] = {}
+    result = document.get("result")
+    if isinstance(result, Mapping):
+        for key in ("wall_seconds", "objective", "wirelength", "ilv",
+                    "peak_temperature"):
+            value = _as_float(result.get(key))
+            if value is not None:
+                metrics[key] = value
+    elif "wall_seconds" in document:
+        # raw Telemetry snapshot
+        value = _as_float(document.get("wall_seconds"))
+        if value is not None:
+            metrics["wall_seconds"] = value
+    resources = document.get("resources")
+    if isinstance(resources, Mapping):
+        value = _as_float(resources.get("peak_rss_bytes"))
+        if value is not None and value > 0:
+            metrics["peak_rss_bytes"] = value
+    if "peak_rss_bytes" not in metrics:
+        gauges = document.get("gauges")
+        if isinstance(gauges, Mapping):
+            value = _as_float(gauges.get("resources/peak_rss_bytes"))
+            if value is not None and value > 0:
+                metrics["peak_rss_bytes"] = value
+    stages = document.get("stages")
+    if isinstance(stages, list):
+        for row in stages:
+            if not isinstance(row, Mapping):
+                continue
+            path, seconds = row.get("path"), _as_float(
+                row.get("seconds"))
+            if isinstance(path, str) and "/" not in path \
+                    and seconds is not None:
+                metrics[f"stage/{path}"] = seconds
+    return metrics
+
+
+def _threshold_for(name: str,
+                   thresholds: DiffThresholds) -> Optional[float]:
+    family = _GATED_FAMILIES.get(name)
+    if family == "wall":
+        return thresholds.wall_pct
+    if family == "rss":
+        return thresholds.rss_pct
+    if family == "quality":
+        return thresholds.quality_pct
+    return None
+
+
+def diff_documents(before: Mapping[str, Any], after: Mapping[str, Any],
+                   thresholds: Optional[DiffThresholds] = None,
+                   ) -> List[MetricDelta]:
+    """Compare two documents metric by metric.
+
+    Returns:
+        Deltas in stable order: gated metrics first (family-table
+        order), then informational rows alphabetically.  Metrics
+        present on only one side yield a delta with ``pct=None`` that
+        never regresses.
+    """
+    thresholds = thresholds or DiffThresholds()
+    a = extract_metrics(before)
+    b = extract_metrics(after)
+    names = list(_GATED_FAMILIES)
+    names.extend(sorted((set(a) | set(b)) - set(names)))
+    deltas: List[MetricDelta] = []
+    for name in names:
+        va, vb = a.get(name), b.get(name)
+        if va is None and vb is None:
+            continue
+        pct: Optional[float] = None
+        if va is not None and vb is not None and va > 0:
+            pct = 100.0 * (vb / va - 1.0)
+        threshold = _threshold_for(name, thresholds)
+        regressed = (pct is not None and threshold is not None
+                     and pct > threshold)
+        deltas.append(MetricDelta(name=name, before=va, after=vb,
+                                  pct=pct, threshold_pct=threshold,
+                                  regressed=regressed))
+    return deltas
+
+
+def diff_files(path_a: Union[str, Path], path_b: Union[str, Path],
+               thresholds: Optional[DiffThresholds] = None,
+               ) -> List[MetricDelta]:
+    """Load two JSON documents and compare them."""
+    with open(str(path_a), "r", encoding="utf-8") as fh:
+        before = json.load(fh)
+    with open(str(path_b), "r", encoding="utf-8") as fh:
+        after = json.load(fh)
+    if not isinstance(before, dict) or not isinstance(after, dict):
+        raise ValueError("diff inputs must be JSON objects")
+    return diff_documents(before, after, thresholds)
+
+
+def has_regressions(deltas: List[MetricDelta]) -> bool:
+    """Whether any compared metric exceeded its budget."""
+    return any(d.regressed for d in deltas)
+
+
+def _fmt(value: Optional[float]) -> str:
+    if value is None:
+        return "n/a"
+    if abs(value) >= 1e6 and float(value).is_integer():
+        return f"{value:.4g}"
+    if float(value).is_integer():
+        return f"{int(value)}"
+    return f"{value:.6g}"
+
+
+def render_diff(deltas: List[MetricDelta],
+                label_a: str = "A", label_b: str = "B") -> str:
+    """Readable comparison table with a one-line verdict at the end."""
+    lines = [f"{'metric':<24s}{label_a:>14s}{label_b:>14s}"
+             f"{'delta':>10s}  {'budget':>8s}  verdict"]
+    for d in deltas:
+        pct = "n/a" if d.pct is None else f"{d.pct:+.1f}%"
+        budget = "-" if d.threshold_pct is None \
+            else f"{d.threshold_pct:.0f}%"
+        verdict = "REGRESSED" if d.regressed else (
+            "ok" if d.threshold_pct is not None else "info")
+        lines.append(f"{d.name:<24s}{_fmt(d.before):>14s}"
+                     f"{_fmt(d.after):>14s}{pct:>10s}  {budget:>8s}"
+                     f"  {verdict}")
+    regressions = [d.name for d in deltas if d.regressed]
+    if regressions:
+        lines.append(f"REGRESSION: {', '.join(regressions)} "
+                     f"exceeded budget")
+    else:
+        lines.append("no regressions within budget")
+    return "\n".join(lines)

@@ -139,6 +139,8 @@ def build_manifest(netlist: "Netlist", config: "PlacementConfig",
                    peak_temperature: Optional[float] = None,
                    pipeline: Optional[Dict[str, Any]] = None,
                    thermal: Optional[Dict[str, Any]] = None,
+                   resources: Optional[Dict[str, Any]] = None,
+                   profile: Optional[Dict[str, Any]] = None,
                    ) -> Dict[str, Any]:
     """Assemble the run manifest document.
 
@@ -156,6 +158,13 @@ def build_manifest(netlist: "Netlist", config: "PlacementConfig",
         thermal: the fidelity policy's metadata document
             (``ThermalFidelityPolicy.metadata()``); defaults to
             ``result.thermal``.  ``None`` for non-thermal runs.
+        resources: the resource tracker's summary
+            (``Recorder.finish_resources()``) — peak RSS and
+            tracemalloc attribution.  ``None`` when the run was not
+            profiled.
+        profile: the sampling profiler's summary
+            (``SamplingProfiler.summary()``).  ``None`` when the run
+            was not profiled.
 
     Returns:
         A JSON-serialisable dict matching ``manifest_schema.json``.
@@ -198,6 +207,8 @@ def build_manifest(netlist: "Netlist", config: "PlacementConfig",
         "trace_path": trace_path,
         "pipeline": pipeline,
         "thermal": thermal,
+        "resources": resources,
+        "profile": profile,
     }
 
 

@@ -18,14 +18,28 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from types import TracebackType
-from typing import (Any, Callable, ContextManager, Dict, Iterator, List,
-                    Optional, Type)
+from typing import (TYPE_CHECKING, Any, Callable, ContextManager, Dict,
+                    Iterator, List, Optional, Tuple, Type)
 
 from repro.obs.events import EventSink
 from repro.obs.trace import SpanStats, Tracer
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.resources import ResourceTracker
+
 __all__ = ["NULL_RECORDER", "NullRecorder", "Recorder", "Telemetry",
            "get_recorder", "use_recorder"]
+
+#: Gauge-name prefixes that merge by *max* when folding worker
+#: telemetry (:meth:`Recorder.merge`).  Peak-memory gauges are
+#: high-water marks: the merged run's peak is the largest worker's
+#: peak, not whichever worker merged last.
+_MAX_MERGE_GAUGE_PREFIXES: Tuple[str, ...] = (
+    "resources/peak_", "resources/tracemalloc_peak_")
+
+
+def _merges_by_max(name: str) -> bool:
+    return name.startswith(_MAX_MERGE_GAUGE_PREFIXES)
 
 
 @dataclass
@@ -56,18 +70,27 @@ class Recorder:
             counter increments, gauge writes and series points are
             streamed to it as they happen.
         clock: monotonic time source, seconds (injectable for tests).
+        track_resources: attach a
+            :class:`~repro.obs.resources.ResourceTracker` (per-span RSS
+            gauges, optional tracemalloc attribution).  ``None`` (the
+            default) defers to the ``REPRO_PROFILE`` environment
+            opt-in — which is how forked workers inherit tracking
+            without any parameter threading through
+            :mod:`repro.parallel`.
 
     Attributes:
         enabled: ``True`` — branch on this in hot call sites instead of
             paying for no-op method calls in inner loops.
         tracer: the span tree builder.
         sink: the event sink, or ``None``.
+        resources: the attached resource tracker, or ``None``.
     """
 
     enabled: bool = True
 
     def __init__(self, sink: Optional[EventSink] = None,
-                 clock: Callable[[], float] = time.perf_counter) -> None:
+                 clock: Callable[[], float] = time.perf_counter,
+                 track_resources: Optional[bool] = None) -> None:
         self.sink = sink
         self._clock = clock
         self._t0 = clock()
@@ -76,6 +99,13 @@ class Recorder:
         self.counters: Dict[str, float] = {}
         self.gauges: Dict[str, float] = {}
         self.series: Dict[str, List[Dict[str, float]]] = {}
+        self.resources: Optional["ResourceTracker"] = None
+        if track_resources is None:
+            from repro.obs.resources import resources_enabled
+            track_resources = resources_enabled()
+        if track_resources:
+            from repro.obs.resources import ResourceTracker
+            self.resources = ResourceTracker(self)
 
     # -- spans ---------------------------------------------------------
     def span(self, name: str) -> ContextManager[Any]:
@@ -99,6 +129,12 @@ class Recorder:
             self.sink.emit({"type": "gauge", "name": name,
                             "value": float(value)})
 
+    def gauge_max(self, name: str, value: float) -> None:
+        """Raise the named gauge to ``value`` if it is a new maximum."""
+        current = self.gauges.get(name)
+        if current is None or float(value) > current:
+            self.gauge(name, value)
+
     def record(self, name: str, **fields: float) -> None:
         """Append a point to the named time-series.
 
@@ -114,6 +150,24 @@ class Recorder:
             event: Dict[str, Any] = {"type": "series", "name": name}
             event.update(point)
             self.sink.emit(event)
+
+    # -- resources -----------------------------------------------------
+    def sample_resources(self, label: str) -> None:
+        """Record per-span memory gauges, when a tracker is attached.
+
+        Called at pipeline stage boundaries; a plain counter-check
+        no-op when resource tracking is off, so the default path stays
+        at its historical cost.
+        """
+        if self.resources is not None:
+            self.resources.sample(label)
+
+    def finish_resources(self) -> Optional[Dict[str, Any]]:
+        """Finalize resource tracking; the manifest ``resources``
+        section, or ``None`` when tracking is off."""
+        if self.resources is None:
+            return None
+        return self.resources.finish()
 
     # -- merging -------------------------------------------------------
     def merge(self, telemetry: Telemetry) -> None:
@@ -132,7 +186,10 @@ class Recorder:
           caller holding a ``level3/bisect`` span open files worker
           spans beneath it;
         - **counters**: added — totals are distribution-independent;
-        - **gauges**: last write wins, matching in-process behaviour;
+        - **gauges**: last write wins, matching in-process behaviour —
+          except peak-memory gauges (``resources/peak_*``), which are
+          high-water marks and merge by max so totals stay
+          distribution-independent at any worker count;
         - **series**: points append in merge-call order (the caller
           merges results in task order, keeping this deterministic).
         """
@@ -141,7 +198,12 @@ class Recorder:
         for name, value in telemetry.counters.items():
             self.counters[name] = self.counters.get(name, 0.0) + value
         for name, value in telemetry.gauges.items():
-            self.gauges[name] = value
+            if _merges_by_max(name):
+                current = self.gauges.get(name)
+                self.gauges[name] = value if current is None \
+                    else max(current, value)
+            else:
+                self.gauges[name] = value
         for name, points in telemetry.series.items():
             self.series.setdefault(name, []).extend(
                 dict(point) for point in points)
@@ -201,7 +263,7 @@ class NullRecorder(Recorder):
     enabled = False
 
     def __init__(self) -> None:
-        super().__init__(sink=None)
+        super().__init__(sink=None, track_resources=False)
 
     def span(self, name: str) -> ContextManager[Any]:
         return _NULL_SPAN
@@ -210,6 +272,9 @@ class NullRecorder(Recorder):
         return None
 
     def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def gauge_max(self, name: str, value: float) -> None:
         return None
 
     def record(self, name: str, **fields: float) -> None:

@@ -135,4 +135,8 @@ def solve_recorded(task: BisectionTask) -> Tuple[np.ndarray, Telemetry]:
     recorder = Recorder()
     with use_recorder(recorder):
         parts = solve(task)
+    # Resource telemetry (attached when REPRO_PROFILE opts the process
+    # tree in): one sample per task, so the merged sample counter and
+    # max-merged peak gauges are identical at any worker count.
+    recorder.sample_resources("worker")
     return parts, recorder.snapshot()

@@ -68,6 +68,74 @@ class TestPlaceCommand:
         assert any(e["type"] == "span" and e["path"] == "place"
                    for e in events)
 
+    def test_place_with_profile(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.obs import validate_manifest
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        prefix = str(tmp_path / "run")
+        code = main(["-q", "place", "--circuit", "ibm01", "--scale",
+                     "0.01", "--layers", "2", "--profile",
+                     "--profile-interval", "0.002",
+                     "--telemetry-out", prefix])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "-- memory --" in out
+        assert "-- hot functions --" in out
+        # --profile sets the env for worker processes, then restores it
+        assert "REPRO_PROFILE" not in os.environ
+        manifest = json.load(open(prefix + ".manifest.json"))
+        assert validate_manifest(manifest) == []
+        resources = manifest["resources"]
+        assert resources["peak_rss_bytes"] > 0
+        assert resources["samples"] > 0
+        # plain --profile keeps tracemalloc off (it costs ~8x; needs
+        # the deeper --profile-alloc opt-in)
+        assert resources["tracemalloc"]["enabled"] is False
+        profile = manifest["profile"]
+        assert profile["interval_seconds"] == 0.002
+        assert profile["samples"] >= 0
+        collapsed = prefix + ".collapsed.txt"
+        assert os.path.exists(collapsed)
+        # the collapsed file and the manifest agree on sample count
+        from repro.obs import ProfileData
+        with open(collapsed) as fh:
+            data = ProfileData.from_collapsed(fh.read().splitlines())
+        assert data.samples == profile["samples"]
+
+    def test_place_with_profile_alloc(self, capsys, tmp_path,
+                                      monkeypatch):
+        import json
+
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        monkeypatch.delenv("REPRO_PROFILE_ALLOC", raising=False)
+        prefix = str(tmp_path / "run")
+        code = main(["-q", "place", "--circuit", "ibm01", "--scale",
+                     "0.01", "--layers", "2", "--profile",
+                     "--profile-alloc", "--telemetry-out", prefix])
+        assert code == 0
+        assert "REPRO_PROFILE_ALLOC" not in os.environ  # restored
+        manifest = json.load(open(prefix + ".manifest.json"))
+        trace = manifest["resources"]["tracemalloc"]
+        assert trace["enabled"] is True
+        assert trace["peak_bytes"] > 0
+        assert trace["top_allocations"]
+
+    def test_obs_report_on_profiled_manifest(self, capsys, tmp_path,
+                                             monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        prefix = str(tmp_path / "run")
+        assert main(["-q", "place", "--circuit", "ibm01", "--scale",
+                     "0.01", "--layers", "2", "--profile",
+                     "--telemetry-out", prefix]) == 0
+        capsys.readouterr()
+        assert main(["obs", "report", prefix + ".manifest.json"]) == 0
+        out = capsys.readouterr().out
+        assert "== run report: ibm01@0.01 ==" in out
+        assert "-- stages --" in out
+        assert "-- memory --" in out
+        assert "-- hot functions --" in out
+
     def test_verbose_flag_emits_progress_logs(self, capsys):
         code = main(["-v", "place", "--circuit", "ibm01", "--scale",
                      "0.01", "--layers", "2"])

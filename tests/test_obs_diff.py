@@ -1,0 +1,216 @@
+"""Tests for run-to-run diffing (``repro.obs.diffing`` + CLI).
+
+Covers metric extraction from every accepted document shape, the
+per-family threshold gating, missing-metric ``n/a`` behaviour, a
+golden render of the diff table, and the ``repro obs diff`` exit-code
+contract (0 clean / 1 regression / 2 unreadable input).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.diffing import (DiffThresholds, MetricDelta,
+                               diff_documents, diff_files,
+                               extract_metrics, has_regressions,
+                               render_diff)
+
+
+def _manifest(wall=2.0, objective=100.0, rss=None, stages=None):
+    doc = {
+        "kind": "repro.placement.run",
+        "result": {"wall_seconds": wall, "objective": objective,
+                   "wirelength": 500.0, "ilv": 40,
+                   "peak_temperature": 355.0},
+    }
+    if rss is not None:
+        doc["resources"] = {"peak_rss_bytes": rss}
+    if stages is not None:
+        doc["stages"] = stages
+    return doc
+
+
+class TestExtractMetrics:
+    def test_manifest_result_section(self):
+        metrics = extract_metrics(_manifest())
+        assert metrics["wall_seconds"] == 2.0
+        assert metrics["objective"] == 100.0
+        assert metrics["wirelength"] == 500.0
+        assert metrics["ilv"] == 40.0
+        assert metrics["peak_temperature"] == 355.0
+
+    def test_raw_telemetry_snapshot(self):
+        metrics = extract_metrics({
+            "spans": {}, "wall_seconds": 1.5,
+            "gauges": {"resources/peak_rss_bytes": 4096.0}})
+        assert metrics == {"wall_seconds": 1.5,
+                           "peak_rss_bytes": 4096.0}
+
+    def test_resources_section_wins_over_gauges(self):
+        doc = _manifest(rss=8192.0)
+        doc["gauges"] = {"resources/peak_rss_bytes": 1.0}
+        assert extract_metrics(doc)["peak_rss_bytes"] == 8192.0
+
+    def test_zero_rss_is_skipped(self):
+        # peak_rss_bytes == 0 means "platform could not measure"
+        metrics = extract_metrics(_manifest(rss=0))
+        assert "peak_rss_bytes" not in metrics
+
+    def test_top_level_stage_rows_only(self):
+        stages = [{"path": "global", "seconds": 1.2},
+                  {"path": "global/level0", "seconds": 0.4},
+                  {"path": "legalize", "seconds": 0.1},
+                  "garbage"]
+        metrics = extract_metrics(_manifest(stages=stages))
+        assert metrics["stage/global"] == 1.2
+        assert metrics["stage/legalize"] == 0.1
+        assert "stage/global/level0" not in metrics
+
+    def test_non_numeric_values_ignored(self):
+        metrics = extract_metrics({"result": {"wall_seconds": "fast",
+                                              "objective": True}})
+        assert metrics == {}
+
+
+class TestDiffDocuments:
+    def test_within_budget_not_regressed(self):
+        deltas = diff_documents(_manifest(wall=2.0),
+                                _manifest(wall=2.1))
+        wall = next(d for d in deltas if d.name == "wall_seconds")
+        assert wall.pct == pytest.approx(5.0)
+        assert wall.regressed is False
+        assert not has_regressions(deltas)
+
+    def test_wall_regression_over_budget(self):
+        deltas = diff_documents(_manifest(wall=2.0),
+                                _manifest(wall=2.5))
+        wall = next(d for d in deltas if d.name == "wall_seconds")
+        assert wall.pct == pytest.approx(25.0)
+        assert wall.regressed is True
+        assert has_regressions(deltas)
+
+    def test_quality_budget_is_tight(self):
+        deltas = diff_documents(_manifest(objective=100.0),
+                                _manifest(objective=102.0))
+        obj = next(d for d in deltas if d.name == "objective")
+        assert obj.regressed is True  # +2% > 1% quality budget
+
+    def test_improvement_never_regresses(self):
+        deltas = diff_documents(_manifest(wall=3.0),
+                                _manifest(wall=1.0))
+        assert not has_regressions(deltas)
+
+    def test_custom_thresholds(self):
+        thresholds = DiffThresholds(wall_pct=50.0)
+        deltas = diff_documents(_manifest(wall=2.0),
+                                _manifest(wall=2.5), thresholds)
+        assert not has_regressions(deltas)
+
+    def test_missing_metric_is_na_not_regression(self):
+        before = _manifest()          # no resources section
+        after = _manifest(rss=4096.0)
+        deltas = diff_documents(before, after)
+        rss = next(d for d in deltas if d.name == "peak_rss_bytes")
+        assert rss.before is None and rss.after == 4096.0
+        assert rss.pct is None and rss.regressed is False
+
+    def test_stage_rows_are_informational(self):
+        stages = [{"path": "global", "seconds": 1.0}]
+        before = _manifest(stages=stages)
+        after = _manifest(stages=[{"path": "global", "seconds": 9.0}])
+        deltas = diff_documents(before, after)
+        stage = next(d for d in deltas if d.name == "stage/global")
+        assert stage.threshold_pct is None
+        assert stage.regressed is False  # 9x slower but not gated
+
+    def test_gated_metrics_listed_first_no_duplicates(self):
+        stages = [{"path": "anneal", "seconds": 0.3}]
+        deltas = diff_documents(_manifest(stages=stages),
+                                _manifest(stages=stages))
+        names = [d.name for d in deltas]
+        assert len(names) == len(set(names))
+        assert names.index("wall_seconds") < names.index("stage/anneal")
+
+
+class TestRenderDiff:
+    def test_golden_table(self):
+        deltas = [
+            MetricDelta(name="wall_seconds", before=2.0, after=2.5,
+                        pct=25.0, threshold_pct=10.0, regressed=True),
+            MetricDelta(name="peak_rss_bytes", before=None,
+                        after=4096.0, pct=None, threshold_pct=10.0,
+                        regressed=False),
+            MetricDelta(name="stage/global", before=1.0, after=1.0,
+                        pct=0.0, threshold_pct=None, regressed=False),
+        ]
+        text = render_diff(deltas, label_a="a.json", label_b="b.json")
+        assert text == "\n".join([
+            "metric                          a.json        b.json"
+            "     delta    budget  verdict",
+            "wall_seconds                         2           2.5"
+            "    +25.0%       10%  REGRESSED",
+            "peak_rss_bytes                     n/a          4096"
+            "       n/a       10%  ok",
+            "stage/global                         1             1"
+            "     +0.0%         -  info",
+            "REGRESSION: wall_seconds exceeded budget",
+        ])
+
+    def test_clean_verdict_line(self):
+        text = render_diff([])
+        assert text.endswith("no regressions within budget")
+
+
+class TestDiffFiles:
+    def test_loads_and_compares(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_text(json.dumps(_manifest(wall=1.0)))
+        b.write_text(json.dumps(_manifest(wall=2.0)))
+        deltas = diff_files(a, b)
+        assert has_regressions(deltas)
+
+    def test_rejects_non_object(self, tmp_path):
+        a = tmp_path / "a.json"
+        a.write_text("[1, 2]")
+        with pytest.raises(ValueError):
+            diff_files(a, a)
+
+
+class TestObsDiffCli:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_clean_diff_exits_zero(self, capsys, tmp_path):
+        a = self._write(tmp_path, "a.json", _manifest())
+        b = self._write(tmp_path, "b.json", _manifest())
+        assert main(["obs", "diff", a, b]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, capsys, tmp_path):
+        a = self._write(tmp_path, "a.json", _manifest(wall=2.0))
+        b = self._write(tmp_path, "b.json", _manifest(wall=2.5))
+        assert main(["obs", "diff", a, b]) == 1
+        assert "REGRESSION: wall_seconds" in capsys.readouterr().out
+
+    def test_custom_wall_budget_flag(self, tmp_path):
+        a = self._write(tmp_path, "a.json", _manifest(wall=2.0))
+        b = self._write(tmp_path, "b.json", _manifest(wall=2.5))
+        assert main(["obs", "diff", "--wall-pct", "50", a, b]) == 0
+
+    def test_unreadable_input_exits_two(self, capsys, tmp_path):
+        a = self._write(tmp_path, "a.json", _manifest())
+        assert main(["obs", "diff", a,
+                     str(tmp_path / "missing.json")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_non_object_input_exits_two(self, capsys, tmp_path):
+        a = self._write(tmp_path, "a.json", _manifest())
+        bad = tmp_path / "bad.json"
+        bad.write_text("[]")
+        assert main(["obs", "diff", a, str(bad)]) == 2
+        assert "expected a JSON object" in capsys.readouterr().err

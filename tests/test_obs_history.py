@@ -1,0 +1,230 @@
+"""Tests for the committed perf ledger (``repro.obs.history`` + CLI).
+
+Covers measurement flattening, entry construction (including merged
+before/after bench documents), JSONL round-trip with loud failure on
+malformed lines, the rolling-median regression check, the history
+renderer, and the ``repro obs history`` CLI exit codes.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.history import (LEDGER_KIND, append_entry, check_latest,
+                               entry_from_measurement, load_ledger,
+                               render_history)
+
+
+def _measurement(wall=1.5):
+    return {
+        "placement": {
+            "0.05": {"wall_seconds": wall, "peak_rss_bytes": 1000.0,
+                     "cells": 600},
+        },
+        "rebuild": {"seconds": 0.2},
+        "solve_powers": {"repeat_seconds": 0.05},
+        "thermal_fidelity": {"exact_eval_seconds": 0.3,
+                             "surrogate_eval_seconds": 0.01,
+                             "calibration_seconds": 0.4},
+    }
+
+
+def _entry(label, **metrics):
+    return {"kind": LEDGER_KIND, "recorded_unix": 0.0, "label": label,
+            "metrics": metrics}
+
+
+class TestEntryFromMeasurement:
+    def test_flattens_known_sections(self):
+        entry = entry_from_measurement(_measurement(), label="run",
+                                       recorded_unix=12.0)
+        assert entry["kind"] == LEDGER_KIND
+        assert entry["recorded_unix"] == 12.0
+        assert entry["metrics"] == {
+            "wall_seconds/0.05": 1.5,
+            "peak_rss_bytes/0.05": 1000.0,
+            "rebuild_seconds": 0.2,
+            "solve_powers_repeat_seconds": 0.05,
+            "thermal/exact_eval_seconds": 0.3,
+            "thermal/surrogate_eval_seconds": 0.01,
+            "thermal/calibration_seconds": 0.4,
+        }
+
+    def test_after_block_wins_in_merged_document(self):
+        merged = {"before": _measurement(wall=9.0),
+                  "after": _measurement(wall=1.0)}
+        entry = entry_from_measurement(merged, label="x",
+                                       recorded_unix=0.0)
+        assert entry["metrics"]["wall_seconds/0.05"] == 1.0
+
+    def test_unknown_numeric_top_level_rides_along(self):
+        entry = entry_from_measurement({"new_bench_seconds": 3.5},
+                                       label="x", recorded_unix=0.0)
+        assert entry["metrics"] == {"new_bench_seconds": 3.5}
+
+    def test_commit_is_optional(self):
+        entry = entry_from_measurement(_measurement(), label="x",
+                                       commit="abc123",
+                                       recorded_unix=0.0)
+        assert entry["commit"] == "abc123"
+        entry = entry_from_measurement(_measurement(), label="x",
+                                       recorded_unix=0.0)
+        assert "commit" not in entry
+
+    def test_empty_measurement_raises(self):
+        with pytest.raises(ValueError):
+            entry_from_measurement({"notes": "nothing numeric"},
+                                   label="x")
+
+
+class TestLedgerIo:
+    def test_append_load_round_trip(self, tmp_path):
+        path = tmp_path / "deep" / "ledger.jsonl"
+        first = _entry("a", wall=1.0)
+        second = _entry("b", wall=2.0)
+        append_entry(path, first)
+        append_entry(path, second)
+        entries = load_ledger(path)
+        assert [e["label"] for e in entries] == ["a", "b"]
+        assert entries[1]["metrics"] == {"wall": 2.0}
+
+    def test_missing_ledger_is_empty(self, tmp_path):
+        assert load_ledger(tmp_path / "absent.jsonl") == []
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(json.dumps(_entry("a", x=1.0)) + "\n\n\n")
+        assert len(load_ledger(path)) == 1
+
+    def test_malformed_line_raises_with_lineno(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text(json.dumps(_entry("a", x=1.0)) + "\n{broken\n")
+        with pytest.raises(ValueError, match=r"ledger\.jsonl:2"):
+            load_ledger(path)
+
+    def test_foreign_object_raises(self, tmp_path):
+        path = tmp_path / "ledger.jsonl"
+        path.write_text('{"kind": "something.else"}\n')
+        with pytest.raises(ValueError, match="not a repro.bench.entry"):
+            load_ledger(path)
+
+
+class TestCheckLatest:
+    def test_fewer_than_two_entries_pass(self):
+        assert check_latest([]) == []
+        assert check_latest([_entry("a", wall=1.0)]) == []
+
+    def test_within_threshold_passes(self):
+        entries = [_entry("a", wall=1.0), _entry("b", wall=1.1)]
+        assert check_latest(entries) == []
+
+    def test_over_threshold_regresses(self):
+        entries = [_entry("a", wall=1.0), _entry("b", wall=1.5)]
+        (reg,) = check_latest(entries)
+        assert reg.metric == "wall"
+        assert reg.baseline == 1.0
+        assert reg.value == 1.5
+        assert reg.pct == pytest.approx(50.0)
+
+    def test_baseline_is_rolling_median(self):
+        # median of (1.0, 1.0, 10.0) is 1.0: one outlier run does not
+        # poison the baseline
+        entries = [_entry("a", wall=1.0), _entry("b", wall=10.0),
+                   _entry("c", wall=1.0), _entry("d", wall=1.5)]
+        (reg,) = check_latest(entries, window=3)
+        assert reg.baseline == 1.0
+
+    def test_window_bounds_lookback(self):
+        # window=2 sees (4, 6): median 5, +10% passes.  window=3 also
+        # sees the old fast run: median(1, 4, 6) = 4, +37.5% regresses.
+        entries = [_entry("a", wall=1.0), _entry("b", wall=4.0),
+                   _entry("c", wall=6.0), _entry("d", wall=5.5)]
+        assert check_latest(entries, window=2) == []
+        (reg,) = check_latest(entries, window=3)
+        assert reg.metric == "wall"
+        assert reg.baseline == 4.0
+
+    def test_new_metric_has_no_baseline(self):
+        entries = [_entry("a", wall=1.0),
+                   _entry("b", wall=1.0, rss=999.0)]
+        assert check_latest(entries) == []
+
+    def test_improvement_passes_one_sided(self):
+        entries = [_entry("a", wall=2.0), _entry("b", wall=0.1)]
+        assert check_latest(entries) == []
+
+
+class TestRenderHistory:
+    def test_empty_ledger(self):
+        assert render_history([]) == "ledger is empty"
+
+    def test_summary_lists_all_entries(self):
+        entries = [_entry("seed", wall=1.0, rss=2.0)]
+        entries[0]["commit"] = "abcdef0123456789"
+        text = render_history(entries)
+        assert "seed" in text
+        assert "abcdef012345" in text  # truncated to 12 chars
+        assert "2" in text  # metric count
+
+    def test_metric_trajectory(self):
+        entries = [_entry("a", wall=1.0), _entry("b", other=2.0)]
+        text = render_history(entries, metric="wall")
+        lines = text.splitlines()
+        assert lines[1].endswith("1")
+        assert lines[2].endswith("n/a")
+
+
+class TestObsHistoryCli:
+    def test_append_then_check(self, capsys, tmp_path):
+        ledger = str(tmp_path / "ledger.jsonl")
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps(_measurement()))
+        assert main(["obs", "history", "--ledger", ledger, "--append",
+                     str(bench), "--label", "first"]) == 0
+        assert "appended entry 'first'" in capsys.readouterr().out
+        assert main(["obs", "history", "--ledger", ledger,
+                     "--check"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_check_detects_regression(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        append_entry(ledger, _entry("a", wall=1.0))
+        append_entry(ledger, _entry("b", wall=2.0))
+        assert main(["obs", "history", "--ledger", str(ledger),
+                     "--check"]) == 1
+        assert "REGRESSION wall" in capsys.readouterr().out
+
+    def test_threshold_flag(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        append_entry(ledger, _entry("a", wall=1.0))
+        append_entry(ledger, _entry("b", wall=2.0))
+        assert main(["obs", "history", "--ledger", str(ledger),
+                     "--check", "--threshold", "150"]) == 0
+
+    def test_append_without_label_exits_two(self, capsys, tmp_path):
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps(_measurement()))
+        assert main(["obs", "history", "--ledger",
+                     str(tmp_path / "l.jsonl"), "--append",
+                     str(bench)]) == 2
+        assert "requires --label" in capsys.readouterr().err
+
+    def test_corrupt_ledger_exits_two(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        ledger.write_text("{broken\n")
+        assert main(["obs", "history", "--ledger", str(ledger)]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+    def test_plain_listing(self, capsys, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        append_entry(ledger, _entry("seed", wall=1.0))
+        assert main(["obs", "history", "--ledger", str(ledger)]) == 0
+        assert "seed" in capsys.readouterr().out
+
+    def test_committed_ledger_parses(self):
+        entries = load_ledger("benchmarks/results/ledger.jsonl")
+        assert len(entries) >= 1
+        assert entries[0]["metrics"]

@@ -1,0 +1,184 @@
+"""Tests for the text renderers (``repro.obs.report``).
+
+The renderers must degrade gracefully on empty traces, span nodes
+missing keys, and manifests from schema versions predating the
+``resources``/``profile`` sections — every case here renders an honest
+placeholder instead of raising.
+"""
+
+from __future__ import annotations
+
+from repro.obs import (Recorder, Telemetry, render, render_manifest,
+                       render_profile, render_resources, render_spans)
+
+
+class TestRenderSpans:
+    def test_empty_tree_is_empty_string(self):
+        assert render_spans({}) == ""
+        assert render_spans({"children": []}) == ""
+
+    def test_nodes_missing_keys_render(self):
+        spans = {"children": [
+            {"name": "global", "total_seconds": 1.0,
+             "children": [{}, "garbage"]},
+        ]}
+        text = render_spans(spans)
+        assert "global" in text
+        assert "?" in text  # nameless child rendered with placeholder
+
+    def test_real_trace_shares_sum(self):
+        rec = Recorder()
+        with rec.span("global"):
+            with rec.span("level0"):
+                pass
+        text = render_spans(rec.snapshot().spans)
+        assert "global" in text and "level0" in text
+
+
+class TestRenderTelemetry:
+    def test_zero_spans_snapshot(self):
+        text = render(Telemetry(), title="empty run")
+        assert "== empty run" in text
+        assert "(no spans recorded)" in text
+
+    def test_empty_series_points(self):
+        telemetry = Telemetry(series={"temps": []})
+        text = render(telemetry)
+        assert "temps" in text
+        assert "0 points" in text
+
+    def test_counters_and_series_render(self):
+        telemetry = Telemetry(
+            counters={"fm/moves": 12.0, "frac": 0.5},
+            series={"obj": [{"t": 0.0, "value": 3.0}]})
+        text = render(telemetry)
+        assert "fm/moves" in text and "12" in text
+        assert "0.5" in text
+        assert "last: value=3" in text
+
+
+class TestRenderResources:
+    def test_none_and_empty_render_placeholder(self):
+        expected = "-- memory --\n(none: run without --profile)"
+        assert render_resources(None) == expected
+        assert render_resources({}) == expected
+
+    def test_full_section(self):
+        doc = {
+            "peak_rss_bytes": 2 * 1024 * 1024,
+            "current_rss_bytes": 1024 * 1024,
+            "baseline_rss_bytes": 512 * 1024,
+            "samples": 7,
+            "tracemalloc": {
+                "enabled": True, "peak_bytes": 4096,
+                "top_allocations": [
+                    {"site": "repro/core/fm.py:10", "size_bytes": 2048,
+                     "count": 3}],
+            },
+        }
+        text = render_resources(doc)
+        assert "peak RSS" in text and "2.0 MiB" in text
+        assert "samples" in text
+        assert "python heap peak" in text and "4.0 KiB" in text
+        assert "repro/core/fm.py:10" in text
+
+    def test_zero_rss_rows_suppressed(self):
+        text = render_resources({"peak_rss_bytes": 0, "samples": 1})
+        assert "peak RSS" not in text
+        assert "samples" in text
+
+    def test_disabled_tracemalloc_omits_heap(self):
+        text = render_resources({
+            "peak_rss_bytes": 1000,
+            "tracemalloc": {"enabled": False, "peak_bytes": 0,
+                            "top_allocations": []}})
+        assert "python heap peak" not in text
+
+
+class TestRenderProfile:
+    def test_none_and_empty_render_placeholder(self):
+        expected = "-- hot functions --\n(none: run without --profile)"
+        assert render_profile(None) == expected
+        assert render_profile({}) == expected
+
+    def test_full_section(self):
+        doc = {
+            "samples": 120, "interval_seconds": 0.01,
+            "hot_functions": [
+                {"function": "core/fm:FMRefiner._pass", "self": 80,
+                 "cum": 100}],
+            "spans": [{"span": "global/level0", "samples": 90},
+                      {"span": "", "samples": 30}],
+        }
+        text = render_profile(doc)
+        assert "120 samples @ 10ms" in text
+        assert "core/fm:FMRefiner._pass" in text
+        assert "global/level0" in text
+        assert "(no span)" in text  # empty span path labelled honestly
+
+    def test_no_attributed_samples(self):
+        text = render_profile({"samples": 0, "hot_functions": [],
+                               "spans": []})
+        assert "(no samples attributed)" in text
+
+
+class TestRenderManifest:
+    def test_legacy_manifest_without_new_sections(self):
+        # a PR-3-era manifest: no resources, no profile, no stages
+        manifest = {
+            "kind": "repro.placement.run",
+            "circuit": {"name": "ibm01"},
+            "result": {"objective": 123.0, "wall_seconds": 1.5},
+        }
+        text = render_manifest(manifest)
+        assert "== run report: ibm01 ==" in text
+        assert "objective" in text
+        assert "(no stages recorded)" in text
+        assert "(none: run without --profile)" in text
+
+    def test_empty_manifest_renders(self):
+        text = render_manifest({})
+        assert "== run report: ? ==" in text
+        assert "(no stages recorded)" in text
+
+    def test_full_manifest_golden(self):
+        manifest = {
+            "circuit": {"name": "tiny"},
+            "result": {"objective": 10.0, "wall_seconds": 0.25},
+            "stages": [{"path": "global", "seconds": 0.2, "calls": 1}],
+            "resources": {"peak_rss_bytes": 1024, "samples": 2},
+            "profile": {"samples": 5, "interval_seconds": 0.01,
+                        "hot_functions": [{"function": "m:f",
+                                           "self": 5, "cum": 5}],
+                        "spans": [{"span": "global", "samples": 5}]},
+        }
+        text = render_manifest(manifest)
+        assert text == "\n".join([
+            "== run report: tiny ==",
+            "objective                           10",
+            "wall_seconds                      0.25",
+            "-- stages --",
+            "global                                  0.2000s  x1",
+            "-- memory --",
+            "peak RSS                       1.0 KiB",
+            "samples                              2",
+            "-- hot functions --",
+            "5 samples @ 10ms",
+            "function                                      self   cum",
+            "m:f                                              5     5",
+            "per-span samples:",
+            "  global                                         5",
+        ])
+
+    def test_malformed_rows_degrade(self):
+        manifest = {
+            "circuit": "not-a-mapping",
+            "stages": [{"path": "x", "seconds": "slow",
+                        "calls": None}, 42],
+            "resources": {"tracemalloc": {"enabled": True,
+                                          "top_allocations": ["?"]}},
+            "profile": {"samples": "many", "hot_functions": [None]},
+        }
+        text = render_manifest(manifest)  # must not raise
+        assert "== run report: ? ==" in text
+        assert "0.0000s" in text  # non-numeric seconds coerced

@@ -1,0 +1,221 @@
+"""Unit tests for resource tracking and its Recorder integration.
+
+Covers the RSS helpers, ``ResourceTracker`` lifecycle (including
+tracemalloc ownership), the opt-in attach paths on ``Recorder``, and
+the ``Recorder.merge`` edge cases the parallel backend relies on:
+peak gauges merging by max, empty telemetry, and nested-span
+anchoring of worker resource telemetry.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+
+from repro.obs import NullRecorder, Recorder, Telemetry
+from repro.obs.resources import (PEAK_RSS_GAUGE, ResourceTracker,
+                                 alloc_enabled, peak_rss_bytes,
+                                 resources_enabled, rss_bytes)
+
+
+class TestRssHelpers:
+    def test_rss_is_positive_here(self):
+        # /proc is available on the CI platform; degrade-to-zero is
+        # exercised implicitly by the "0 unknown" contract
+        assert rss_bytes() > 0
+
+    def test_peak_is_at_least_current_magnitude(self):
+        assert peak_rss_bytes() > 0
+
+    def test_resources_enabled_follows_profile_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert resources_enabled() is True
+        monkeypatch.setenv("REPRO_PROFILE", "0")
+        assert resources_enabled() is False
+
+    def test_alloc_tracing_is_a_separate_opt_in(self, monkeypatch):
+        # REPRO_PROFILE alone must NOT start tracemalloc (~8x cost)
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        monkeypatch.delenv("REPRO_PROFILE_ALLOC", raising=False)
+        assert alloc_enabled() is False
+        rec = Recorder(track_resources=False)
+        tracker = ResourceTracker(rec)  # default defers to env
+        assert tracker.tracing is False
+        monkeypatch.setenv("REPRO_PROFILE_ALLOC", "1")
+        assert alloc_enabled() is True
+        tracker = ResourceTracker(rec)
+        assert tracker.tracing is True
+        tracker.finish()  # stops the tracemalloc it started
+
+
+class TestResourceTracker:
+    def test_sample_writes_gauges_and_counter(self):
+        rec = Recorder(track_resources=False)
+        tracker = ResourceTracker(rec, trace_allocations=False)
+        tracker.sample("global")
+        tracker.sample("round1/moves")
+        assert rec.gauges["resources/rss/global"] > 0
+        assert rec.gauges["resources/rss/round1/moves"] > 0
+        assert rec.gauges[PEAK_RSS_GAUGE] > 0
+        assert rec.counters["resources/samples"] == 2
+        assert tracker.samples == 2
+
+    def test_finish_document_shape(self):
+        rec = Recorder(track_resources=False)
+        tracker = ResourceTracker(rec, trace_allocations=True,
+                                  top_allocations=3)
+        blob = [bytes(1000) for _ in range(50)]  # traced allocations
+        doc = tracker.finish()
+        assert blob  # keep alive through the snapshot
+        assert doc["peak_rss_bytes"] > 0
+        assert doc["baseline_rss_bytes"] > 0
+        assert doc["tracemalloc"]["enabled"] is True
+        assert len(doc["tracemalloc"]["top_allocations"]) <= 3
+        for row in doc["tracemalloc"]["top_allocations"]:
+            assert set(row) == {"site", "size_bytes", "count"}
+            assert ":" in row["site"]
+        # finish stopped the tracemalloc this tracker started
+        assert not tracemalloc.is_tracing()
+
+    def test_does_not_stop_foreign_tracemalloc(self):
+        tracemalloc.start()
+        try:
+            rec = Recorder(track_resources=False)
+            tracker = ResourceTracker(rec, trace_allocations=True)
+            assert tracker._owns_tracemalloc is False
+            tracker.finish()
+            assert tracemalloc.is_tracing()  # left running
+        finally:
+            tracemalloc.stop()
+
+    def test_disabled_tracing_reports_empty_allocations(self):
+        rec = Recorder(track_resources=False)
+        tracker = ResourceTracker(rec, trace_allocations=False)
+        doc = tracker.finish()
+        assert doc["tracemalloc"]["enabled"] is False
+        assert doc["tracemalloc"]["top_allocations"] == []
+
+
+class TestRecorderAttach:
+    def test_explicit_opt_in_attaches_tracker(self):
+        rec = Recorder(track_resources=True)
+        assert rec.resources is not None
+        rec.sample_resources("x")
+        assert rec.counters["resources/samples"] == 1
+        doc = rec.finish_resources()
+        assert doc is not None and doc["samples"] == 1
+
+    def test_default_follows_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        assert Recorder().resources is not None
+        monkeypatch.delenv("REPRO_PROFILE")
+        assert Recorder().resources is None
+
+    def test_disabled_recorder_resource_calls_are_noops(self):
+        rec = Recorder(track_resources=False)
+        rec.sample_resources("x")
+        assert rec.counters == {}
+        assert rec.finish_resources() is None
+
+    def test_null_recorder_never_attaches(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        null = NullRecorder()
+        assert null.resources is None
+        null.gauge_max("resources/peak_rss_bytes", 1.0)
+        assert null.gauges == {}
+
+    def test_gauge_max_keeps_maximum(self):
+        rec = Recorder(track_resources=False)
+        rec.gauge_max("resources/peak_rss_bytes", 10.0)
+        rec.gauge_max("resources/peak_rss_bytes", 5.0)
+        assert rec.gauges["resources/peak_rss_bytes"] == 10.0
+        rec.gauge_max("resources/peak_rss_bytes", 20.0)
+        assert rec.gauges["resources/peak_rss_bytes"] == 20.0
+
+
+class TestMergeEdgeCases:
+    """``Recorder.merge`` semantics the parallel dispatch depends on."""
+
+    def test_empty_telemetry_merge_is_identity(self):
+        rec = Recorder(track_resources=False)
+        rec.count("fm/passes", 3)
+        rec.gauge("x", 1.0)
+        rec.merge(Telemetry())
+        assert rec.counters == {"fm/passes": 3.0}
+        assert rec.gauges == {"x": 1.0}
+        assert rec.tracer.root.as_dict().get("children", []) == []
+
+    def test_peak_gauges_merge_by_max_others_last_write(self):
+        rec = Recorder(track_resources=False)
+        rec.gauge("resources/peak_rss_bytes", 100.0)
+        rec.gauge("resources/tracemalloc_peak_bytes", 10.0)
+        rec.gauge("plain", 1.0)
+        rec.merge(Telemetry(gauges={
+            "resources/peak_rss_bytes": 50.0,          # smaller: kept
+            "resources/tracemalloc_peak_bytes": 99.0,  # larger: wins
+            "plain": 2.0,                              # LWW
+        }))
+        assert rec.gauges["resources/peak_rss_bytes"] == 100.0
+        assert rec.gauges["resources/tracemalloc_peak_bytes"] == 99.0
+        assert rec.gauges["plain"] == 2.0
+
+    def test_peak_gauge_order_independent(self):
+        snapshots = [Telemetry(gauges={PEAK_RSS_GAUGE: v})
+                     for v in (30.0, 80.0, 50.0)]
+        forward = Recorder(track_resources=False)
+        backward = Recorder(track_resources=False)
+        for snap in snapshots:
+            forward.merge(snap)
+        for snap in reversed(snapshots):
+            backward.merge(snap)
+        assert forward.gauges[PEAK_RSS_GAUGE] == 80.0
+        assert backward.gauges[PEAK_RSS_GAUGE] == 80.0
+
+    def test_merge_anchors_worker_spans_under_open_span(self):
+        worker = Recorder(track_resources=False)
+        with worker.span("fm"):
+            pass
+        worker.count("resources/samples", 1)
+        worker.gauge(PEAK_RSS_GAUGE, 123.0)
+        snapshot = worker.snapshot()
+
+        main = Recorder(track_resources=False)
+        with main.span("global/level2/bisect"):
+            main.merge(snapshot)
+        paths = {p for p, _ in main.tracer.root.walk()}
+        assert "global/level2/bisect/fm" in paths
+        assert main.counters["resources/samples"] == 1
+        assert main.gauges[PEAK_RSS_GAUGE] == 123.0
+
+    def test_merge_counters_add_across_workers(self):
+        main = Recorder(track_resources=False)
+        for _ in range(4):
+            main.merge(Telemetry(counters={"resources/samples": 1.0}))
+        assert main.counters["resources/samples"] == 4.0
+
+
+class TestWorkerRoundTrip:
+    """solve_recorded ships one resource sample per task when opted in."""
+
+    @staticmethod
+    def _tiny_task():
+        from repro.partition.subproblem import BisectionTask
+        return BisectionTask.from_nets(
+            nets=[[0, 1], [2, 3]], net_weights=[1.0, 1.0],
+            vertex_weights=[1.0, 1.0, 1.0, 1.0], fixed=[-1, -1, -1, -1],
+            target=0.5, tolerance=0.1, num_starts=1, max_passes=2,
+            seed=0)
+
+    def test_solve_recorded_samples_resources(self, monkeypatch):
+        from repro.partition.subproblem import solve_recorded
+
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        _, telemetry = solve_recorded(self._tiny_task())
+        assert telemetry.counters.get("resources/samples") == 1.0
+        assert telemetry.gauges.get(PEAK_RSS_GAUGE, 0.0) > 0
+
+    def test_solve_recorded_clean_without_opt_in(self, monkeypatch):
+        from repro.partition.subproblem import solve_recorded
+
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        _, telemetry = solve_recorded(self._tiny_task())
+        assert "resources/samples" not in telemetry.counters

@@ -247,6 +247,24 @@ def is_timing_exempt(path: str) -> bool:
     return "repro/obs/" in normalized
 
 
+#: Rules applied in timing-only scope (plus waiver hygiene, RPL000).
+TIMING_SCOPE_RULES = frozenset({"RPL000", "RPL009", "RPL013"})
+
+
+def is_timing_only_scope(path: str) -> bool:
+    """Whether a path is linted for the timing rules only.
+
+    ``benchmarks/`` is measurement harness code, not pipeline code:
+    the kernel-contract rules (vectorization, logging, stage factory
+    discipline …) intentionally do not apply there, but clock
+    ownership does — every wall-clock or perf-counter read must go
+    through ``repro.obs`` (``Stopwatch`` / ``wall_time``) so timing
+    methodology stays in one auditable place.
+    """
+    normalized = "/" + path.replace("\\", "/")
+    return "/benchmarks/" in normalized
+
+
 class _Checker(ast.NodeVisitor):
     """Single-pass AST walk emitting violations for RPL001-RPL008."""
 
@@ -645,8 +663,11 @@ def check_source(source: str, path: str = "<string>",
                        parallel_backend=is_parallel_backend(path),
                        core_hot_path=is_core_hot_path(path))
     checker.visit(tree)
+    timing_only = is_timing_only_scope(path)
     kept: List[Violation] = []
     for violation in checker.violations:
+        if timing_only and violation.rule not in TIMING_SCOPE_RULES:
+            continue
         if waivers.get(violation.line) == violation.rule:
             continue
         if waivers.get(violation.line - 1) == violation.rule:
