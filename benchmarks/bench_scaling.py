@@ -31,6 +31,11 @@ calibrated relative error, and places the same netlist under
 ``exact`` and ``adaptive`` fidelity to confirm the final objectives
 are identical (the policy's trajectory-neutrality contract).
 
+``service_cache`` times a cold placement against a cached
+resubmission of the same job through ``repro.service``'s
+content-addressed result cache (the dedup path of sweeps and repeated
+``repro job submit``): its cold/hit latencies feed the perf ledger.
+
 ``--workers`` adds an execution-backend scaling row: the full pipeline
 at workers 1/2/4 (scale 0.1) with a bit-identity check against the
 serial run, plus the machine's ``available_cpus`` — the honest upper
@@ -312,6 +317,51 @@ def bench_thermal_fidelity(scale: float = 0.1,
     }
 
 
+def bench_service_cache(scale: float = 0.05) -> dict:
+    """Cache-hit latency vs cold placement through the service engine.
+
+    Submits the same request twice to a fresh
+    :class:`~repro.service.PlacementEngine`: the first submission runs
+    the placement cold (and publishes it to the content-addressed
+    result cache), the second short-circuits straight to ``done`` from
+    the cache.  ``speedup`` is the cold/hit wall-clock ratio — the
+    latency a deduplicated sweep point (or a resubmitted job) saves;
+    the two latencies feed the perf ledger as
+    ``service_cache/cold_seconds`` and ``service_cache/hit_seconds``.
+    """
+    import shutil
+    import tempfile
+
+    from repro.service import JobRequest, PlacementEngine
+
+    jobs_dir = tempfile.mkdtemp(prefix="repro-bench-jobs-")
+    watch = Stopwatch()
+    try:
+        with PlacementEngine(jobs_dir, workers=1) as engine:
+            request = JobRequest(config=PlacementConfig().to_dict(),
+                                 circuit=CIRCUIT, scale=scale)
+            watch.restart()
+            (cold,) = engine.wait([engine.submit(request)])
+            cold_seconds = watch.elapsed()
+            watch.restart()
+            (hit,) = engine.wait([engine.submit(request)])
+            hit_seconds = watch.elapsed()
+            assert cold["state"] == "done" and cold["cache"] == "miss"
+            assert hit["state"] == "done" and hit["cache"] == "hit"
+            counters = engine.counters()
+    finally:
+        shutil.rmtree(jobs_dir, ignore_errors=True)
+    return {
+        "circuit": CIRCUIT,
+        "scale": scale,
+        "cold_seconds": cold_seconds,
+        "hit_seconds": hit_seconds,
+        "speedup": cold_seconds / hit_seconds,
+        "cache_hits": counters.get("cache/hit", 0.0),
+        "cache_misses": counters.get("cache/miss", 0.0),
+    }
+
+
 def run_bench(scales: Optional[List[float]] = None,
               workers: bool = False) -> dict:
     writer = SeriesWriter("bench_scaling")
@@ -321,6 +371,7 @@ def run_bench(scales: Optional[List[float]] = None,
         "rebuild": bench_rebuild(),
         "solve_powers": bench_solve_powers(),
         "thermal_fidelity": bench_thermal_fidelity(),
+        "service_cache": bench_service_cache(),
     }
     if workers:
         measurement["workers_scaling"] = bench_workers()
@@ -347,6 +398,11 @@ def run_bench(scales: Optional[List[float]] = None,
                f"us ({tf['move_loop_speedup']:.0f}x), rel_err "
                f"{tf['calibrated_relative_error']:.4f}, adaptive=="
                f"exact: {tf['objective_match']}")
+    sc = measurement["service_cache"]
+    writer.row(f"service_cache (scale {sc['scale']}): cold "
+               f"{sc['cold_seconds']:.3f} s, hit "
+               f"{sc['hit_seconds'] * 1e3:.1f} ms "
+               f"({sc['speedup']:.0f}x)")
     if workers:
         ws = measurement["workers_scaling"]
         for count, entry in ws["workers"].items():
@@ -378,6 +434,10 @@ def merge(before: dict, after: dict) -> dict:
         speedup["solve_powers_repeat"] = (
             before["solve_powers"]["repeat_seconds"]
             / after["solve_powers"]["repeat_seconds"])
+    if "service_cache" in after:
+        # self-contained comparison: resubmitting an already-placed
+        # job through the service vs placing it cold
+        speedup["service_cache_hit"] = after["service_cache"]["speedup"]
     if "thermal_fidelity" in after:
         # self-contained comparison (exact vs surrogate within one
         # tree), surfaced here so the headline document carries it

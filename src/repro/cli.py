@@ -6,6 +6,21 @@ Commands:
     suite        list the built-in benchmark profiles (Table 1)
     config-dump  print the effective placement config as JSON
     obs          observability tools: report / diff / history
+    serve        run the placement job engine on a unix socket
+    job          client for a running server: submit / status / list /
+                 cancel / resume / result
+
+Placement as a service::
+
+    python -m repro serve --jobs-dir /tmp/jobs --socket /tmp/repro.sock
+    python -m repro job submit --socket /tmp/repro.sock \
+        --circuit ibm01 --scale 0.05 --wait   # resubmit = cache hit
+    python -m repro job list --socket /tmp/repro.sock
+
+``place`` and ``sweep`` go through the same engine in-process:
+``--jobs-dir``/``--cache-dir`` persist the job spool and the
+content-addressed result cache across runs, so an already-placed
+``(config, spec, netlist)`` triple short-circuits to a cache hit.
 
 Profiling and perf watch::
 
@@ -50,14 +65,15 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shutil
 import sys
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+import tempfile
+import time
+from typing import List, Optional
 
 import numpy as np
 
 from repro import (
-    Placer3D,
     PlacementConfig,
     PlacementReport,
     evaluate_placement,
@@ -71,7 +87,9 @@ from repro.core.pipeline import (PipelineHalted, PipelineSpec,
 from repro.netlist import bookshelf
 from repro.netlist.suite import SUITE_PROFILES
 from repro.obs import configure_cli_logging
-from repro.parallel import create_backend
+from repro import service
+from repro.service import (JobRequest, PlacementEngine, RpcError,
+                           RpcServer, ServiceClient)
 from repro.thermal.power import PowerModel
 from repro.metrics.wirelength import compute_net_metrics
 from repro import viz
@@ -156,6 +174,15 @@ def _build_parser() -> argparse.ArgumentParser:
                             "sites via tracemalloc (also via "
                             "REPRO_PROFILE_ALLOC=1); hooks every "
                             "allocation, expect ~8x slower runs")
+    place.add_argument("--jobs-dir", metavar="DIR",
+                       help="persistent service job-store root "
+                            "(default: a temporary spool discarded "
+                            "after the run)")
+    place.add_argument("--cache-dir", metavar="DIR",
+                       help="content-addressed result cache root "
+                            "(default: <jobs-dir>/cache); a rerun "
+                            "with identical config/spec/netlist "
+                            "short-circuits to the cached result")
 
     sweep = sub.add_parser("sweep",
                            help="alpha_ILV tradeoff sweep (Figure 3)")
@@ -174,6 +201,76 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--telemetry-out", metavar="PREFIX",
                        help="write PREFIX.point<N>.trace.jsonl and "
                             "PREFIX.point<N>.manifest.json per point")
+    sweep.add_argument("--jobs-dir", metavar="DIR",
+                       help="persistent service job-store root "
+                            "(default: a temporary spool discarded "
+                            "after the sweep)")
+    sweep.add_argument("--cache-dir", metavar="DIR",
+                       help="content-addressed result cache root "
+                            "(default: <jobs-dir>/cache); duplicate "
+                            "points dedupe through it")
+
+    serve = sub.add_parser(
+        "serve", help="run the placement service: a job engine with "
+                      "sharded workers behind a unix-socket JSON-RPC "
+                      "API")
+    serve.add_argument("--jobs-dir", required=True, metavar="DIR",
+                       help="job-store root (spooled job state, "
+                            "checkpoints, results)")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="result cache root "
+                            "(default: <jobs-dir>/cache)")
+    serve.add_argument("--socket", metavar="PATH",
+                       help="unix socket to serve on "
+                            "(default: <jobs-dir>/repro.sock)")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="execution-backend workers (default: "
+                            "REPRO_WORKERS or serial)")
+
+    job = sub.add_parser(
+        "job", help="talk to a running `repro serve` instance")
+    job_sub = job.add_subparsers(dest="job_command", required=True)
+
+    def _job_common(p: argparse.ArgumentParser,
+                    with_id: bool = True) -> None:
+        p.add_argument("--socket", required=True, metavar="PATH",
+                       help="unix socket of the `repro serve` "
+                            "instance")
+        if with_id:
+            p.add_argument("job_id", help="job id (job-000001 ...)")
+
+    job_submit = job_sub.add_parser("submit",
+                                    help="submit one placement job")
+    _job_common(job_submit, with_id=False)
+    job_src = job_submit.add_mutually_exclusive_group(required=True)
+    job_src.add_argument("--circuit",
+                         help="suite benchmark name (ibm01..18)")
+    job_src.add_argument("--bookshelf",
+                         help="prefix of .nodes/.nets Bookshelf files")
+    job_submit.add_argument("--scale", type=float, default=0.05)
+    job_submit.add_argument("--alpha-ilv", type=float, default=1e-5)
+    job_submit.add_argument("--alpha-temp", type=float, default=0.0)
+    job_submit.add_argument("--layers", type=int, default=4)
+    job_submit.add_argument("--seed", type=int, default=0)
+    job_submit.add_argument("--check", action="store_true",
+                            help="assert legality of the final "
+                                 "placement")
+    job_submit.add_argument("--label", help="display label")
+    job_submit.add_argument("--wait", action="store_true",
+                            help="block until the job reaches a "
+                                 "terminal state")
+    job_submit.add_argument("--timeout", type=float, default=None,
+                            help="with --wait: give up after this "
+                                 "many seconds")
+    for verb, help_text in (("status", "print one job document"),
+                            ("result", "print a done job's result"),
+                            ("cancel", "cancel a job (cooperative "
+                                       "for running jobs)"),
+                            ("resume", "requeue a cancelled/failed "
+                                       "job from its checkpoint")):
+        _job_common(job_sub.add_parser(verb, help=help_text))
+    _job_common(job_sub.add_parser("list", help="list all jobs"),
+                with_id=False)
 
     dump = sub.add_parser(
         "config-dump",
@@ -249,6 +346,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_place(args) -> int:
+    if args.resume and not args.checkpoint_dir:
+        print("--resume requires --checkpoint-dir", file=sys.stderr)
+        return 2
     if args.circuit:
         netlist = load_benchmark(args.circuit, scale=args.scale,
                                  seed=args.seed)
@@ -261,6 +361,75 @@ def _cmd_place(args) -> int:
         num_workers=0 if args.workers is None else args.workers)
     print(f"placing {netlist.name}: {netlist.num_cells} cells, "
           f"{netlist.num_nets} nets, {args.layers} layers")
+    spec = (PipelineSpec.from_json_file(args.pipeline)
+            if args.pipeline else default_pipeline_spec(config))
+    jobs_dir = args.jobs_dir
+    ephemeral = jobs_dir is None
+    if ephemeral:
+        jobs_dir = tempfile.mkdtemp(prefix="repro-jobs-")
+    engine = PlacementEngine(jobs_dir, cache_dir=args.cache_dir,
+                             workers=1)
+    try:
+        request = JobRequest(
+            config=config.to_dict(), circuit=args.circuit,
+            bookshelf=args.bookshelf, scale=args.scale,
+            spec=spec.to_dict() if args.pipeline else None,
+            check=True)
+        job_id = engine.submit(request, netlist=netlist)
+        entry = engine.try_cache(job_id)
+        if entry is not None:
+            return _place_from_cache(args, netlist, config, engine,
+                                     job_id, entry)
+        return _place_cold(args, netlist, config, spec, engine,
+                           job_id)
+    finally:
+        engine.close()
+        if ephemeral:
+            shutil.rmtree(jobs_dir, ignore_errors=True)
+
+
+def _place_from_cache(args, netlist, config, engine, job_id,
+                      entry) -> int:
+    """The `place` cache-hit path: report from the cached placement
+    without running a single stage."""
+    from repro.core.context import auto_chip
+    from repro.netlist.placement import Placement
+    document = engine.status(job_id)
+    summary = document["result"]
+    print(f"cache hit: reusing placement "
+          f"{document['hashes']['cache_key'][:12]} ({job_id})")
+    with np.load(entry.placement_path) as data:
+        placement = Placement(netlist, auto_chip(netlist, config),
+                              x=data["x"], y=data["y"], z=data["z"])
+    report = evaluate_placement(
+        placement, config.tech,
+        runtime_seconds=float(summary["wall_seconds"]))
+    print(PlacementReport.header())
+    print(report.row())
+    if args.maps:
+        pm = PowerModel(netlist, config.tech)
+        powers = pm.cell_powers(compute_net_metrics(placement))
+        print()
+        print(viz.layer_summary(placement, powers))
+        for layer in range(config.num_layers):
+            print()
+            print(viz.density_map(placement, layer))
+    if args.out:
+        bookshelf.write_bookshelf(args.out, netlist, placement)
+        print(f"wrote {args.out}.nodes/.nets/.pl")
+    if args.telemetry_out:
+        with open(document["manifest_path"], "r",
+                  encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        manifest_path = obs.write_manifest(
+            f"{args.telemetry_out}.manifest.json", manifest)
+        print(f"wrote {manifest_path}")
+    return 0
+
+
+def _place_cold(args, netlist, config, spec, engine, job_id) -> int:
+    """The `place` cold path: the historical run sequence, wrapped in
+    job bookkeeping by ``PlacementEngine.run_inline``."""
     # --profile flips the environment opt-in *before* the recorder is
     # built (so it auto-attaches a ResourceTracker) and before any
     # worker processes fork (so they inherit the opt-in too).
@@ -284,19 +453,15 @@ def _cmd_place(args) -> int:
     if args.profile and recorder is not None:
         profiler = obs.SamplingProfiler(
             tracer=recorder.tracer, interval=args.profile_interval)
-    spec = (PipelineSpec.from_json_file(args.pipeline)
-            if args.pipeline else default_pipeline_spec(config))
-    if args.resume and not args.checkpoint_dir:
-        print("--resume requires --checkpoint-dir", file=sys.stderr)
-        return 2
-    placer = Placer3D(netlist, config, recorder=recorder, spec=spec)
     try:
         if profiler is not None:
             profiler.start()
-        result = placer.run(check=True,
-                            checkpoint_dir=args.checkpoint_dir,
-                            resume=args.resume,
-                            halt_after=args.halt_after)
+        result = engine.run_inline(job_id, netlist=netlist,
+                                   config=config, spec=spec,
+                                   recorder=recorder, check=True,
+                                   checkpoint_dir=args.checkpoint_dir,
+                                   resume=args.resume,
+                                   halt_after=args.halt_after)
     except PipelineHalted as halted:
         print(f"halted after {halted.unit}"
               + (f"; checkpoint at {halted.directory}"
@@ -346,7 +511,7 @@ def _cmd_place(args) -> int:
             netlist, config, result, trace_path=trace_path,
             peak_temperature=report.max_temperature,
             pipeline=spec.to_dict(), resources=resources_doc,
-            profile=profile_doc)
+            profile=profile_doc, job=engine.job_section(job_id))
         manifest_path = obs.write_manifest(
             f"{args.telemetry_out}.manifest.json", manifest)
         if profiler is not None:
@@ -364,116 +529,66 @@ def _cmd_place(args) -> int:
     return 0
 
 
-@dataclass(frozen=True)
-class _SweepPoint:
-    """One sweep point as a picklable backend task.
-
-    Carries only primitives (no netlists, no open files) so points can
-    be dispatched to worker processes; each worker rebuilds the
-    benchmark from ``(circuit, scale, seed)`` and writes its own
-    per-point telemetry files (the paths are unique per index, so
-    concurrent points never share a file handle).
-    """
-
-    index: int
-    circuit: str
-    scale: float
-    alpha_ilv: float
-    layers: int
-    seed: int
-    want_telemetry: bool
-    telemetry_prefix: Optional[str]
-
-
-@dataclass(frozen=True)
-class _SweepResult:
-    """What one sweep point ships back to the dispatching side."""
-
-    index: int
-    name: str
-    wirelength: float
-    ilv: int
-    ilv_density: float
-    telemetry: Optional[obs.Telemetry]
-    manifest_errors: Tuple[str, ...]
-    manifest_path: Optional[str]
-
-
-def _run_sweep_point(point: _SweepPoint) -> _SweepResult:
-    """Place one sweep point; pure function of the point payload.
-
-    Runs with ``num_workers=1`` internally — sweep-level parallelism
-    and placement-level parallelism do not nest (a worker process
-    spawning its own pool would oversubscribe the machine).
-    """
-    netlist = load_benchmark(point.circuit, scale=point.scale,
-                             seed=point.seed)
-    config = PlacementConfig(alpha_ilv=point.alpha_ilv, alpha_temp=0.0,
-                             num_layers=point.layers, seed=point.seed,
-                             num_workers=1)
-    recorder: Optional[obs.Recorder] = None
-    trace_path: Optional[str] = None
-    if point.want_telemetry or point.telemetry_prefix:
-        sink = None
-        if point.telemetry_prefix:
-            trace_path = (f"{point.telemetry_prefix}"
-                          f".point{point.index}.trace.jsonl")
-            sink = obs.EventSink(trace_path)
-        recorder = obs.Recorder(sink=sink)
-    placer = Placer3D(netlist, config, recorder=recorder)
-    result = placer.run()
-    if recorder is not None:
-        recorder.close()
-    report = evaluate_placement(result.placement, config.tech,
-                                thermal=False)
-    errors: Tuple[str, ...] = ()
-    manifest_path: Optional[str] = None
-    if point.telemetry_prefix:
-        manifest = obs.build_manifest(
-            netlist, config, result, trace_path=trace_path,
-            pipeline=placer.spec.to_dict())
-        manifest_path = obs.write_manifest(
-            f"{point.telemetry_prefix}.point{point.index}.manifest.json",
-            manifest)
-        errors = tuple(obs.validate_manifest(manifest))
-    return _SweepResult(
-        index=point.index, name=netlist.name,
-        wirelength=report.wirelength, ilv=report.ilv,
-        ilv_density=report.ilv_density, telemetry=result.telemetry,
-        manifest_errors=errors, manifest_path=manifest_path)
-
-
 def _cmd_sweep(args) -> int:
     alphas = np.logspace(np.log10(5e-9), np.log10(5.2e-3), args.points)
-    tasks = [_SweepPoint(index=index, circuit=args.circuit,
-                         scale=args.scale, alpha_ilv=float(alpha),
-                         layers=args.layers, seed=args.seed,
-                         want_telemetry=bool(args.trace),
-                         telemetry_prefix=args.telemetry_out)
-             for index, alpha in enumerate(alphas)]
-    backend = create_backend(args.workers
-                             if args.workers is not None else 0)
+    netlist = load_benchmark(args.circuit, scale=args.scale,
+                             seed=args.seed)
+    digest = service.netlist_hash(netlist)
+    jobs_dir = args.jobs_dir
+    ephemeral = jobs_dir is None
+    if ephemeral:
+        jobs_dir = tempfile.mkdtemp(prefix="repro-jobs-")
+    engine = PlacementEngine(jobs_dir, cache_dir=args.cache_dir,
+                             workers=args.workers)
     try:
-        results = backend.map(_run_sweep_point, tasks)
+        job_ids = []
+        for index, alpha in enumerate(alphas):
+            # each point places with num_workers=1 internally —
+            # sweep-level and placement-level parallelism do not nest
+            config = PlacementConfig(
+                alpha_ilv=float(alpha), alpha_temp=0.0,
+                num_layers=args.layers, seed=args.seed, num_workers=1)
+            prefix = (f"{args.telemetry_out}.point{index}"
+                      if args.telemetry_out else None)
+            request = JobRequest(
+                config=config.to_dict(), circuit=args.circuit,
+                scale=args.scale, want_telemetry=bool(args.trace),
+                telemetry_prefix=prefix,
+                label=f"{args.circuit} point {index}")
+            job_ids.append(engine.submit(request,
+                                         netlist_digest=digest))
+        documents = engine.wait(job_ids)
     finally:
-        backend.close()
+        engine.close()
+        if ephemeral:
+            shutil.rmtree(jobs_dir, ignore_errors=True)
     print(f"{'alpha_ILV':>10} {'WL (m)':>12} {'ILVs':>8} "
           f"{'ILV density':>12}")
     points = []
     failed = False
-    for alpha, result in zip(alphas, results):
-        points.append((result.wirelength, result.ilv))
-        print(f"{alpha:>10.1e} {result.wirelength:>12.5e} "
-              f"{result.ilv:>8} {result.ilv_density:>12.4e}")
-        if args.trace and result.telemetry is not None:
+    for index, (alpha, document) in enumerate(zip(alphas, documents)):
+        if document["state"] != "done":
+            print(f"point {index} ({document['id']}) "
+                  f"{document['state']}: {document['error']}",
+                  file=sys.stderr)
+            failed = True
+            continue
+        summary = document["result"]
+        points.append((summary["wirelength"], summary["ilv"]))
+        print(f"{alpha:>10.1e} {summary['wirelength']:>12.5e} "
+              f"{summary['ilv']:>8} {summary['ilv_density']:>12.4e}")
+        outcome = engine.outcome(document["id"])
+        telemetry = outcome.get("telemetry") if outcome else None
+        if args.trace and telemetry is not None:
             print()
-            print(obs.render(result.telemetry,
-                             title=f"{result.name} point {result.index}"))
-        for error in result.manifest_errors:
+            print(obs.render(telemetry,
+                             title=f"{netlist.name} point {index}"))
+        errors = outcome.get("manifest_errors", []) if outcome else []
+        for error in errors:
             print(error, file=sys.stderr)
-        if result.manifest_errors:
+        if errors:
             print("manifest failed schema validation: "
-                  f"{result.manifest_path}", file=sys.stderr)
+                  f"{outcome.get('manifest_path')}", file=sys.stderr)
             failed = True
     if failed:
         return 1
@@ -483,6 +598,89 @@ def _cmd_sweep(args) -> int:
     print()
     print(viz.tradeoff_ascii(points))
     return 0
+
+
+def _cmd_serve(args) -> int:
+    socket_path = args.socket or os.path.join(args.jobs_dir,
+                                              "repro.sock")
+    engine = PlacementEngine(args.jobs_dir, cache_dir=args.cache_dir,
+                             workers=args.workers)
+    engine.scheduler.start()
+    server = RpcServer(engine, socket_path)
+    print(f"serving jobs from {args.jobs_dir} on {socket_path}")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        engine.close()
+    print("server stopped")
+    return 0
+
+
+def _job_request_from_args(args) -> JobRequest:
+    """Build the submission payload for ``repro job submit``."""
+    config = PlacementConfig(
+        alpha_ilv=args.alpha_ilv, alpha_temp=args.alpha_temp,
+        num_layers=args.layers, seed=args.seed, num_workers=1)
+    return JobRequest(config=config.to_dict(), circuit=args.circuit,
+                      bookshelf=args.bookshelf, scale=args.scale,
+                      label=args.label, check=args.check)
+
+
+def _cmd_job(args) -> int:
+    try:
+        client = ServiceClient(args.socket)
+    except OSError as exc:
+        print(f"cannot connect to {args.socket}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.job_command == "submit":
+            response = client.submit(_job_request_from_args(args)
+                                     .to_dict())
+            job_id = response["job_id"]
+            print(f"submitted {job_id}")
+            if not args.wait:
+                return 0
+            deadline = (None if args.timeout is None
+                        else time.monotonic() + args.timeout)
+            while True:
+                document = client.status(job_id)
+                if document["state"] not in ("queued", "running"):
+                    break
+                if deadline is not None \
+                        and time.monotonic() > deadline:
+                    print(f"{job_id} still {document['state']} after "
+                          f"{args.timeout:.1f}s", file=sys.stderr)
+                    return 1
+                time.sleep(0.2)
+            print(f"{job_id} {document['state']} "
+                  f"(cache {document['cache']})")
+            if document["state"] == "done":
+                print(json.dumps(document["result"], indent=2,
+                                 sort_keys=True))
+                return 0
+            if document["error"]:
+                print(document["error"], file=sys.stderr)
+            return 1
+        if args.job_command == "list":
+            print(f"{'id':<12} {'state':<10} {'cache':<6} label")
+            for document in client.list_jobs():
+                print(f"{document['id']:<12} {document['state']:<10} "
+                      f"{document['cache']:<6} {document['label']}")
+            return 0
+        handler = {"status": client.status, "result": client.result,
+                   "cancel": client.cancel,
+                   "resume": client.resume}[args.job_command]
+        print(json.dumps(handler(args.job_id), indent=2,
+                         sort_keys=True))
+        return 0
+    except RpcError as exc:
+        print(f"rpc error {exc.code}: {exc.message}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
 
 
 def _cmd_config_dump(args) -> int:
@@ -576,6 +774,11 @@ def _cmd_obs_history(args) -> int:
         print(f"appended entry '{args.label}' "
               f"({len(entry['metrics'])} metrics) to {args.ledger}")
     if args.check:
+        if len(entries) < 2:
+            print(f"need at least 2 ledger entries to check a "
+                  f"regression (ledger {args.ledger} has "
+                  f"{len(entries)})", file=sys.stderr)
+            return 2
         regressions = history.check_latest(
             entries, window=args.window,
             threshold_pct=args.threshold)
@@ -619,6 +822,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_place(args)
     if args.command == "sweep":
         return _cmd_sweep(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "job":
+        return _cmd_job(args)
     if args.command == "config-dump":
         return _cmd_config_dump(args)
     if args.command == "obs":

@@ -32,8 +32,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import (Any, Dict, Iterator, List, Mapping, Optional, Sequence,
-                    Tuple, Union)
+from typing import (Any, Callable, Dict, Iterator, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
 
 import json
 
@@ -44,9 +44,9 @@ from repro.core.stages import create_stage, get_stage
 from repro.obs import get_logger
 from repro.obs.trace import SpanStats
 
-__all__ = ["PipelineHalted", "PipelineSpec", "PlacementPipeline",
-           "RepeatEntry", "StageEntry", "default_pipeline_spec",
-           "stage_summary"]
+__all__ = ["PipelineHalted", "PipelinePreempted", "PipelineSpec",
+           "PlacementPipeline", "RepeatEntry", "StageEntry",
+           "default_pipeline_spec", "stage_summary"]
 
 _log = get_logger(__name__)
 
@@ -65,6 +65,17 @@ class PipelineHalted(RuntimeError):
             + (f"; checkpoint at {directory}" if directory else ""))
         self.unit = unit
         self.directory = directory
+
+
+class PipelinePreempted(PipelineHalted):
+    """Raised when the cooperative preemption hook requested a stop.
+
+    A subclass of :class:`PipelineHalted` — both stop at a unit
+    boundary *after* the checkpoint for that unit was saved, so the run
+    is resumable bit-identically.  Preemption differs only in who asked:
+    the scheduler's ``preempt`` callable rather than a ``halt_after``
+    label.
+    """
 
 
 # ----------------------------------------------------------------------
@@ -343,16 +354,24 @@ class PlacementPipeline:
             the part after the entry index (``round1/end``).  Used by
             the CLI's ``--halt-after`` for controlled interruption in
             tests and operational drills.
+        preempt: cooperative preemption hook, polled once per completed
+            unit *after* its checkpoint is saved.  Returning ``True``
+            stops the run with :class:`PipelinePreempted`; the job
+            scheduler in :mod:`repro.service` uses this (backed by a
+            cancel sentinel file) to park a running job at the nearest
+            stage boundary, resumable bit-identically.
     """
 
     def __init__(self, spec: PipelineSpec, ctx: PlacementContext,
                  checkpoint_dir: Optional[Union[str, Path]] = None,
-                 halt_after: Optional[str] = None) -> None:
+                 halt_after: Optional[str] = None,
+                 preempt: Optional[Callable[[], bool]] = None) -> None:
         self.spec = spec
         self.ctx = ctx
         self.checkpoint_dir = (str(checkpoint_dir)
                                if checkpoint_dir is not None else None)
         self.halt_after = halt_after
+        self.preempt = preempt
         self._spec_dict = spec.to_dict()
         self._completed: List[str] = []
         self._best: Optional[ckpt.BestState] = None
@@ -477,6 +496,9 @@ class PlacementPipeline:
                 ckpt.save_checkpoint(self.checkpoint_dir, self.ctx,
                                      self._spec_dict, self._completed,
                                      best=self._best)
+        if self.preempt is not None and self.preempt():
+            _log.info("preempted after %s", unit)
+            raise PipelinePreempted(unit, self.checkpoint_dir)
         if self.halt_after is not None and self._matches_halt(unit):
             raise PipelineHalted(unit, self.checkpoint_dir)
 

@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from pathlib import Path
-from typing import ContextManager, Optional, Union
+from typing import Callable, ContextManager, Optional, Union
 
 from repro.core.config import PlacementConfig
 from repro.core.context import PlacementContext, auto_chip
@@ -108,7 +108,9 @@ class Placer3D:
     def run(self, check: bool = False, *,
             checkpoint_dir: Optional[Union[str, Path]] = None,
             resume: bool = False,
-            halt_after: Optional[str] = None) -> PlacementResult:
+            halt_after: Optional[str] = None,
+            preempt: Optional[Callable[[], bool]] = None,
+            ) -> PlacementResult:
         """Run the configured pipeline.
 
         Args:
@@ -122,6 +124,11 @@ class Placer3D:
             halt_after: stop after the named pipeline unit (e.g.
                 ``"round1/detailed"``), leaving the checkpoint behind;
                 raises :class:`~repro.core.pipeline.PipelineHalted`.
+            preempt: cooperative preemption hook polled at every unit
+                boundary after its checkpoint is saved; returning
+                ``True`` raises
+                :class:`~repro.core.pipeline.PipelinePreempted` (the
+                job scheduler's cancel path).
 
         Returns:
             A :class:`PlacementResult` with the legal placement.
@@ -129,6 +136,7 @@ class Placer3D:
         Raises:
             CheckpointError: ``resume`` without a matching checkpoint.
             PipelineHalted: the ``halt_after`` boundary was reached.
+            PipelinePreempted: the ``preempt`` hook requested a stop.
         """
         config = self.config
         provided = self.recorder
@@ -146,7 +154,8 @@ class Placer3D:
                                           chip=self.chip, recorder=rec)
             pipeline = PlacementPipeline(self.spec, ctx,
                                          checkpoint_dir=checkpoint_dir,
-                                         halt_after=halt_after)
+                                         halt_after=halt_after,
+                                         preempt=preempt)
             if resume:
                 pipeline.resume()
             pipeline.run()

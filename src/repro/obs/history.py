@@ -69,7 +69,8 @@ def _flatten_metrics(measurement: Mapping[str, Any]) -> Dict[str, float]:
 
     Understands the ``BENCH_scaling.json`` measurement shape
     (``placement`` per-scale entries, ``rebuild``, ``solve_powers``,
-    ``thermal_fidelity``); unknown top-level numeric fields are kept
+    ``thermal_fidelity``, ``service_cache``); unknown top-level
+    numeric fields are kept
     under their own name so future bench sections ride along without a
     schema change here.
     """
@@ -101,9 +102,18 @@ def _flatten_metrics(measurement: Mapping[str, Any]) -> Dict[str, float]:
             if isinstance(value, (int, float)) \
                     and not isinstance(value, bool):
                 metrics[f"thermal/{key}"] = float(value)
+    service = measurement.get("service_cache")
+    if isinstance(service, Mapping):
+        # only the two "lower is better" latencies; the speedup ratio
+        # would read an *improvement* as a one-sided regression
+        for key in ("cold_seconds", "hit_seconds"):
+            value = service.get(key)
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                metrics[f"service_cache/{key}"] = float(value)
     for key, value in measurement.items():
         if key in ("placement", "rebuild", "solve_powers",
-                   "thermal_fidelity"):
+                   "thermal_fidelity", "service_cache"):
             continue
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             metrics[key] = float(value)

@@ -27,8 +27,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.placer import PlacementResult
     from repro.netlist.netlist import Netlist
 
-__all__ = ["CHECKPOINT_KIND", "EXECUTION_ONLY_KEYS", "MANIFEST_KIND",
-           "SCHEMA_VERSION",
+__all__ = ["CHECKPOINT_KIND", "EXECUTION_ONLY_KEYS",
+           "HASHED_CONFIG_KEYS", "MANIFEST_KIND", "SCHEMA_VERSION",
            "build_manifest", "config_hash", "content_hash",
            "load_checkpoint_schema", "load_schema",
            "validate_checkpoint_meta", "validate_manifest",
@@ -87,6 +87,25 @@ def content_hash(document: Any) -> str:
 EXECUTION_ONLY_KEYS = ("num_workers", "thermal_fidelity",
                        "thermal_drift_tolerance")
 
+#: Config keys that *do* shape results and therefore participate in
+#: :func:`config_hash`.  Together with :data:`EXECUTION_ONLY_KEYS`
+#: this is an exhaustive, audited classification of every
+#: ``PlacementConfig`` field: :func:`config_hash` refuses a config
+#: carrying a key in neither tuple, so a newly added field (e.g. a
+#: service knob) cannot silently change — or silently not change —
+#: the hash that keys checkpoints and the service result cache.
+HASHED_CONFIG_KEYS = (
+    "alpha_ilv", "alpha_temp", "num_layers",
+    "use_thermal_net_weights", "use_trr_nets",
+    "min_region_cells", "partition_starts", "partition_passes",
+    "min_partition_tolerance",
+    "shift_max_density", "shift_max_iterations", "shift_upper_slope",
+    "shift_lower_slope", "shift_intercept",
+    "move_target_bins", "move_passes",
+    "legalization_rounds", "refine_passes",
+    "seed", "tech",
+)
+
 
 def config_hash(config: "PlacementConfig") -> str:
     """Stable content hash of a placement config.
@@ -96,8 +115,20 @@ def config_hash(config: "PlacementConfig") -> str:
         (minus :data:`EXECUTION_ONLY_KEYS`), so two runs with identical
         scientific knobs hash identically across sessions and worker
         counts.
+
+    Raises:
+        ValueError: the config carries a field classified neither in
+            :data:`HASHED_CONFIG_KEYS` nor :data:`EXECUTION_ONLY_KEYS`.
     """
     document = _config_dict(config)
+    unclassified = sorted(set(document) - set(HASHED_CONFIG_KEYS)
+                          - set(EXECUTION_ONLY_KEYS))
+    if unclassified:
+        raise ValueError(
+            f"unclassified PlacementConfig keys {unclassified}: add "
+            f"each to HASHED_CONFIG_KEYS (results change with it) or "
+            f"EXECUTION_ONLY_KEYS (pure execution steering) in "
+            f"repro.obs.manifest")
     for key in EXECUTION_ONLY_KEYS:
         document.pop(key, None)
     return content_hash(document)
@@ -141,6 +172,7 @@ def build_manifest(netlist: "Netlist", config: "PlacementConfig",
                    thermal: Optional[Dict[str, Any]] = None,
                    resources: Optional[Dict[str, Any]] = None,
                    profile: Optional[Dict[str, Any]] = None,
+                   job: Optional[Dict[str, Any]] = None,
                    ) -> Dict[str, Any]:
     """Assemble the run manifest document.
 
@@ -165,6 +197,9 @@ def build_manifest(netlist: "Netlist", config: "PlacementConfig",
         profile: the sampling profiler's summary
             (``SamplingProfiler.summary()``).  ``None`` when the run
             was not profiled.
+        job: the service-job section (``id``, ``cache`` status,
+            ``preemptions``) when the run executed as a
+            :mod:`repro.service` job; ``None`` for direct runs.
 
     Returns:
         A JSON-serialisable dict matching ``manifest_schema.json``.
@@ -209,6 +244,7 @@ def build_manifest(netlist: "Netlist", config: "PlacementConfig",
         "thermal": thermal,
         "resources": resources,
         "profile": profile,
+        "job": job,
     }
 
 

@@ -1,0 +1,248 @@
+"""Shards queued jobs across the execution backend.
+
+The scheduler is a pump: each :meth:`Scheduler.pump` harvests finished
+task handles (publishing results to the cache, parking failures and
+preemptions) and then dispatches queued jobs up to the backend's
+worker count.  It can be pumped inline (the engine's ``wait`` path)
+or from a daemon thread (:meth:`Scheduler.start`, the ``serve`` path).
+
+Scheduling policy, all observable through the job store:
+
+- FIFO by job id; at most ``backend.num_workers`` jobs in flight.
+- A queued job whose cancel sentinel is raised is parked as
+  ``cancelled`` without ever dispatching.
+- A queued job whose cache key is already published short-circuits to
+  ``done`` with ``cache="hit"`` (the ``cache/hit`` telemetry counter).
+- A queued job whose cache key is *in flight* is coalesced: it stays
+  queued and resolves as a cache hit once the leader publishes.
+- A running job that stops with
+  :class:`~repro.core.pipeline.PipelinePreempted` is parked as
+  ``cancelled`` with its preemption count bumped; its checkpoint
+  remains, so a requeue resumes bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import threading
+import time
+from typing import Any, Dict, Optional, Tuple
+
+from repro.obs import Recorder, get_logger
+from repro.parallel import ExecutionBackend, TaskHandle
+from repro.service.cache import CacheEntry, ResultCache
+from repro.service.jobstore import JobStore
+from repro.service.worker import execute_job
+
+__all__ = ["Scheduler", "fulfil_from_cache"]
+
+_log = get_logger(__name__)
+
+
+def fulfil_from_cache(store: JobStore, document: Dict[str, Any],
+                      entry: CacheEntry,
+                      recorder: Optional[Recorder] = None,
+                      ) -> Dict[str, Any]:
+    """Short-circuit a queued job to ``done`` from a cache entry.
+
+    Copies the cached placement into the job's result directory and
+    rewrites the cached manifest's ``job`` section for *this* job
+    (``cache="hit"``, no trace), so the job's artifacts are
+    indistinguishable in shape from a cold run's.
+    """
+    job_id = str(document["id"])
+    result_dir = store.result_dir(job_id)
+    result_dir.mkdir(exist_ok=True)
+    shutil.copyfile(entry.placement_path, result_dir / "placement.npz")
+    with open(entry.manifest_path, "r", encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    manifest["job"] = {"id": job_id, "cache": "hit",
+                       "preemptions": int(document["preemptions"])}
+    manifest["trace_path"] = None
+    manifest_path = result_dir / "manifest.json"
+    with open(manifest_path, "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    prefix = document["request"].get("telemetry_prefix")
+    if prefix:
+        with open(f"{prefix}.manifest.json", "w",
+                  encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    if recorder is not None:
+        recorder.count("cache/hit")
+    return store.transition(job_id, "done", expect=("queued",),
+                            cache="hit", result=dict(entry.summary),
+                            manifest_path=str(manifest_path))
+
+
+class Scheduler:
+    """Pumps queued jobs through an execution backend.
+
+    Args:
+        store: the spooled job store.
+        cache: the content-addressed result cache.
+        backend: where job payloads execute; its ``num_workers`` is
+            the shard width.
+        recorder: service telemetry (``cache/hit``, ``cache/miss``,
+            ``jobs/*`` counters).
+        poll_seconds: harvest cadence of the daemon-thread loop.
+    """
+
+    def __init__(self, store: JobStore, cache: ResultCache,
+                 backend: ExecutionBackend,
+                 recorder: Optional[Recorder] = None,
+                 poll_seconds: float = 0.05) -> None:
+        self.store = store
+        self.cache = cache
+        self.backend = backend
+        self.recorder = recorder
+        self.poll_seconds = float(poll_seconds)
+        self._lock = threading.RLock()
+        self._inflight: Dict[str, Tuple[str, TaskHandle]] = {}
+        self._outcomes: Dict[str, Dict[str, Any]] = {}
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    def _count(self, name: str) -> None:
+        if self.recorder is not None:
+            self.recorder.count(name)
+
+    # -- pump ----------------------------------------------------------
+    def pump(self) -> int:
+        """One harvest + dispatch round; returns jobs still active
+        (queued or in flight)."""
+        with self._lock:
+            self._harvest()
+            return self._dispatch()
+
+    def _harvest(self) -> None:
+        for job_id, (key, handle) in list(self._inflight.items()):
+            if not handle.done():
+                continue
+            del self._inflight[job_id]
+            self.backend.forget(job_id)
+            error = handle.exception()
+            if error is not None:
+                _log.warning("job %s failed: %s", job_id, error)
+                self.store.transition(job_id, "failed",
+                                      expect=("running",),
+                                      error=str(error))
+                self._count("jobs/failed")
+                continue
+            outcome = handle.result()
+            if outcome["state"] == "preempted":
+                document = self.store.load(job_id)
+                self.store.transition(
+                    job_id, "cancelled", expect=("running",),
+                    preemptions=int(document["preemptions"]) + 1)
+                self._count("jobs/preempted")
+                continue
+            self._outcomes[job_id] = outcome
+            self.store.transition(
+                job_id, "done", expect=("running",),
+                result=dict(outcome["summary"]),
+                manifest_path=str(outcome["manifest_path"]))
+            self._count("jobs/done")
+            self._publish(job_id, key, outcome)
+
+    def _publish(self, job_id: str, key: str,
+                 outcome: Dict[str, Any]) -> None:
+        placement_path = self.store.result_dir(job_id) / "placement.npz"
+        with open(outcome["manifest_path"], "r",
+                  encoding="utf-8") as fh:
+            manifest = json.load(fh)
+        self.cache.store(key, placement_path, manifest,
+                         dict(outcome["summary"]))
+
+    def _dispatch(self) -> int:
+        capacity = self.backend.num_workers - len(self._inflight)
+        inflight_keys = {key for key, _ in self._inflight.values()}
+        active = len(self._inflight)
+        for document in self.store.list_jobs():
+            if document["state"] != "queued":
+                continue
+            job_id = str(document["id"])
+            if document["cancel_requested"] \
+                    or self.store.cancel_requested(job_id):
+                self.store.transition(job_id, "cancelled",
+                                      expect=("queued",))
+                self._count("jobs/cancelled")
+                continue
+            key = str(document["hashes"]["cache_key"])
+            entry = self.cache.fetch(key)
+            if entry is not None:
+                fulfil_from_cache(self.store, document, entry,
+                                  self.recorder)
+                continue
+            if key in inflight_keys or capacity <= 0:
+                # duplicate-in-flight coalesces to a cache hit once
+                # the leader publishes; over-capacity jobs just wait
+                active += 1
+                continue
+            self.store.transition(job_id, "running", expect=("queued",))
+            self._count("cache/miss")
+            handle = self.backend.submit(
+                execute_job,
+                {"job_dir": str(self.store.job_dir(job_id))},
+                task_id=job_id)
+            self._inflight[job_id] = (key, handle)
+            inflight_keys.add(key)
+            capacity -= 1
+            active += 1
+        return active
+
+    # -- blocking / threaded operation ---------------------------------
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Pump until no job is queued or running.
+
+        Raises:
+            TimeoutError: active jobs remain after ``timeout`` seconds.
+        """
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        while self.pump() > 0:
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"jobs still active after {timeout:.1f}s")
+            time.sleep(self.poll_seconds)
+
+    def start(self) -> None:
+        """Run the pump loop in a daemon thread (the serve path)."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-scheduler",
+                                        daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.pump()
+            self._stop.wait(self.poll_seconds)
+
+    def stop(self) -> None:
+        """Stop the pump thread (in-flight backend tasks keep running)."""
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join()
+        self._thread = None
+
+    # -- introspection -------------------------------------------------
+    @property
+    def running(self) -> bool:
+        """Whether the daemon pump thread is active."""
+        return self._thread is not None
+
+    def liveness(self) -> Dict[str, str]:
+        """Per-task liveness as reported by the execution backend."""
+        return self.backend.liveness()
+
+    def outcome(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The in-memory outcome of a job completed this session
+        (telemetry included), or ``None``."""
+        with self._lock:
+            return self._outcomes.get(job_id)

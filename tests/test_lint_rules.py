@@ -440,6 +440,41 @@ class TestRPL011ProcessImports:
         """) == []
 
 
+class TestRPL014SocketImports:
+    def test_socket_import_flagged(self):
+        assert rules_of("""
+            import socket
+        """) == ["RPL014"]
+
+    def test_selectors_import_flagged(self):
+        assert rules_of("""
+            import selectors
+        """) == ["RPL014"]
+
+    def test_from_socket_import_flagged(self):
+        assert rules_of("""
+            from socket import AF_UNIX
+        """) == ["RPL014"]
+
+    def test_service_module_exempt(self):
+        src = textwrap.dedent("""
+            import socket
+            import selectors
+        """)
+        path = "src/repro/service/rpc.py"
+        assert [v.rule for v in check_source(src, path)] == []
+
+    def test_waiver_with_reason_accepted(self):
+        assert rules_of("""
+            import socket  # lint: ok[RPL014] test harness needs a raw socket
+        """) == []
+
+    def test_service_client_usage_allowed(self):
+        assert rules_of("""
+            from repro.service import ServiceClient
+        """) == []
+
+
 class TestRPL012SolverInCoreHotPath:
     CORE = "src/repro/core/moves.py"
 

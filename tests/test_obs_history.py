@@ -185,9 +185,28 @@ class TestObsHistoryCli:
         assert main(["obs", "history", "--ledger", ledger, "--append",
                      str(bench), "--label", "first"]) == 0
         assert "appended entry 'first'" in capsys.readouterr().out
+        assert main(["obs", "history", "--ledger", ledger, "--append",
+                     str(bench), "--label", "second"]) == 0
+        capsys.readouterr()
         assert main(["obs", "history", "--ledger", ledger,
                      "--check"]) == 0
         assert "no regressions" in capsys.readouterr().out
+
+    def test_check_short_ledger_exits_two(self, capsys, tmp_path):
+        # a ledger with fewer than 2 entries has no baseline to check
+        # against: exit 2 with a diagnostic, never a traceback
+        ledger = str(tmp_path / "ledger.jsonl")
+        bench = tmp_path / "bench.json"
+        bench.write_text(json.dumps(_measurement()))
+        assert main(["obs", "history", "--ledger", ledger,
+                     "--check"]) == 2
+        assert "at least 2 ledger entries" in capsys.readouterr().err
+        assert main(["obs", "history", "--ledger", ledger, "--append",
+                     str(bench), "--label", "only"]) == 0
+        capsys.readouterr()
+        assert main(["obs", "history", "--ledger", ledger,
+                     "--check"]) == 2
+        assert "has 1" in capsys.readouterr().err
 
     def test_check_detects_regression(self, capsys, tmp_path):
         ledger = tmp_path / "ledger.jsonl"

@@ -62,6 +62,11 @@ RPL013   No ``time.time()`` / ``datetime.now()`` / ``utcnow()`` /
          read anywhere else is either telemetry that bypasses the obs
          layer or — worse — state that leaks into placement decisions
          and silently breaks bit-identical resume.
+RPL014   No direct ``socket`` / ``selectors`` imports outside
+         ``repro.service``.  Network transport belongs to the service
+         layer's RPC module: an ad-hoc socket elsewhere bypasses the
+         job store's state machine and the engine's permissioned API
+         surface, and cannot be exercised by the service smoke tests.
 ======== ==============================================================
 
 Any rule can be waived on a specific line with an inline comment
@@ -132,6 +137,9 @@ RULES: Dict[str, str] = {
               "path (route through the thermal fidelity policy)",
     "RPL013": "wall-clock read (time.time/datetime.now) outside "
               "repro.obs (use repro.obs.wall_time)",
+    "RPL014": "direct socket/selectors import outside repro.service "
+              "(talk to the service through ServiceClient or the "
+              "engine API)",
 }
 
 #: Top-level modules only ``repro.parallel`` may import (RPL011).
@@ -142,6 +150,13 @@ PROCESS_MODULES: Tuple[str, ...] = ("multiprocessing", "concurrent")
 PARALLEL_BACKEND_SUFFIXES: Tuple[str, ...] = (
     "repro/parallel/__init__.py",
 )
+
+#: Top-level modules only ``repro.service`` may import (RPL014).
+SOCKET_MODULES: Tuple[str, ...] = ("socket", "selectors")
+
+#: Modules allowed to import socket machinery directly (RPL014): the
+#: service package (its ``rpc.py`` owns the transport).
+SERVICE_MODULE_FRAGMENT = "repro/service/"
 
 #: Modules allowed to instantiate stage classes directly (RPL010): the
 #: registry that defines them and the runner that executes specs.
@@ -225,6 +240,12 @@ def is_parallel_backend(path: str) -> bool:
     return normalized.endswith(PARALLEL_BACKEND_SUFFIXES)
 
 
+def is_service_module(path: str) -> bool:
+    """Whether a path may import socket machinery directly (RPL014)."""
+    normalized = path.replace("\\", "/")
+    return SERVICE_MODULE_FRAGMENT in normalized
+
+
 def is_core_hot_path(path: str) -> bool:
     """Whether a path belongs to ``repro.core`` (RPL012 scope).
 
@@ -278,6 +299,7 @@ class _Checker(ast.NodeVisitor):
                  datetime_classes: Optional[Set[str]] = None,
                  stage_factory: bool = False,
                  parallel_backend: bool = False,
+                 service_module: bool = False,
                  core_hot_path: bool = False) -> None:
         self.path = path
         self.kernel = kernel
@@ -290,6 +312,7 @@ class _Checker(ast.NodeVisitor):
         self.datetime_classes = datetime_classes or set()
         self.stage_factory = stage_factory
         self.parallel_backend = parallel_backend
+        self.service_module = service_module
         self.core_hot_path = core_hot_path
         self.violations: List[Violation] = []
         self._hot_depth = 0
@@ -431,6 +454,19 @@ class _Checker(ast.NodeVisitor):
                        f"dispatch work through an ExecutionBackend so "
                        f"seeding and telemetry merging stay uniform")
 
+    # -- RPL014: socket imports outside repro.service ------------------
+    def _check_socket_import(self, node: ast.AST,
+                             module: Optional[str]) -> None:
+        if self.service_module or not module:
+            return
+        top = module.split(".", 1)[0]
+        if top in SOCKET_MODULES:
+            self._flag(node, "RPL014",
+                       f"import of {module!r} outside repro.service — "
+                       f"talk to the placement service through "
+                       f"ServiceClient or the engine API so the job "
+                       f"state machine stays authoritative")
+
     # -- RPL012: exact-solver imports in core hot paths ----------------
     def _flag_solver_import(self, node: ast.AST, module: str) -> None:
         self._flag(node, "RPL012",
@@ -450,12 +486,14 @@ class _Checker(ast.NodeVisitor):
     def visit_Import(self, node: ast.Import) -> None:
         for item in node.names:
             self._check_process_import(node, item.name)
+            self._check_socket_import(node, item.name)
             self._check_solver_import(node, item.name)
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.level == 0:
             self._check_process_import(node, node.module)
+            self._check_socket_import(node, node.module)
             self._check_solver_import(node, node.module)
             if self.core_hot_path and node.module == "repro.thermal":
                 for item in node.names:
@@ -661,6 +699,7 @@ def check_source(source: str, path: str = "<string>",
                        datetime_classes=datetime_classes,
                        stage_factory=is_stage_factory(path),
                        parallel_backend=is_parallel_backend(path),
+                       service_module=is_service_module(path),
                        core_hot_path=is_core_hot_path(path))
     checker.visit(tree)
     timing_only = is_timing_only_scope(path)
@@ -703,7 +742,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m tools.lint",
-        description="Kernel-contract AST linter (rules RPL001-RPL013).")
+        description="Kernel-contract AST linter (rules RPL001-RPL014).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "
                              "(default: src/repro)")
