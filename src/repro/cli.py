@@ -85,6 +85,8 @@ from repro.core.config import THERMAL_FIDELITY_MODES
 from repro.core.pipeline import (PipelineHalted, PipelineSpec,
                                  default_pipeline_spec)
 from repro.netlist import bookshelf
+from repro.netlist.cache import (benchmark_key, bookshelf_key,
+                                 cached_netlist)
 from repro.netlist.suite import SUITE_PROFILES
 from repro.obs import configure_cli_logging
 from repro import service
@@ -108,7 +110,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     place = sub.add_parser("place", help="place one design")
     src = place.add_mutually_exclusive_group(required=True)
-    src.add_argument("--circuit", help="suite benchmark name (ibm01..18)")
+    src.add_argument("--circuit",
+                     help="suite benchmark name (ibm01..18) or "
+                          "synthetic<N> (e.g. synthetic50k)")
     src.add_argument("--bookshelf",
                      help="prefix of .nodes/.nets Bookshelf files")
     place.add_argument("--scale", type=float, default=0.05,
@@ -244,7 +248,8 @@ def _build_parser() -> argparse.ArgumentParser:
     _job_common(job_submit, with_id=False)
     job_src = job_submit.add_mutually_exclusive_group(required=True)
     job_src.add_argument("--circuit",
-                         help="suite benchmark name (ibm01..18)")
+                         help="suite benchmark name (ibm01..18) or "
+                              "synthetic<N> (e.g. synthetic50k)")
     job_src.add_argument("--bookshelf",
                          help="prefix of .nodes/.nets Bookshelf files")
     job_submit.add_argument("--scale", type=float, default=0.05)
@@ -350,10 +355,14 @@ def _cmd_place(args) -> int:
         print("--resume requires --checkpoint-dir", file=sys.stderr)
         return 2
     if args.circuit:
-        netlist = load_benchmark(args.circuit, scale=args.scale,
-                                 seed=args.seed)
+        netlist = cached_netlist(
+            benchmark_key(args.circuit, args.scale, args.seed),
+            lambda: load_benchmark(args.circuit, scale=args.scale,
+                                   seed=args.seed))
     else:
-        netlist = bookshelf.read_bookshelf(args.bookshelf)
+        netlist = cached_netlist(
+            bookshelf_key(args.bookshelf),
+            lambda: bookshelf.read_bookshelf_streaming(args.bookshelf))
     config = PlacementConfig(
         alpha_ilv=args.alpha_ilv, alpha_temp=args.alpha_temp,
         num_layers=args.layers, seed=args.seed,
@@ -531,8 +540,10 @@ def _place_cold(args, netlist, config, spec, engine, job_id) -> int:
 
 def _cmd_sweep(args) -> int:
     alphas = np.logspace(np.log10(5e-9), np.log10(5.2e-3), args.points)
-    netlist = load_benchmark(args.circuit, scale=args.scale,
-                             seed=args.seed)
+    netlist = cached_netlist(
+        benchmark_key(args.circuit, args.scale, args.seed),
+        lambda: load_benchmark(args.circuit, scale=args.scale,
+                               seed=args.seed))
     digest = service.netlist_hash(netlist)
     jobs_dir = args.jobs_dir
     ephemeral = jobs_dir is None

@@ -31,6 +31,7 @@ a bit-identical placement to ``num_workers=1``.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -41,9 +42,13 @@ from repro.core.netweights import compute_net_weights
 from repro.core.trrnets import compute_trr_weights
 from repro.metrics.wirelength import compute_net_metrics
 from repro.netlist.placement import Placement
-from repro.obs import get_logger, get_recorder
-from repro.parallel import ExecutionBackend, create_backend, task_seed
-from repro.partition.subproblem import BisectionTask, solve, solve_recorded
+from repro.obs import Recorder, Telemetry, get_logger, get_recorder
+from repro.parallel import (ExecutionBackend, SharedArrayPool,
+                            create_backend, shared_memory_available,
+                            task_seed)
+from repro.partition.subproblem import (BisectionTask, solve,
+                                        solve_packed_recorded,
+                                        solve_recorded, task_payload)
 from repro.thermal.power import PowerModel
 from repro.thermal.resistance import ResistanceModel
 
@@ -162,34 +167,83 @@ class GlobalPlacer:
         shared state.
         """
         rec = get_recorder()
-        frontier = [root]
-        level = 0
-        while frontier:
-            _log.debug("bisection level %d: %d regions pending",
-                       level, len(frontier))
-            with rec.span("weights"):
-                self._refresh_weights()
-            pending: List[Region] = []
-            for region in frontier:
-                if self._is_terminal(region) or level >= _MAX_LEVELS:
-                    rec.count("global/terminal_regions")
-                    self._finalize(region)
-                else:
-                    pending.append(region)
-            frontier = []
-            if not pending:
-                break
-            with rec.span(f"level{level}/bisect"):
-                tasks = [self._build_task(region) for region in pending]
-                results = backend.map(solve_recorded, tasks)
-                for region, (parts, telemetry) in zip(pending, results):
-                    rec.merge(telemetry)
-                    rec.count("global/bisections")
-                    for child in self._apply_parts(region, parts):
-                        if child.cell_ids:
-                            self._set_positions(child)
-                            frontier.append(child)
-            level += 1
+        pool: Optional[SharedArrayPool] = None
+        if backend.num_workers > 1 and shared_memory_available():
+            pool = SharedArrayPool()
+        try:
+            frontier = [root]
+            level = 0
+            while frontier:
+                _log.debug("bisection level %d: %d regions pending",
+                           level, len(frontier))
+                with rec.span("weights"):
+                    self._refresh_weights()
+                pending: List[Region] = []
+                for region in frontier:
+                    if self._is_terminal(region) or level >= _MAX_LEVELS:
+                        rec.count("global/terminal_regions")
+                        self._finalize(region)
+                    else:
+                        pending.append(region)
+                frontier = []
+                if not pending:
+                    break
+                with rec.span(f"level{level}/bisect"):
+                    tasks = [self._build_task(region)
+                             for region in pending]
+                    results = self._dispatch(tasks, backend, pool, rec)
+                    for region, (parts, telemetry) in zip(pending,
+                                                          results):
+                        rec.merge(telemetry)
+                        rec.count("global/bisections")
+                        for child in self._apply_parts(region, parts):
+                            if child.cell_ids:
+                                self._set_positions(child)
+                                frontier.append(child)
+                level += 1
+        finally:
+            if pool is not None:
+                pool.close()
+
+    def _dispatch(self, tasks: List[BisectionTask],
+                  backend: ExecutionBackend,
+                  pool: Optional[SharedArrayPool],
+                  rec: Recorder) -> List[Tuple[np.ndarray, Telemetry]]:
+        """Run one level's batch on the backend.
+
+        With a shared-memory pool the batch is published once and each
+        worker payload is a ~100-byte :class:`SegmentRef`; without one
+        (serial backend, or no shm on this platform) tasks travel as
+        dense pickled CSR payloads.  Both paths solve the identical
+        task objects, so results are bit-identical either way.
+
+        When telemetry is on, dispatch accounting is recorded either
+        way: ``parallel/dispatch_bytes`` is what actually crossed the
+        process boundary per path, and ``parallel/dense_task_bytes`` is
+        what the pickled-CSR baseline would have shipped — the pair the
+        scaling bench turns into a reduction ratio.
+        """
+        if pool is None:
+            results = backend.map(solve_recorded, tasks)
+            if rec.enabled and backend.num_workers > 1:
+                dense = sum(len(pickle.dumps(t)) for t in tasks)
+                rec.count("parallel/tasks", len(tasks))
+                rec.count("parallel/dispatch_bytes", dense)
+                rec.count("parallel/dense_task_bytes", dense)
+            return results
+        batch = pool.pack([task_payload(t) for t in tasks])
+        try:
+            results = backend.map(solve_packed_recorded, batch.refs)
+        finally:
+            batch.close()
+        if rec.enabled:
+            rec.count("parallel/tasks", len(tasks))
+            rec.count("parallel/dispatch_bytes",
+                      sum(len(pickle.dumps(r)) for r in batch.refs))
+            rec.count("parallel/dense_task_bytes",
+                      sum(len(pickle.dumps(t)) for t in tasks))
+            rec.count("parallel/segment_bytes", batch.segment_bytes)
+        return results
 
     # ------------------------------------------------------------------
     def _refresh_weights(self) -> None:

@@ -41,6 +41,7 @@ from numpy.typing import NDArray
 from repro.analysis import (FloatArray, IntArray, contract, exact_nonzero,
                             exact_zero, hot_path, validate_arrays)
 from repro.core.config import PlacementConfig
+from repro.netlist.csr import signal_csr
 from repro.netlist.placement import Placement
 from repro.obs import get_recorder
 from repro.thermal.power import PowerModel
@@ -98,80 +99,50 @@ class ObjectiveState:
         n_cells = netlist.num_cells
 
         # --- static per-net structure (signal nets only) ---------------
-        # List mirrors are kept for the scalar (joint-move) path, where
-        # tiny-net Python loops still beat per-array overhead; the flat
-        # CSR arrays drive every vectorized kernel.
-        self._net_ids: List[int] = []
-        self._pins: List[List[int]] = []
-        self._drivers: List[List[int]] = []
-        s_wl: List[float] = []
-        s_ilv: List[float] = []
-        pin_term: List[float] = []
-        for net in netlist.nets:
-            if net.is_trr or not net.pins:
-                continue
-            self._net_ids.append(net.id)
-            self._pins.append(net.unique_cell_ids)
-            self._drivers.append(net.driver_ids)
-            s_wl.append(float(self.power_model.s_wl[net.id]))
-            s_ilv.append(float(self.power_model.s_ilv[net.id]))
-            pin_term.append(float(self.power_model.s_input_pins[net.id]))
-        m = len(self._pins)
-        self._s_wl: FloatArray = np.asarray(s_wl, dtype=np.float64)
-        self._s_ilv: FloatArray = np.asarray(s_ilv, dtype=np.float64)
-        self._pin_term: FloatArray = np.asarray(pin_term,
-                                                dtype=np.float64)
+        # The flat CSR arrays come from the netlist's cached SignalCSR
+        # (built once per content, possibly int32-minimized and shared
+        # across equal-content instances); the kernels here index much
+        # larger products, so everything is upcast to int64 once at
+        # construction.  List mirrors are kept for the scalar
+        # (joint-move) path, where tiny-net Python loops still beat
+        # per-array overhead.
+        csr = signal_csr(netlist)
+        self._net_ids: List[int] = csr.net_ids.tolist()
+        self._pins: List[List[int]] = csr.pin_lists()
+        self._drivers: List[List[int]] = csr.driver_lists()
+        m = csr.num_nets
+        ids = csr.net_ids.astype(np.int64, copy=False)
+        self._s_wl: FloatArray = np.asarray(
+            self.power_model.s_wl, dtype=np.float64)[ids]
+        self._s_ilv: FloatArray = np.asarray(
+            self.power_model.s_ilv, dtype=np.float64)[ids]
+        self._pin_term: FloatArray = np.asarray(
+            self.power_model.s_input_pins, dtype=np.float64)[ids]
 
         # net -> pin CSR
-        deg = np.fromiter((len(p) for p in self._pins), dtype=np.int64,
-                          count=m)
-        self._net_deg = deg
-        self._net_ptr = np.zeros(m + 1, dtype=np.int64)
-        np.cumsum(deg, out=self._net_ptr[1:])
-        self._pin_cell = (np.concatenate(
-            [np.asarray(p, dtype=np.int64) for p in self._pins])
-            if m else np.zeros(0, dtype=np.int64))
-        self._pin_net = np.repeat(np.arange(m, dtype=np.int64), deg)
+        self._net_deg = csr.net_deg.astype(np.int64)
+        self._net_ptr = csr.net_ptr.astype(np.int64)
+        self._pin_cell = csr.pin_cell.astype(np.int64)
+        self._pin_net = csr.pin_net.astype(np.int64)
         # globally sorted membership keys: pins sorted within each net,
         # encoded as net * num_cells + cell (for vectorized searchsorted)
-        order = np.argsort(self._pin_net * np.int64(max(n_cells, 1))
-                           + self._pin_cell, kind="stable")
-        self._pin_key = (self._pin_net[order] * np.int64(max(n_cells, 1))
-                         + self._pin_cell[order])
+        self._pin_key = csr.pin_key
 
         # net -> driver CSR (with multiplicity, as the power model uses)
-        drv_deg = np.fromiter((len(d) for d in self._drivers),
-                              dtype=np.int64, count=m)
-        self._drv_deg = drv_deg
-        self._drv_ptr = np.zeros(m + 1, dtype=np.int64)
-        np.cumsum(drv_deg, out=self._drv_ptr[1:])
-        self._drv_cell = (np.concatenate(
-            [np.asarray(d, dtype=np.int64) for d in self._drivers])
-            if m else np.zeros(0, dtype=np.int64))
-        self._drv_net = np.repeat(np.arange(m, dtype=np.int64), drv_deg)
+        self._drv_deg = np.diff(csr.drv_ptr).astype(np.int64)
+        self._drv_ptr = csr.drv_ptr.astype(np.int64)
+        self._drv_cell = csr.drv_cell.astype(np.int64)
+        self._drv_net = csr.drv_net.astype(np.int64)
 
         # cell -> net CSR (+ the cell's driver-pin multiplicity per net)
-        self._cell_nets: List[List[int]] = [[] for _ in range(n_cells)]
-        for local, pins in enumerate(self._pins):
-            for c in pins:
-                self._cell_nets[c].append(local)
-        cdeg = np.fromiter((len(e) for e in self._cell_nets),
-                           dtype=np.int64, count=n_cells)
-        self._cell_deg = cdeg
-        self._cell_net_ptr = np.zeros(n_cells + 1, dtype=np.int64)
-        np.cumsum(cdeg, out=self._cell_net_ptr[1:])
-        self._cell_net_idx = (np.concatenate(
-            [np.asarray(e, dtype=np.int64) for e in self._cell_nets])
-            if n_cells and cdeg.sum() else np.zeros(0, dtype=np.int64))
-        drvmult: Dict[Tuple[int, int], int] = {}
-        for local, drivers in enumerate(self._drivers):
-            for d in drivers:
-                drvmult[(d, local)] = drvmult.get((d, local), 0) + 1
-        owner = np.repeat(np.arange(n_cells, dtype=np.int64), cdeg)
-        self._cell_net_drvmult: FloatArray = np.fromiter(
-            (drvmult.get((int(c), int(e)), 0)
-             for c, e in zip(owner, self._cell_net_idx)),
-            dtype=np.float64, count=len(self._cell_net_idx))
+        self._cell_net_ptr = csr.cell_net_ptr.astype(np.int64)
+        self._cell_deg = np.diff(self._cell_net_ptr)
+        self._cell_net_idx = csr.cell_net_idx.astype(np.int64)
+        self._cell_net_drvmult: FloatArray = csr.cell_net_drvmult
+        self._cell_nets: List[List[int]] = [
+            e.tolist() for e in np.split(self._cell_net_idx,
+                                         self._cell_net_ptr[1:-1])] \
+            if n_cells else []
 
         # --- thermal resistance per (layer, cell) -----------------------
         # Lateral paths barely matter (the secondary film coefficient is

@@ -20,8 +20,11 @@ be checkpointed to disk and reloaded.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
+from repro.netlist.csr import index_dtype
 from repro.netlist.net import PinRole
 from repro.netlist.netlist import Netlist
 
@@ -29,24 +32,34 @@ _ROLE_OF_DIRECTION = {"O": PinRole.DRIVER, "I": PinRole.SINK,
                       "B": PinRole.SINK}
 _DIRECTION_OF_ROLE = {PinRole.DRIVER: "O", PinRole.SINK: "I"}
 
+#: Pin-role codes in the streaming reader's preallocated role array.
+_ROLE_SINK = 0
+_ROLE_DRIVER = 1
+_ROLE_CODE = {PinRole.SINK: _ROLE_SINK, PinRole.DRIVER: _ROLE_DRIVER}
 
-def _content_lines(path: str) -> List[str]:
-    """Non-empty, non-comment lines of a Bookshelf file.
+
+def _iter_content_lines(path: str) -> Iterator[str]:
+    """Stream the non-empty, non-comment lines of a Bookshelf file.
 
     The first line of every Bookshelf file is a format banner (``UCLA
     nodes 1.0`` etc.) which is skipped along with ``#`` comments.
+    Iterating the open file reads in buffered chunks — the whole file
+    is never resident, which is what keeps the streaming reader's peak
+    memory at the size of its preallocated arrays.
     """
     with open(path) as f:
-        raw = f.readlines()
-    lines = []
-    for i, line in enumerate(raw):
-        stripped = line.strip()
-        if not stripped or stripped.startswith("#"):
-            continue
-        if i == 0 and stripped.upper().startswith("UCLA"):
-            continue
-        lines.append(stripped)
-    return lines
+        for i, line in enumerate(f):
+            stripped = line.strip()
+            if not stripped or stripped.startswith("#"):
+                continue
+            if i == 0 and stripped.upper().startswith("UCLA"):
+                continue
+            yield stripped
+
+
+def _content_lines(path: str) -> List[str]:
+    """Non-empty, non-comment lines of a Bookshelf file, as a list."""
+    return list(_iter_content_lines(path))
 
 
 def read_nodes(path: str, netlist: Netlist, unit: float = 1e-6,
@@ -169,6 +182,233 @@ def read_bookshelf(prefix: str, unit: float = 1e-6,
     netlist = Netlist(name=os.path.basename(prefix))
     read_nodes(prefix + ".nodes", netlist, unit=unit)
     read_nets(prefix + ".nets", netlist, default_activity=default_activity)
+    if os.path.exists(prefix + ".pl"):
+        read_pl(prefix + ".pl", netlist, unit=unit)
+    netlist.validate()
+    return netlist
+
+
+# ---------------------------------------------------------------------
+# Streaming reader (full-size instances)
+# ---------------------------------------------------------------------
+
+def _header_count(path: str, line: str, key: str) -> int:
+    """Parse a ``<key> : <count>`` header line's count."""
+    fields = line.replace(":", " ").split()
+    if len(fields) < 2:
+        raise ValueError(f"{path}: malformed {key} header: {line!r}")
+    try:
+        count = int(fields[1])
+    except ValueError:
+        raise ValueError(
+            f"{path}: malformed {key} header: {line!r}") from None
+    if count < 0:
+        raise ValueError(f"{path}: negative {key}: {count}")
+    return count
+
+
+def read_nodes_streaming(path: str, netlist: Netlist,
+                         unit: float = 1e-6,
+                         default_height: Optional[float] = None) -> None:
+    """Streaming ``.nodes`` parser with preallocated attribute arrays.
+
+    Parses node records into width/height/terminal arrays sized from
+    the ``NumNodes`` header — no per-line Python list accumulation —
+    then materializes the cells.  Produces a netlist identical to
+    :func:`read_nodes` on well-formed input.
+
+    Raises:
+        ValueError: missing/malformed ``NumNodes`` header, a node line
+            without dimensions, more nodes than declared, or a
+            truncated file (fewer nodes than declared).
+    """
+    num_nodes = -1
+    names: List[str] = []
+    widths = heights = terminal = None
+    count = 0
+    for line in _iter_content_lines(path):
+        fields = line.split()
+        key = fields[0]
+        if key == "NumNodes":
+            num_nodes = _header_count(path, line, "NumNodes")
+            names = [""] * num_nodes
+            widths = np.zeros(num_nodes, dtype=np.float64)
+            heights = np.zeros(num_nodes, dtype=np.float64)
+            terminal = np.zeros(num_nodes, dtype=bool)
+            continue
+        if key == "NumTerminals":
+            continue
+        if num_nodes < 0:
+            raise ValueError(
+                f"{path}: node record before NumNodes header: {line!r}")
+        if count >= num_nodes:
+            raise ValueError(
+                f"{path}: more than NumNodes={num_nodes} node records")
+        assert widths is not None and heights is not None \
+            and terminal is not None
+        rest = fields[1:]
+        is_term = "terminal" in rest
+        dims = [f for f in rest if f != "terminal"]
+        if len(dims) >= 2:
+            widths[count] = float(dims[0]) * unit
+            heights[count] = float(dims[1]) * unit
+        elif len(dims) == 1:
+            if default_height is None:
+                raise ValueError(
+                    f"{path}: node {key} has no height and no default")
+            widths[count] = float(dims[0]) * unit
+            heights[count] = default_height
+        else:
+            raise ValueError(f"{path}: node {key} has no dimensions")
+        names[count] = key
+        terminal[count] = is_term
+        count += 1
+    if num_nodes < 0:
+        raise ValueError(f"{path}: missing NumNodes header")
+    if count != num_nodes:
+        raise ValueError(f"{path}: truncated .nodes file: "
+                         f"expected {num_nodes} nodes, found {count}")
+    assert widths is not None and heights is not None \
+        and terminal is not None
+    for i in range(num_nodes):
+        if terminal[i]:
+            netlist.add_cell(names[i], float(widths[i]),
+                             float(heights[i]), fixed=True,
+                             fixed_position=(0.0, 0.0, 0))
+        else:
+            netlist.add_cell(names[i], float(widths[i]),
+                             float(heights[i]))
+
+
+def read_nets_streaming(path: str, netlist: Netlist,
+                        default_activity: float = 0.2) -> None:
+    """Streaming ``.nets`` parser with preallocated CSR pin arrays.
+
+    Pin records go straight into flat arrays sized from the
+    ``NumNets`` / ``NumPins`` headers, dtype-minimized through
+    :func:`repro.netlist.csr.index_dtype` (int32 until a circuit
+    exceeds 2^31 - 1 pins — the overflow guard the dtype choice
+    encodes).  Driver-defaulting rules match :func:`read_nets`
+    exactly: a net listing no explicit directions, or directions but
+    no driver, gets its first pin promoted to driver.
+
+    Raises:
+        ValueError: missing headers, a malformed ``NetDegree`` or pin
+            line, an unknown cell name, more nets/pins than declared,
+            or a truncated file (a net cut short, or fewer nets/pins
+            than the headers declare).
+    """
+    num_nets = num_pins = -1
+    net_names: List[str] = []
+    net_ptr = pin_cell = pin_role = None
+    cell_ids = netlist._cell_by_name
+    net_i = 0
+    pin_i = 0
+    remaining = 0          # pins still expected for the open net
+    net_start = 0
+    saw_direction = False
+    saw_driver = False
+    for line in _iter_content_lines(path):
+        fields = line.split()
+        key = fields[0]
+        if remaining:
+            # a pin record of the open NetDegree block
+            assert pin_cell is not None and pin_role is not None
+            cid = cell_ids.get(key)
+            if cid is None:
+                raise ValueError(f"{path}: net {net_names[net_i]!r} "
+                                 f"references unknown cell {key!r}")
+            if pin_i >= num_pins:
+                raise ValueError(
+                    f"{path}: more than NumPins={num_pins} pin records")
+            role = PinRole.SINK
+            if len(fields) > 1 and fields[1] in _ROLE_OF_DIRECTION:
+                role = _ROLE_OF_DIRECTION[fields[1]]
+                saw_direction = True
+            pin_cell[pin_i] = cid
+            pin_role[pin_i] = _ROLE_CODE[role]
+            saw_driver = saw_driver or role is PinRole.DRIVER
+            pin_i += 1
+            remaining -= 1
+            if remaining == 0:
+                # close the block: apply the driver-defaulting rules
+                if pin_i > net_start and (not saw_direction
+                                          or not saw_driver):
+                    pin_role[net_start] = _ROLE_DRIVER
+                net_i += 1
+            continue
+        if key == "NumNets":
+            num_nets = _header_count(path, line, "NumNets")
+            continue
+        if key == "NumPins":
+            num_pins = _header_count(path, line, "NumPins")
+            continue
+        if key != "NetDegree":
+            raise ValueError(f"{path}: expected NetDegree, got {line!r}")
+        if num_nets < 0 or num_pins < 0:
+            raise ValueError(f"{path}: NetDegree before NumNets/"
+                             f"NumPins headers: {line!r}")
+        if net_ptr is None:
+            dtype = index_dtype(max(num_pins, netlist.num_cells))
+            net_ptr = np.zeros(num_nets + 1, dtype=np.int64)
+            pin_cell = np.zeros(num_pins, dtype=dtype)
+            pin_role = np.zeros(num_pins, dtype=np.uint8)
+        if net_i >= num_nets:
+            raise ValueError(
+                f"{path}: more than NumNets={num_nets} nets")
+        parts = line.replace(":", " ").split()
+        try:
+            degree = int(parts[1])
+        except (IndexError, ValueError):
+            raise ValueError(
+                f"{path}: malformed NetDegree line: {line!r}") from None
+        net_names.append(parts[2] if len(parts) > 2 else f"net{net_i}")
+        net_start = pin_i
+        net_ptr[net_i] = net_start
+        remaining = degree
+        saw_direction = False
+        saw_driver = False
+        if degree == 0:
+            net_i += 1
+    if num_nets < 0 or num_pins < 0:
+        raise ValueError(f"{path}: missing NumNets/NumPins headers")
+    if remaining:
+        raise ValueError(f"{path}: truncated .nets file: net "
+                         f"{net_names[-1]!r} is missing {remaining} "
+                         f"of its pins")
+    if net_i != num_nets:
+        raise ValueError(f"{path}: truncated .nets file: expected "
+                         f"{num_nets} nets, found {net_i}")
+    if pin_i != num_pins:
+        raise ValueError(f"{path}: NumPins={num_pins} but found "
+                         f"{pin_i} pin records")
+    assert net_ptr is not None and pin_cell is not None \
+        and pin_role is not None
+    net_ptr[num_nets] = pin_i
+    for i in range(num_nets):
+        lo, hi = int(net_ptr[i]), int(net_ptr[i + 1])
+        pins = [(int(pin_cell[p]),
+                 PinRole.DRIVER if pin_role[p] == _ROLE_DRIVER
+                 else PinRole.SINK)
+                for p in range(lo, hi)]
+        netlist.add_net(net_names[i], pins, activity=default_activity)
+
+
+def read_bookshelf_streaming(prefix: str, unit: float = 1e-6,
+                             default_activity: float = 0.2) -> Netlist:
+    """Streaming twin of :func:`read_bookshelf` for full-size files.
+
+    Reads ``<prefix>.nodes`` and ``<prefix>.nets`` (plus ``.pl`` if
+    present) through the chunked, preallocated parsers, so peak memory
+    during the parse is bounded by the attribute/CSR arrays (plus the
+    netlist being built) rather than the file's line list.  On
+    well-formed input the result is identical to the buffered reader,
+    which the round-trip tests assert circuit by circuit.
+    """
+    netlist = Netlist(name=os.path.basename(prefix))
+    read_nodes_streaming(prefix + ".nodes", netlist, unit=unit)
+    read_nets_streaming(prefix + ".nets", netlist,
+                        default_activity=default_activity)
     if os.path.exists(prefix + ".pl"):
         read_pl(prefix + ".pl", netlist, unit=unit)
     netlist.validate()

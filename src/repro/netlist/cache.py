@@ -1,0 +1,142 @@
+"""Content-keyed cache of loaded netlists.
+
+``sweep`` dispatches one job per ``alpha_ILV`` point and the placement
+service re-executes resubmitted requests — and every one of those jobs
+used to re-parse or re-generate its circuit from scratch, the single
+largest fixed cost of a job at full instance scale (~0.3 s for
+ibm01@1.0, dwarfing the cache-hit path itself).  This cache stores the
+*pristine* pickled bytes of each loaded netlist under a source key and
+answers repeats with a fresh unpickled copy:
+
+- **pristine**: the placer mutates netlists in place (TRR-net
+  injection, fixed-position updates), so live objects cannot be shared
+  between jobs; the bytes are captured before the first use and every
+  copy starts clean.
+- **source key**: the key describes where the netlist came from —
+  generator parameters (:func:`benchmark_key`) or Bookshelf file
+  identity including mtime/size (:func:`bookshelf_key`) — so an edited
+  file on disk misses and re-parses, while a resubmission hits.
+
+Each served copy carries ``content_key`` so downstream derived-data
+caches (the signal CSR of :mod:`repro.netlist.csr`, the service's
+netlist hash) can share work across copies without re-walking the
+netlist — the same hash-triple machinery the PR-9 result cache keys
+on.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from collections import OrderedDict
+from typing import Callable, Dict, Optional
+
+from repro.netlist.netlist import Netlist
+
+__all__ = ["NetlistCache", "benchmark_key", "bookshelf_key",
+           "cached_netlist", "clear_netlist_cache",
+           "netlist_cache_stats"]
+
+
+def benchmark_key(name: str, scale: float, seed: int) -> str:
+    """Source key for a generated suite / synthetic circuit."""
+    return f"bench:{name}:{scale:g}:{seed}"
+
+
+def bookshelf_key(prefix: str) -> str:
+    """Source key for a Bookshelf circuit on disk.
+
+    Includes each component file's size and mtime, so editing the
+    files invalidates the key naturally.
+    """
+    parts = [f"bookshelf:{os.path.abspath(prefix)}"]
+    for ext in (".nodes", ".nets", ".pl"):
+        path = prefix + ext
+        try:
+            st = os.stat(path)
+            parts.append(f"{ext}:{st.st_size}:{st.st_mtime_ns}")
+        except FileNotFoundError:
+            parts.append(f"{ext}:absent")
+    return "|".join(parts)
+
+
+class NetlistCache:
+    """LRU store of pristine pickled netlists, keyed by source.
+
+    Args:
+        capacity: maximum cached circuits; the least recently used
+            entry is evicted first.  Full-size suite circuits pickle
+            to a few MB each, so the default keeps the cache tens of
+            MB at worst.
+    """
+
+    def __init__(self, capacity: int = 6) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_load(self, key: str,
+                    loader: Callable[[], Netlist]) -> Netlist:
+        """The netlist for ``key``, loading (and caching) on a miss.
+
+        A hit returns a fresh unpickled copy — never a shared live
+        object — with ``content_key`` set so derived-data caches can
+        recognise equal content.  On a miss the loader's netlist is
+        snapshotted to bytes *before* being returned, so later copies
+        are unaffected by any mutation the caller performs.
+        """
+        blob = self._entries.get(key)
+        if blob is not None:
+            self.hits += 1
+            self._entries.move_to_end(key)
+            netlist = pickle.loads(blob)
+            assert isinstance(netlist, Netlist)
+            return netlist
+        self.misses += 1
+        netlist = loader()
+        netlist.content_key = key
+        self._entries[key] = pickle.dumps(
+            netlist, protocol=pickle.HIGHEST_PROTOCOL)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return netlist
+
+    def stats(self) -> Dict[str, int]:
+        """Counters and footprint: hits, misses, entries, bytes."""
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._entries),
+                "bytes": sum(len(b) for b in self._entries.values())}
+
+    def clear(self) -> None:
+        """Drop every entry (counters keep running)."""
+        self._entries.clear()
+
+
+#: Process-wide cache instance the loaders below share.
+_GLOBAL: Optional[NetlistCache] = None
+
+
+def _global_cache() -> NetlistCache:
+    global _GLOBAL
+    if _GLOBAL is None:
+        _GLOBAL = NetlistCache()
+    return _GLOBAL
+
+
+def cached_netlist(key: str, loader: Callable[[], Netlist]) -> Netlist:
+    """Load through the process-wide netlist cache."""
+    return _global_cache().get_or_load(key, loader)
+
+
+def netlist_cache_stats() -> Dict[str, int]:
+    """Stats of the process-wide cache."""
+    return _global_cache().stats()
+
+
+def clear_netlist_cache() -> None:
+    """Reset the process-wide cache (tests)."""
+    global _GLOBAL
+    _GLOBAL = None

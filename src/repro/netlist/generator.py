@@ -174,6 +174,99 @@ def generate_netlist(spec: GeneratorSpec,
     return netlist
 
 
+def generate_large_netlist(spec: GeneratorSpec,
+                           rng: Optional[np.random.Generator] = None
+                           ) -> Netlist:
+    """Vectorized generator for large instances (100k-1M cells).
+
+    Produces the same *family* of netlists as :func:`generate_netlist`
+    — Rent's-rule locality, the same degree/width/activity
+    distributions — but draws every net's sinks in flat array passes
+    instead of a per-net rejection loop, so generation stays tractable
+    and array memory stays bounded (index arrays are sized up front
+    from the sampled degrees).  It is NOT sample-for-sample identical
+    to the per-net generator: use one or the other for a given
+    benchmark family, never mix seeds across them.
+
+    Two deliberate simplifications versus the per-net path, both legal
+    netlist shapes: a net may carry duplicate sink pins (real circuits
+    connect several input pins of one cell to one net; metrics dedup
+    via ``unique_cell_ids``), and sinks are not sorted within a net.
+
+    Args:
+        spec: the benchmark parameters.
+        rng: generator to draw from; a fresh ``default_rng(spec.seed)``
+            when omitted — the same spec always yields the same
+            netlist.
+    """
+    if rng is None:
+        rng = np.random.default_rng(spec.seed)
+    n = spec.num_cells
+
+    # --- cells (identical construction to the per-net path) ----------
+    aspect = _sample_discrete(rng, spec.width_weights, n)
+    mean_aspect = float(aspect.mean())
+    avg_area = spec.total_area / n
+    height = math.sqrt(avg_area / mean_aspect)
+    widths = aspect * height
+    widths *= spec.total_area / float((widths * height).sum())
+
+    netlist = Netlist(name=spec.name)
+    add_cell = netlist.add_cell
+    for i in range(n):
+        add_cell(f"c{i}", float(widths[i]), float(height))
+
+    # --- virtual home coordinates for locality ------------------------
+    side = int(math.ceil(math.sqrt(n)))
+    perm = rng.permutation(n)
+    ranks = np.empty(n, dtype=np.int64)
+    ranks[perm] = np.arange(n, dtype=np.int64)
+    home_x = (ranks % side).astype(np.float64)
+    home_y = (ranks // side).astype(np.float64)
+    slot_table = np.full(side * side, -1, dtype=np.int64)
+    slot_table[ranks] = np.arange(n, dtype=np.int64)
+
+    # --- nets: one flat pass over all sinks ----------------------------
+    num_nets = max(1, int(round(spec.nets_per_cell * n)))
+    degrees = _sample_discrete(rng, spec.degree_weights, num_nets
+                               ).astype(np.int64)
+    degrees = np.minimum(degrees, n)
+    drivers = rng.integers(0, n, size=num_nets)
+    activities = rng.uniform(spec.activity_range[0],
+                             spec.activity_range[1], size=num_nets)
+    decay = max(1.0, spec.locality * side)
+
+    counts = degrees - 1  # sinks per net
+    total = int(counts.sum())
+    sink_net = np.repeat(np.arange(num_nets, dtype=np.int64), counts)
+    sink_driver = drivers[sink_net]
+    is_global = rng.random(total) < spec.global_fraction
+    r = rng.exponential(decay, size=total)
+    theta = rng.uniform(0.0, 2.0 * math.pi, size=total)
+    gx = np.clip(np.round(home_x[sink_driver] + r * np.cos(theta)),
+                 0, side - 1).astype(np.int64)
+    gy = np.clip(np.round(home_y[sink_driver] + r * np.sin(theta)),
+                 0, side - 1).astype(np.int64)
+    sinks = slot_table[gy * side + gx]
+    uniform = rng.integers(0, n, size=total)
+    sinks = np.where(is_global | (sinks < 0), uniform, sinks)
+    # a sink colliding with its driver shifts deterministically
+    collide = sinks == sink_driver
+    sinks = np.where(collide, (sinks + 1) % n, sinks)
+
+    ptr = np.zeros(num_nets + 1, dtype=np.int64)
+    np.cumsum(counts, out=ptr[1:])
+    add_net = netlist.add_net
+    for i in range(num_nets):
+        pins = [(int(drivers[i]), PinRole.DRIVER)]
+        pins.extend((int(s), PinRole.SINK)
+                    for s in sinks[ptr[i]:ptr[i + 1]])
+        add_net(f"n{i}", pins, activity=float(activities[i]))
+
+    netlist.validate()
+    return netlist
+
+
 def _pick_sinks(rng: np.random.Generator, driver: int, count: int, n: int,
                 side: int, home_x: FloatArray, home_y: FloatArray,
                 decay: float, global_fraction: float,

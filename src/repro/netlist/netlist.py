@@ -2,13 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional,
+                    Sequence, Tuple)
 
 import numpy as np
 
 from repro.analysis import FloatArray, IntArray
 from repro.netlist.cell import Cell
 from repro.netlist.net import Net, PinRole
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.netlist.csr import SignalCSR
 
 
 class Netlist:
@@ -35,6 +39,13 @@ class Netlist:
         self._widths: Optional[FloatArray] = None
         self._heights: Optional[FloatArray] = None
         self._movable_ids: Optional[IntArray] = None
+        # signal-structure caches (see repro.netlist.csr / .cache):
+        # the CSR survives TRR-net injection — TRR nets are excluded
+        # from the signal structure — but not cell or signal-net adds
+        self._signal_csr: Optional["SignalCSR"] = None
+        #: content-hash key set when this instance came out of the
+        #: netlist cache; lets equal-content copies share derived CSR
+        self.content_key: Optional[str] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -56,6 +67,8 @@ class Netlist:
         self.cells.append(cell)
         self._cell_by_name[name] = cell.id
         self._invalidate()
+        self._signal_csr = None
+        self.content_key = None
         return cell
 
     def add_net(self, name: str,
@@ -85,12 +98,24 @@ class Netlist:
         self.nets.append(net)
         self._net_by_name[name] = net.id
         self._invalidate()
+        if not is_trr:
+            # TRR nets are excluded from the signal CSR, so injecting
+            # them leaves the derived structure (and content key) valid
+            self._signal_csr = None
+            self.content_key = None
         return net
 
     def _invalidate(self) -> None:
         self._cell_nets = None
         self._arrays_dirty = True
         self._movable_ids = None
+
+    def __getstate__(self) -> Dict[str, object]:
+        # the signal CSR is derived data: cheap to rebuild, shareable
+        # through the content-keyed store, and dead weight in a pickle
+        state = self.__dict__.copy()
+        state["_signal_csr"] = None
+        return state
 
     # ------------------------------------------------------------------
     # lookups

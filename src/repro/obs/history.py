@@ -69,8 +69,8 @@ def _flatten_metrics(measurement: Mapping[str, Any]) -> Dict[str, float]:
 
     Understands the ``BENCH_scaling.json`` measurement shape
     (``placement`` per-scale entries, ``rebuild``, ``solve_powers``,
-    ``thermal_fidelity``, ``service_cache``); unknown top-level
-    numeric fields are kept
+    ``thermal_fidelity``, ``service_cache``, ``large_instances``
+    per-row entries); unknown top-level numeric fields are kept
     under their own name so future bench sections ride along without a
     schema change here.
     """
@@ -111,9 +111,32 @@ def _flatten_metrics(measurement: Mapping[str, Any]) -> Dict[str, float]:
             if isinstance(value, (int, float)) \
                     and not isinstance(value, bool):
                 metrics[f"service_cache/{key}"] = float(value)
+    large = measurement.get("large_instances")
+    if isinstance(large, Mapping):
+        rows = large.get("rows")
+        if isinstance(rows, Mapping):
+            for label, row in sorted(rows.items()):
+                if not isinstance(row, Mapping):
+                    continue
+                for key in ("wall_seconds", "peak_rss_bytes",
+                            "dispatch_bytes"):
+                    value = row.get(key)
+                    if isinstance(value, (int, float)) \
+                            and not isinstance(value, bool):
+                        metrics[f"large/{key}/{label}"] = float(value)
+        streaming = large.get("bookshelf_streaming")
+        if isinstance(streaming, Mapping) \
+                and isinstance(streaming.get("streaming"), Mapping):
+            probe = streaming["streaming"]
+            for key in ("parse_seconds", "peak_rss_bytes"):
+                value = probe.get(key)
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    metrics[f"large/bookshelf_{key}"] = float(value)
     for key, value in measurement.items():
         if key in ("placement", "rebuild", "solve_powers",
-                   "thermal_fidelity", "service_cache"):
+                   "thermal_fidelity", "service_cache",
+                   "large_instances"):
             continue
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             metrics[key] = float(value)

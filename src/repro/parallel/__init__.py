@@ -28,9 +28,12 @@ rules make that hold:
    (:func:`task_seed_sequence`) — never from a shared stream whose
    state would depend on execution order.
 
-This module is the only one in ``src/repro`` allowed to import
-``multiprocessing`` / ``concurrent.futures`` (lint rule RPL011): any
-other parallelism would bypass the determinism contract above.
+This package is the only place in ``src/repro`` allowed to import
+``multiprocessing`` / ``concurrent.futures`` (lint rule RPL011) — and
+:mod:`repro.parallel.shared` is the one module allowed to touch
+``multiprocessing.shared_memory`` (lint rule RPL015): any other
+parallelism or segment lifecycle would bypass the determinism contract
+above.
 """
 
 from __future__ import annotations
@@ -44,9 +47,16 @@ from typing import (Any, Callable, Dict, Iterable, List, Optional,
 
 import numpy as np
 
-__all__ = ["ExecutionBackend", "ProcessPoolBackend", "SerialBackend",
+from repro.parallel.shared import (PackedBatch, SegmentRef,
+                                   SharedArrayPool)
+from repro.parallel.shared import available as shared_memory_available
+from repro.parallel.shared import resolve as resolve_packed
+
+__all__ = ["ExecutionBackend", "PackedBatch", "ProcessPoolBackend",
+           "SegmentRef", "SerialBackend", "SharedArrayPool",
            "TaskHandle", "WORKERS_ENV", "create_backend",
-           "resolve_workers", "task_seed", "task_seed_sequence"]
+           "resolve_packed", "resolve_workers",
+           "shared_memory_available", "task_seed", "task_seed_sequence"]
 
 #: Environment variable consulted when no explicit worker count is set.
 WORKERS_ENV = "REPRO_WORKERS"

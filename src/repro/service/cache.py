@@ -33,6 +33,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["CacheEntry", "ResultCache", "cache_key", "netlist_hash"]
 
 
+#: Memoized hashes for netlists served from the netlist cache: every
+#: unpickled copy of one cached circuit shares a ``content_key``, so
+#: the (linear-walk) hash below runs once per circuit, not per copy.
+_HASH_BY_CONTENT_KEY: Dict[str, str] = {}
+
+#: Bound on the memo; keys are short strings, digests 64 chars.
+_MAX_HASH_MEMO = 64
+
+
 def netlist_hash(netlist: "Netlist") -> str:
     """Stable content hash of a netlist's placement-relevant content.
 
@@ -40,8 +49,14 @@ def netlist_hash(netlist: "Netlist") -> str:
     nets are derived from the config, so including them would make the
     hash depend on whether thermal nets were already materialised).
     Two structurally identical netlists hash identically regardless of
-    load path.
+    load path.  Copies carrying a netlist-cache ``content_key`` share
+    one memoized computation.
     """
+    memo_key = netlist.content_key
+    if memo_key is not None:
+        cached = _HASH_BY_CONTENT_KEY.get(memo_key)
+        if cached is not None:
+            return cached
     cells = [[cell.name, float(cell.width), float(cell.height),
               bool(cell.fixed),
               (None if cell.fixed_position is None
@@ -52,8 +67,13 @@ def netlist_hash(netlist: "Netlist") -> str:
     nets = [[net.name, float(net.activity),
              [[int(cell_id), role.value] for cell_id, role in net.pins]]
             for net in netlist.signal_nets()]
-    return content_hash({"name": netlist.name, "cells": cells,
-                         "nets": nets})
+    digest = content_hash({"name": netlist.name, "cells": cells,
+                           "nets": nets})
+    if memo_key is not None:
+        if len(_HASH_BY_CONTENT_KEY) >= _MAX_HASH_MEMO:
+            _HASH_BY_CONTENT_KEY.pop(next(iter(_HASH_BY_CONTENT_KEY)))
+        _HASH_BY_CONTENT_KEY[memo_key] = digest
+    return digest
 
 
 def cache_key(config_hash: str, spec_hash: str,

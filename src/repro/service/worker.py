@@ -32,6 +32,8 @@ from repro.core.pipeline import (PipelinePreempted, PipelineSpec,
 from repro.core.placer import Placer3D
 from repro.metrics.report import PlacementReport, evaluate_placement
 from repro.netlist import bookshelf
+from repro.netlist.cache import (benchmark_key, bookshelf_key,
+                                 cached_netlist)
 from repro.netlist.netlist import Netlist
 from repro.netlist.suite import load_benchmark
 from repro.service.jobstore import JobRequest
@@ -40,12 +42,25 @@ __all__ = ["execute_job", "load_job_netlist", "result_summary"]
 
 
 def load_job_netlist(request: JobRequest, seed: int) -> Netlist:
-    """Rebuild the netlist a job request describes."""
+    """Rebuild the netlist a job request describes.
+
+    Loads go through the content-keyed netlist cache: a sweep's
+    per-alpha jobs and service resubmissions of one circuit parse or
+    generate it once and unpickle pristine copies after that.
+    Bookshelf circuits use the streaming reader, so full-size files
+    parse in bounded memory.
+    """
     if request.circuit is not None:
-        return load_benchmark(request.circuit, scale=request.scale,
-                              seed=seed)
+        circuit = request.circuit
+        return cached_netlist(
+            benchmark_key(circuit, request.scale, seed),
+            lambda: load_benchmark(circuit, scale=request.scale,
+                                   seed=seed))
     assert request.bookshelf is not None
-    return bookshelf.read_bookshelf(request.bookshelf)
+    prefix = request.bookshelf
+    return cached_netlist(
+        bookshelf_key(prefix),
+        lambda: bookshelf.read_bookshelf_streaming(prefix))
 
 
 def result_summary(result: Any,

@@ -440,6 +440,46 @@ class TestRPL011ProcessImports:
         """) == []
 
 
+class TestRPL015SharedMemoryImports:
+    def test_from_multiprocessing_flagged(self):
+        # RPL011 also fires (a multiprocessing import outside
+        # repro.parallel); RPL015 adds the stricter ownership claim
+        assert rules_of("""
+            from multiprocessing import shared_memory
+        """) == ["RPL011", "RPL015"]
+
+    def test_submodule_import_flagged(self):
+        assert rules_of("""
+            import multiprocessing.shared_memory
+        """) == ["RPL011", "RPL015"]
+
+    def test_from_submodule_flagged(self):
+        assert rules_of("""
+            from multiprocessing.shared_memory import SharedMemory
+        """) == ["RPL011", "RPL015"]
+
+    def test_parallel_package_still_flagged(self):
+        # RPL011-exempt, but shared_memory belongs to shared.py only
+        src = textwrap.dedent("""
+            from multiprocessing import shared_memory
+        """)
+        path = "src/repro/parallel/__init__.py"
+        assert [v.rule for v in check_source(src, path)] == ["RPL015"]
+
+    def test_shared_module_exempt(self):
+        src = textwrap.dedent("""
+            from multiprocessing import shared_memory
+            from multiprocessing.shared_memory import SharedMemory
+        """)
+        path = "src/repro/parallel/shared.py"
+        assert [v.rule for v in check_source(src, path)] == []
+
+    def test_plain_multiprocessing_not_flagged_by_rpl015(self):
+        assert rules_of("""
+            from multiprocessing import get_context
+        """) == ["RPL011"]
+
+
 class TestRPL014SocketImports:
     def test_socket_import_flagged(self):
         assert rules_of("""

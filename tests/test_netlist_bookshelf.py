@@ -136,6 +136,46 @@ class TestRoundTrip:
             assert y == pytest.approx(pl.y[cell.id], rel=1e-5)
             assert z == pl.z[cell.id]
 
+    def _assert_netlists_equal(self, a, b):
+        assert a.num_cells == b.num_cells
+        assert a.num_nets == b.num_nets
+        for ca, cb in zip(a.cells, b.cells):
+            assert ca.name == cb.name
+            assert ca.width == cb.width
+            assert ca.height == cb.height
+            assert ca.fixed == cb.fixed
+            assert ca.fixed_position == cb.fixed_position
+        for na, nb in zip(a.nets, b.nets):
+            assert na.name == nb.name
+            assert list(na.pins) == list(nb.pins)
+            assert na.activity == nb.activity
+
+    def test_streaming_matches_buffered_on_fixture(self, prefix):
+        buffered = bookshelf.read_bookshelf(prefix)
+        streaming = bookshelf.read_bookshelf_streaming(prefix)
+        self._assert_netlists_equal(buffered, streaming)
+
+    def test_streaming_matches_buffered_on_suite_circuit(self, tmp_path):
+        from repro.netlist.suite import load_benchmark
+        nl = load_benchmark("ibm01", scale=0.05, seed=0)
+        chip = ChipGeometry(width=500e-6, height=500e-6, num_layers=4,
+                            row_height=1e-6, row_pitch=1.25e-6)
+        pl = Placement.random(nl, chip, seed=7)
+        out = str(tmp_path / "ibm")
+        bookshelf.write_bookshelf(out, nl, pl)
+        buffered = bookshelf.read_bookshelf(out)
+        streaming = bookshelf.read_bookshelf_streaming(out)
+        self._assert_netlists_equal(buffered, streaming)
+
+    def test_streaming_matches_buffered_on_synthetic(self, tmp_path):
+        from repro.netlist.suite import load_benchmark
+        nl = load_benchmark("synthetic2k", scale=1.0, seed=1)
+        out = str(tmp_path / "syn")
+        bookshelf.write_bookshelf(out, nl)
+        buffered = bookshelf.read_bookshelf(out)
+        streaming = bookshelf.read_bookshelf_streaming(out)
+        self._assert_netlists_equal(buffered, streaming)
+
     def test_trr_nets_not_written(self, prefix, tmp_path):
         nl = bookshelf.read_bookshelf(prefix)
         nl.add_net("__trr__a", [(nl.cell("a").id, PinRole.SINK)],
@@ -145,3 +185,110 @@ class TestRoundTrip:
         text = open(out + ".nets").read()
         assert "__trr__" not in text
         assert "NumNets : 2" in text
+
+
+class TestStreamingErrorPaths:
+    """Malformed and truncated inputs must fail loudly, not silently."""
+
+    def _nodes(self, tmp_path, text):
+        path = tmp_path / "bad.nodes"
+        path.write_text(text)
+        return str(path)
+
+    def _nets(self, tmp_path, text):
+        path = tmp_path / "bad.nets"
+        path.write_text(text)
+        return str(path)
+
+    def test_nodes_missing_header(self, tmp_path):
+        path = self._nodes(tmp_path, "UCLA nodes 1.0\n")
+        with pytest.raises(ValueError, match="missing NumNodes"):
+            bookshelf.read_nodes_streaming(path, Netlist("t"))
+
+    def test_nodes_record_before_header(self, tmp_path):
+        path = self._nodes(tmp_path, "UCLA nodes 1.0\n  a 2.0 1.0\n")
+        with pytest.raises(ValueError, match="before NumNodes"):
+            bookshelf.read_nodes_streaming(path, Netlist("t"))
+
+    def test_nodes_truncated(self, tmp_path):
+        path = self._nodes(
+            tmp_path, "UCLA nodes 1.0\nNumNodes : 3\n  a 2.0 1.0\n")
+        with pytest.raises(ValueError, match="truncated .nodes"):
+            bookshelf.read_nodes_streaming(path, Netlist("t"))
+
+    def test_nodes_overdeclared(self, tmp_path):
+        path = self._nodes(
+            tmp_path, "UCLA nodes 1.0\nNumNodes : 1\n"
+                      "  a 2.0 1.0\n  b 2.0 1.0\n")
+        with pytest.raises(ValueError, match="more than NumNodes"):
+            bookshelf.read_nodes_streaming(path, Netlist("t"))
+
+    def test_nodes_without_dimensions(self, tmp_path):
+        path = self._nodes(
+            tmp_path, "UCLA nodes 1.0\nNumNodes : 1\n  a\n")
+        with pytest.raises(ValueError, match="no dimensions"):
+            bookshelf.read_nodes_streaming(path, Netlist("t"))
+
+    def test_nodes_malformed_header(self, tmp_path):
+        path = self._nodes(tmp_path, "UCLA nodes 1.0\nNumNodes : x\n")
+        with pytest.raises(ValueError, match="malformed NumNodes"):
+            bookshelf.read_nodes_streaming(path, Netlist("t"))
+
+    def _netlist_ab(self):
+        nl = Netlist("t")
+        nl.add_cell("a", 2e-6, 1e-6)
+        nl.add_cell("b", 2e-6, 1e-6)
+        return nl
+
+    def test_nets_missing_headers(self, tmp_path):
+        path = self._nets(tmp_path, "UCLA nets 1.0\n")
+        with pytest.raises(ValueError, match="missing NumNets"):
+            bookshelf.read_nets_streaming(path, self._netlist_ab())
+
+    def test_nets_netdegree_before_headers(self, tmp_path):
+        path = self._nets(tmp_path,
+                          "UCLA nets 1.0\nNetDegree : 2\n  a\n  b\n")
+        with pytest.raises(ValueError, match="before NumNets"):
+            bookshelf.read_nets_streaming(path, self._netlist_ab())
+
+    def test_nets_truncated_mid_net(self, tmp_path):
+        path = self._nets(
+            tmp_path, "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+                      "NetDegree : 2\n  a\n")
+        with pytest.raises(ValueError, match="missing 1 of its pins"):
+            bookshelf.read_nets_streaming(path, self._netlist_ab())
+
+    def test_nets_count_mismatch(self, tmp_path):
+        path = self._nets(
+            tmp_path, "UCLA nets 1.0\nNumNets : 2\nNumPins : 2\n"
+                      "NetDegree : 2\n  a\n  b\n")
+        with pytest.raises(ValueError, match="expected 2 nets"):
+            bookshelf.read_nets_streaming(path, self._netlist_ab())
+
+    def test_nets_pin_count_mismatch(self, tmp_path):
+        path = self._nets(
+            tmp_path, "UCLA nets 1.0\nNumNets : 1\nNumPins : 3\n"
+                      "NetDegree : 2\n  a\n  b\n")
+        with pytest.raises(ValueError, match="NumPins=3"):
+            bookshelf.read_nets_streaming(path, self._netlist_ab())
+
+    def test_nets_unknown_cell(self, tmp_path):
+        path = self._nets(
+            tmp_path, "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+                      "NetDegree : 2\n  a\n  zz\n")
+        with pytest.raises(ValueError, match="unknown cell 'zz'"):
+            bookshelf.read_nets_streaming(path, self._netlist_ab())
+
+    def test_nets_malformed_netdegree(self, tmp_path):
+        path = self._nets(
+            tmp_path, "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+                      "NetDegree : x\n")
+        with pytest.raises(ValueError, match="malformed NetDegree"):
+            bookshelf.read_nets_streaming(path, self._netlist_ab())
+
+    def test_nets_stray_record(self, tmp_path):
+        path = self._nets(
+            tmp_path, "UCLA nets 1.0\nNumNets : 1\nNumPins : 2\n"
+                      "  a\n")
+        with pytest.raises(ValueError, match="expected NetDegree"):
+            bookshelf.read_nets_streaming(path, self._netlist_ab())

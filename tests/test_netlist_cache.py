@@ -1,0 +1,106 @@
+"""Unit tests for the content-keyed netlist cache."""
+
+import pytest
+
+from repro.netlist import bookshelf
+from repro.netlist.cache import (NetlistCache, benchmark_key,
+                                 bookshelf_key, cached_netlist,
+                                 clear_netlist_cache,
+                                 netlist_cache_stats)
+from repro.netlist.net import PinRole
+from repro.netlist.suite import load_benchmark
+
+
+@pytest.fixture(autouse=True)
+def _fresh_global_cache():
+    clear_netlist_cache()
+    yield
+    clear_netlist_cache()
+
+
+def _loader():
+    return load_benchmark("ibm01", scale=0.01, seed=0)
+
+
+class TestNetlistCache:
+    def test_miss_then_hit(self):
+        cache = NetlistCache()
+        key = benchmark_key("ibm01", 0.01, 0)
+        first = cache.get_or_load(key, _loader)
+        second = cache.get_or_load(key, _loader)
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert first is not second  # fresh copies, never shared
+
+    def test_hit_carries_content_key(self):
+        cache = NetlistCache()
+        key = benchmark_key("ibm01", 0.01, 0)
+        assert cache.get_or_load(key, _loader).content_key == key
+        assert cache.get_or_load(key, _loader).content_key == key
+
+    def test_mutation_does_not_leak_between_copies(self):
+        cache = NetlistCache()
+        key = benchmark_key("ibm01", 0.01, 0)
+        first = cache.get_or_load(key, _loader)
+        first.add_net("__trr__x", [(0, PinRole.SINK)], activity=0.0,
+                      is_trr=True)
+        second = cache.get_or_load(key, _loader)
+        assert second.num_nets == first.num_nets - 1
+
+    def test_loader_mutation_after_miss_is_isolated(self):
+        cache = NetlistCache()
+        key = benchmark_key("ibm01", 0.01, 0)
+        first = cache.get_or_load(key, _loader)
+        # the pristine snapshot was taken before this mutation
+        first.add_cell("extra", 1e-6, 1e-6)
+        second = cache.get_or_load(key, _loader)
+        assert second.num_cells == first.num_cells - 1
+
+    def test_lru_eviction(self):
+        cache = NetlistCache(capacity=2)
+        for seed in (0, 1, 2):
+            cache.get_or_load(benchmark_key("ibm01", 0.01, seed),
+                              lambda s=seed: load_benchmark(
+                                  "ibm01", scale=0.01, seed=s))
+        assert cache.stats()["entries"] == 2
+        # seed 0 was evicted: loading it again misses
+        cache.get_or_load(benchmark_key("ibm01", 0.01, 0), _loader)
+        assert cache.stats()["misses"] == 4
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            NetlistCache(capacity=0)
+
+
+class TestKeys:
+    def test_benchmark_key_distinguishes_sources(self):
+        assert benchmark_key("ibm01", 0.05, 0) \
+            != benchmark_key("ibm01", 0.05, 1)
+        assert benchmark_key("ibm01", 0.05, 0) \
+            != benchmark_key("ibm01", 0.1, 0)
+        assert benchmark_key("ibm01", 0.05, 0) \
+            != benchmark_key("ibm02", 0.05, 0)
+
+    def test_bookshelf_key_tracks_file_stat(self, tmp_path):
+        nl = load_benchmark("ibm01", scale=0.01, seed=0)
+        prefix = str(tmp_path / "circ")
+        bookshelf.write_bookshelf(prefix, nl)
+        before = bookshelf_key(prefix)
+        assert before == bookshelf_key(prefix)
+        with open(prefix + ".nodes", "a") as fh:
+            fh.write("\n")
+        assert bookshelf_key(prefix) != before
+
+    def test_bookshelf_key_absent_files(self, tmp_path):
+        key = bookshelf_key(str(tmp_path / "nope"))
+        assert "absent" in key
+
+
+class TestGlobalCache:
+    def test_cached_netlist_round_trip(self):
+        key = benchmark_key("ibm01", 0.01, 0)
+        first = cached_netlist(key, _loader)
+        second = cached_netlist(key, _loader)
+        assert first is not second
+        assert first.num_cells == second.num_cells
+        assert netlist_cache_stats()["hits"] == 1

@@ -319,3 +319,129 @@ class TestSerialParallelBitIdentity:
         assert config_hash(one) == config_hash(four)
         other_seed = PlacementConfig(seed=5, num_workers=1)
         assert config_hash(one) != config_hash(other_seed)
+
+
+class TestSharedMemoryDispatch:
+    """The zero-copy batch arena: pack/resolve round-trip, payload
+    size, instrumentation counters, and the no-shm fallback."""
+
+    @staticmethod
+    def _task(seed: int = 5) -> BisectionTask:
+        nets = [[0, 1], [1, 2, 3], [2, 4]]
+        return BisectionTask.from_nets(
+            nets, [1.0, 2.0, 1.0], [1.0] * 5, [-1] * 5,
+            target=0.5, tolerance=0.1, num_starts=2, max_passes=3,
+            seed=seed, key=9)
+
+    def test_pack_resolve_round_trip(self):
+        from repro.parallel import SharedArrayPool, resolve_packed
+        from repro.partition.subproblem import (task_from_payload,
+                                                task_payload)
+        if not pytest.importorskip("repro.parallel.shared").available():
+            pytest.skip("shared memory unavailable")
+        pool = SharedArrayPool()
+        try:
+            tasks = [self._task(seed) for seed in (1, 2, 3)]
+            batch = pool.pack([task_payload(t) for t in tasks])
+            try:
+                for ref, task in zip(batch.refs, tasks):
+                    back = task_from_payload(resolve_packed(ref))
+                    assert back.key == task.key
+                    assert back.seed == task.seed
+                    np.testing.assert_array_equal(back.net_ptr,
+                                                  task.net_ptr)
+                    np.testing.assert_array_equal(back.pin_vertices,
+                                                  task.pin_vertices)
+                    np.testing.assert_array_equal(back.fixed,
+                                                  task.fixed)
+            finally:
+                batch.close()
+        finally:
+            pool.close()
+
+    def test_resolved_views_are_read_only(self):
+        from repro.parallel import SharedArrayPool, resolve_packed
+        from repro.partition.subproblem import task_payload
+        if not pytest.importorskip("repro.parallel.shared").available():
+            pytest.skip("shared memory unavailable")
+        pool = SharedArrayPool()
+        try:
+            batch = pool.pack([task_payload(self._task())])
+            try:
+                payload = resolve_packed(batch.refs[0])
+                with pytest.raises(ValueError):
+                    payload["net_ptr"][0] = 99
+            finally:
+                batch.close()
+        finally:
+            pool.close()
+
+    def test_refs_are_tiny_vs_pickled_tasks(self):
+        import pickle
+
+        from repro.parallel import SharedArrayPool
+        from repro.partition.subproblem import task_payload
+        if not pytest.importorskip("repro.parallel.shared").available():
+            pytest.skip("shared memory unavailable")
+        pool = SharedArrayPool()
+        try:
+            tasks = [self._task(seed) for seed in range(8)]
+            batch = pool.pack([task_payload(t) for t in tasks])
+            try:
+                # A ref is ~94 B regardless of task size; the toy
+                # tasks here are small, so gate on the absolute
+                # descriptor size (the 10x ratio on realistic tasks
+                # is gated by the dispatch-counter test and bench).
+                for ref in batch.refs:
+                    assert len(pickle.dumps(ref)) < 150
+                dense_bytes = sum(len(pickle.dumps(t)) for t in tasks)
+                assert sum(len(pickle.dumps(r))
+                           for r in batch.refs) < dense_bytes
+            finally:
+                batch.close()
+        finally:
+            pool.close()
+
+    def test_solve_packed_matches_solve(self):
+        from repro.parallel import SharedArrayPool
+        from repro.partition.subproblem import (solve_packed_recorded,
+                                                task_payload)
+        if not pytest.importorskip("repro.parallel.shared").available():
+            pytest.skip("shared memory unavailable")
+        task = self._task()
+        expected = solve(self._task())
+        pool = SharedArrayPool()
+        try:
+            batch = pool.pack([task_payload(task)])
+            try:
+                parts, _telemetry = solve_packed_recorded(batch.refs[0])
+            finally:
+                batch.close()
+        finally:
+            pool.close()
+        np.testing.assert_array_equal(parts, expected)
+
+    def test_dispatch_counters_recorded(self, tmp_path):
+        spec = GeneratorSpec(name="shm", num_cells=96,
+                             total_area=96 * 4e-12, seed=11)
+        netlist = generate_netlist(spec)
+        config = PlacementConfig(num_workers=2, num_layers=2)
+        recorder = Recorder()
+        Placer3D(netlist, config, recorder=recorder).run()
+        counters = recorder.counters
+        assert counters.get("parallel/tasks", 0) > 0
+        assert counters.get("parallel/dispatch_bytes", 0) > 0
+        assert counters.get("parallel/dense_task_bytes", 0) > 0
+        from repro.parallel import shared_memory_available
+        if shared_memory_available():
+            assert counters["parallel/dispatch_bytes"] * 10 \
+                <= counters["parallel/dense_task_bytes"]
+
+    def test_serial_run_records_no_dispatch(self):
+        spec = GeneratorSpec(name="shm-serial", num_cells=96,
+                             total_area=96 * 4e-12, seed=11)
+        netlist = generate_netlist(spec)
+        config = PlacementConfig(num_workers=1, num_layers=2)
+        recorder = Recorder()
+        Placer3D(netlist, config, recorder=recorder).run()
+        assert "parallel/dispatch_bytes" not in recorder.counters

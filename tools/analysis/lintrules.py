@@ -67,6 +67,12 @@ RPL014   No direct ``socket`` / ``selectors`` imports outside
          layer's RPC module: an ad-hoc socket elsewhere bypasses the
          job store's state machine and the engine's permissioned API
          surface, and cannot be exercised by the service smoke tests.
+RPL015   No ``multiprocessing.shared_memory`` imports outside
+         ``repro.parallel.shared``.  Segment lifecycle (create /
+         attach / resource-tracker bookkeeping / unlink) is owned by
+         ``SharedArrayPool``; an ad-hoc ``SharedMemory`` elsewhere
+         leaks segments on crash paths and double-unregisters with
+         the fork-shared resource tracker.
 ======== ==============================================================
 
 Any rule can be waived on a specific line with an inline comment
@@ -140,6 +146,9 @@ RULES: Dict[str, str] = {
     "RPL014": "direct socket/selectors import outside repro.service "
               "(talk to the service through ServiceClient or the "
               "engine API)",
+    "RPL015": "direct multiprocessing.shared_memory import outside "
+              "repro.parallel.shared (segment lifecycle is owned by "
+              "SharedArrayPool)",
 }
 
 #: Top-level modules only ``repro.parallel`` may import (RPL011).
@@ -149,6 +158,13 @@ PROCESS_MODULES: Tuple[str, ...] = ("multiprocessing", "concurrent")
 #: execution-backend package itself.
 PARALLEL_BACKEND_SUFFIXES: Tuple[str, ...] = (
     "repro/parallel/__init__.py",
+    "repro/parallel/shared.py",
+)
+
+#: The one module allowed to import ``multiprocessing.shared_memory``
+#: (RPL015): the zero-copy dispatch arena that owns segment lifecycle.
+SHARED_MEMORY_SUFFIXES: Tuple[str, ...] = (
+    "repro/parallel/shared.py",
 )
 
 #: Top-level modules only ``repro.service`` may import (RPL014).
@@ -240,6 +256,12 @@ def is_parallel_backend(path: str) -> bool:
     return normalized.endswith(PARALLEL_BACKEND_SUFFIXES)
 
 
+def is_shared_memory_owner(path: str) -> bool:
+    """Whether a path may import shared_memory directly (RPL015)."""
+    normalized = path.replace("\\", "/")
+    return normalized.endswith(SHARED_MEMORY_SUFFIXES)
+
+
 def is_service_module(path: str) -> bool:
     """Whether a path may import socket machinery directly (RPL014)."""
     normalized = path.replace("\\", "/")
@@ -299,6 +321,7 @@ class _Checker(ast.NodeVisitor):
                  datetime_classes: Optional[Set[str]] = None,
                  stage_factory: bool = False,
                  parallel_backend: bool = False,
+                 shared_memory_owner: bool = False,
                  service_module: bool = False,
                  core_hot_path: bool = False) -> None:
         self.path = path
@@ -312,6 +335,7 @@ class _Checker(ast.NodeVisitor):
         self.datetime_classes = datetime_classes or set()
         self.stage_factory = stage_factory
         self.parallel_backend = parallel_backend
+        self.shared_memory_owner = shared_memory_owner
         self.service_module = service_module
         self.core_hot_path = core_hot_path
         self.violations: List[Violation] = []
@@ -454,6 +478,23 @@ class _Checker(ast.NodeVisitor):
                        f"dispatch work through an ExecutionBackend so "
                        f"seeding and telemetry merging stay uniform")
 
+    # -- RPL015: shared_memory imports outside the dispatch arena ------
+    def _check_shared_memory_import(self, node: ast.AST,
+                                    module: Optional[str],
+                                    names: Sequence[str] = (),
+                                    ) -> None:
+        if self.shared_memory_owner or not module:
+            return
+        hit = (module == "multiprocessing.shared_memory"
+               or module.startswith("multiprocessing.shared_memory.")
+               or (module == "multiprocessing"
+                   and "shared_memory" in names))
+        if hit:
+            self._flag(node, "RPL015",
+                       "import of multiprocessing.shared_memory outside "
+                       "repro.parallel.shared — segment create/attach/"
+                       "unlink lifecycle is owned by SharedArrayPool")
+
     # -- RPL014: socket imports outside repro.service ------------------
     def _check_socket_import(self, node: ast.AST,
                              module: Optional[str]) -> None:
@@ -486,6 +527,7 @@ class _Checker(ast.NodeVisitor):
     def visit_Import(self, node: ast.Import) -> None:
         for item in node.names:
             self._check_process_import(node, item.name)
+            self._check_shared_memory_import(node, item.name)
             self._check_socket_import(node, item.name)
             self._check_solver_import(node, item.name)
         self.generic_visit(node)
@@ -493,6 +535,9 @@ class _Checker(ast.NodeVisitor):
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
         if node.level == 0:
             self._check_process_import(node, node.module)
+            self._check_shared_memory_import(
+                node, node.module,
+                names=[item.name for item in node.names])
             self._check_socket_import(node, node.module)
             self._check_solver_import(node, node.module)
             if self.core_hot_path and node.module == "repro.thermal":
@@ -699,6 +744,7 @@ def check_source(source: str, path: str = "<string>",
                        datetime_classes=datetime_classes,
                        stage_factory=is_stage_factory(path),
                        parallel_backend=is_parallel_backend(path),
+                       shared_memory_owner=is_shared_memory_owner(path),
                        service_module=is_service_module(path),
                        core_hot_path=is_core_hot_path(path))
     checker.visit(tree)
@@ -742,7 +788,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m tools.lint",
-        description="Kernel-contract AST linter (rules RPL001-RPL014).")
+        description="Kernel-contract AST linter (rules RPL001-RPL015).")
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to lint "
                              "(default: src/repro)")
